@@ -1,0 +1,175 @@
+// Ablations of the design choices DESIGN.md calls out: what each of the
+// compactor's special features (§2.3) and the optimizer modes (§2.4)
+// actually buys.  Each section disables exactly one mechanism and reports
+// the effect on area, connectivity or search cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "db/connectivity.h"
+#include "modules/basic.h"
+#include "opt/optimizer.h"
+#include "primitives/primitives.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+const tech::Technology& T() { return tech::bicmos1u(); }
+
+// --- ablation 1: ignore-layers (same-potential abutment) ------------------
+
+void ablationIgnoreLayers() {
+  std::printf("--- ablation: compact(..., \"pdiff\") ignore-layers ---\n");
+  modules::MosSpec ms;
+  ms.w = um(10);
+  ms.l = um(2);
+  ms.gateNet = "inp";
+  ms.sourceNet = "outa";
+  ms.drainContact = false;
+  const db::Module t1 = modules::mosTransistor(T(), ms);
+  ms.gateNet = "inn";
+  ms.sourceNet = "tail";
+  const db::Module t2 = modules::mosTransistor(T(), ms);
+
+  auto build = [&](bool ignore) {
+    db::Module m(T(), "dp");
+    compact::compact(m, t1, Dir::West);
+    compact::Options opt;
+    if (ignore) opt.ignoreLayers = {T().layer("pdiff")};
+    compact::compact(m, t2, Dir::West, opt);
+    return m;
+  };
+  const db::Module with = build(true);
+  const db::Module without = build(false);
+  std::printf("  diff pair width: with ignore %ld nm, without %ld nm "
+              "(+%.0f%% — the rows no longer merge, diffusion spacing "
+              "separates the transistors)\n",
+              static_cast<long>(with.bbox().width()),
+              static_cast<long>(without.bbox().width()),
+              100.0 * (static_cast<double>(without.bbox().width()) /
+                           static_cast<double>(with.bbox().width()) -
+                       1.0));
+}
+
+// --- ablation 2: auto-connect ----------------------------------------------
+
+void ablationAutoConnect() {
+  std::printf("--- ablation: auto-connected edges ---\n");
+  auto build = [&](bool autoConnect) {
+    db::Module m(T(), "cols");
+    for (int i = 0; i < 3; ++i) {
+      const Coord x = i * um(6);
+      const Coord h = i == 1 ? um(12) : um(8);
+      m.addShape(db::makeShape(Box{x, 0, x + um(2.2), h}, T().layer("metal1"),
+                               m.net("s")));
+    }
+    db::Module strap(T(), "strap");
+    strap.addShape(db::makeShape(Box{0, um(40), um(15), um(42)}, T().layer("metal1"),
+                                 strap.net("s")));
+    compact::Options opt;
+    opt.autoConnect = autoConnect;
+    compact::compact(m, strap, Dir::South, opt);
+    return db::Connectivity(m).componentCount();
+  };
+  std::printf("  net components after strap: with auto-connect %d, without %d\n",
+              build(true), build(false));
+}
+
+// --- ablation 3: variable edges ---------------------------------------------
+
+void ablationVariableEdges() {
+  std::printf("--- ablation: variable edges ---\n");
+  auto build = [&](bool variable) {
+    db::Module m(T(), "cols");
+    for (int i = 0; i < 3; ++i) {
+      db::Module col(T(), "col");
+      const Coord h = i == 1 ? um(16) : um(8);
+      const auto metal =
+          prim::inbox(col, T().layer("metal1"), um(2.2), h, col.net("s"));
+      prim::array(col, T().layer("contact"), {metal}, col.net("s"));
+      if (variable && i == 1)
+        col.shape(metal).varEdges = db::EdgeFlags::allVariable();
+      col.translate(i * um(6), 0);
+      m.merge(col, geom::Transform{});
+    }
+    db::Module obj(T(), "obj");
+    obj.addShape(db::makeShape(Box{0, um(60), um(15), um(62)}, T().layer("metal1"),
+                               obj.net("x")));
+    compact::compact(m, obj, Dir::South);
+    return m.area();
+  };
+  const Coord fixed = build(false);
+  const Coord var = build(true);
+  std::printf("  area: fixed edges %.1f um^2, variable %.1f um^2 (-%.0f%%)\n",
+              static_cast<double>(fixed) / (kMicron * kMicron),
+              static_cast<double>(var) / (kMicron * kMicron),
+              100.0 * (1.0 - static_cast<double>(var) / static_cast<double>(fixed)));
+}
+
+// --- ablation 4: optimizer modes -------------------------------------------
+
+opt::BuildPlan bigPlan(int steps) {
+  db::Module seed(T(), "seed");
+  seed.addShape(db::makeShape(Box{0, 0, 4000, 4000}, T().layer("metal1"),
+                              seed.net("seed")));
+  opt::BuildPlan plan(std::move(seed));
+  for (int i = 0; i < steps; ++i) {
+    db::Module o(T(), "o");
+    const bool wide = i % 2 == 0;
+    o.addShape(db::makeShape(
+        wide ? Box{0, 0, 10000 + 1500 * i, 1600} : Box{0, 0, 1600, 7000 + 1500 * i},
+        T().layer("metal1"), o.net("n" + std::to_string(i))));
+    plan.steps.emplace_back(std::move(o), wide ? Dir::South : Dir::West);
+  }
+  return plan;
+}
+
+void ablationOptimizerModes() {
+  std::printf("--- ablation: optimizer search modes (6-step plan) ---\n");
+  const opt::BuildPlan plan = bigPlan(6);
+  const double natural = static_cast<double>(opt::execute(plan).area());
+
+  opt::OptimizeOptions noBB;
+  noBB.branchAndBound = false;
+  const auto exhaustive = opt::optimizeOrder(plan, {}, noBB);
+  const auto bb = opt::optimizeOrder(plan);
+  opt::StochasticOptions so;
+  so.restarts = 3;
+  so.iterations = 60;
+  const auto stoch = opt::optimizeOrderStochastic(plan, {}, so);
+
+  std::printf("  natural order     : area %.0f um^2\n", natural / 1e6);
+  std::printf("  exhaustive        : area %.0f um^2, %zu builds\n",
+              exhaustive.score / 1e6, exhaustive.evaluated);
+  std::printf("  branch-and-bound  : area %.0f um^2, %zu builds (+%zu pruned)\n",
+              bb.score / 1e6, bb.evaluated, bb.pruned);
+  std::printf("  stochastic        : area %.0f um^2, %zu builds (gap %.1f%%)\n",
+              stoch.score / 1e6, stoch.evaluated,
+              100.0 * (stoch.score - exhaustive.score) / exhaustive.score);
+}
+
+void BM_StochasticLargePlan(benchmark::State& state) {
+  const opt::BuildPlan plan = bigPlan(static_cast<int>(state.range(0)));
+  opt::StochasticOptions so;
+  so.restarts = 2;
+  so.iterations = 40;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(opt::optimizeOrderStochastic(plan, {}, so));
+}
+BENCHMARK(BM_StochasticLargePlan)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablations of the §2.3/§2.4 design choices ===\n");
+  ablationIgnoreLayers();
+  ablationAutoConnect();
+  ablationVariableEdges();
+  ablationOptimizerModes();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

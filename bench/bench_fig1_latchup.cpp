@@ -1,0 +1,106 @@
+// E1 (Fig. 1): the latch-up rule check.
+//
+// Reproduces: the 16-case overlap matrix of the rectangle subtraction, and
+// measures the cost of the full rule check (guard construction + coverage
+// subtraction) and of automatic substrate-contact insertion as the module
+// grows.  Paper reference: the check is described as the environment's
+// "complex example of a rule check"; no runtime numbers are given.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "drc/drc.h"
+#include "geom/subtract.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+const tech::Technology& T() { return tech::bicmos1u(); }
+
+db::Module randomActives(int n, unsigned seed, bool withTies) {
+  std::mt19937 rng(seed);
+  db::Module m(T(), "actives");
+  std::uniform_int_distribution<Coord> pos(0, 20000 + n * 6000);
+  for (int i = 0; i < n; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    m.addShape(db::makeShape(Box{x, y, x + 4000, y + 4000}, T().layer("pdiff")));
+  }
+  if (withTies) {
+    // A coarse grid of ties: guard radius is 50 um, so one tie per 200 um
+    // leaves gaps the checker must find.
+    for (Coord x = 0; x <= 20000 + n * 6000; x += 200000)
+      for (Coord y = 0; y <= 20000 + n * 6000; y += 200000)
+        m.addShape(db::makeShape(Box{x, y, x + 2600, y + 2600}, T().layer("ptie"),
+                                 m.net("gnd")));
+  }
+  return m;
+}
+
+void reportFig1() {
+  std::printf("=== E1 / Fig. 1: latch-up rule check ===\n");
+  std::printf("The 4x4 overlap matrix of the guard-vs-active subtraction:\n");
+  std::printf("%-10s", "");
+  for (const char* h : {"low", "high", "inside", "covers"}) std::printf("%10s", h);
+  std::printf("   (remainder piece count)\n");
+  const struct {
+    const char* name;
+    Coord lo, hi;
+  } cases[] = {{"low", -50, 40}, {"high", 60, 150}, {"inside", 30, 70},
+               {"covers", -10, 110}};
+  for (const auto& v : cases) {
+    std::printf("%-10s", v.name);
+    for (const auto& h : cases) {
+      const auto pieces =
+          geom::cutRect(Box{0, 0, 100, 100}, Box{h.lo, v.lo, h.hi, v.hi});
+      std::printf("%10zu", pieces.size());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nCoverage check on growing modules (actives x ties):\n");
+  std::printf("%8s %8s %10s %12s\n", "actives", "ties", "uncovered", "inserted");
+  for (int n : {10, 50, 200}) {
+    db::Module m = randomActives(n, 7, true);
+    const auto before = drc::uncoveredActive(m).size();
+    const int ins = drc::insertSubstrateContacts(m);
+    std::printf("%8d %8zu %10zu %12d\n", n,
+                m.shapesOn(T().layer("ptie")).size() - static_cast<std::size_t>(ins),
+                before, ins);
+  }
+  std::printf("\n");
+}
+
+void BM_UncoveredActive(benchmark::State& state) {
+  const db::Module m = randomActives(static_cast<int>(state.range(0)), 11, true);
+  for (auto _ : state) benchmark::DoNotOptimize(drc::uncoveredActive(m));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UncoveredActive)->Range(8, 2048)->Complexity();
+
+void BM_CutRectWorstCase(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(geom::cutRect(Box{0, 0, 100, 100}, Box{30, 30, 70, 70}));
+}
+BENCHMARK(BM_CutRectWorstCase);
+
+void BM_InsertSubstrateContacts(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::Module m = randomActives(static_cast<int>(state.range(0)), 13, false);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(drc::insertSubstrateContacts(m));
+  }
+}
+BENCHMARK(BM_InsertSubstrateContacts)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reportFig1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E2 (Figs. 2–4): the contact row generator.
+//
+// Reproduces Fig. 3 (the three parameterizations) plus a parameter sweep,
+// and compares the C++ generator with the interpreted DSL (the paper's
+// environment translates the language into C++; both paths must agree).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lang/interp.h"
+#include "modules/basic.h"
+#include "modules/dsl_sources.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+const tech::Technology& T() { return tech::bicmos1u(); }
+
+void reportFig3() {
+  std::printf("=== E2 / Fig. 3: contact row parameterizations ===\n");
+  std::printf("%-18s %10s %10s %10s\n", "case", "W (um)", "L (um)", "contacts");
+  const struct {
+    const char* name;
+    std::optional<Coord> w, l;
+  } cases[] = {
+      {"both omitted", std::nullopt, std::nullopt},
+      {"L omitted", um(8), std::nullopt},
+      {"W and L given", um(8), um(3)},
+  };
+  for (const auto& c : cases) {
+    modules::ContactRowSpec spec;
+    spec.layer = "poly";
+    spec.w = c.w;
+    spec.l = c.l;
+    const db::Module m = modules::contactRow(T(), spec);
+    const Box bb = m.bbox();
+    std::printf("%-18s %10.2f %10.2f %10zu\n", c.name,
+                static_cast<double>(bb.width()) / kMicron,
+                static_cast<double>(bb.height()) / kMicron,
+                m.shapesOn(T().layer("contact")).size());
+  }
+
+  std::printf("\nSweep: contact count and size vs. requested width\n");
+  std::printf("%10s %10s %10s\n", "W (um)", "width", "contacts");
+  for (int w : {1, 2, 5, 10, 20, 50}) {
+    modules::ContactRowSpec spec;
+    spec.layer = "poly";
+    spec.w = um(w);
+    const db::Module m = modules::contactRow(T(), spec);
+    std::printf("%10d %10.2f %10zu\n", w,
+                static_cast<double>(m.bbox().width()) / kMicron,
+                m.shapesOn(T().layer("contact")).size());
+  }
+
+  // DSL-generated row must equal the C++-generated one.
+  lang::Interpreter in(T());
+  const db::Module viaDsl = lang::runScript(
+      T(), "r = ContactRow(layer = \"poly\", W = 8)\n" +
+               std::string(modules::dsl::kContactRow),
+      "r");
+  modules::ContactRowSpec spec;
+  spec.layer = "poly";
+  spec.w = um(8);
+  const db::Module viaCpp = modules::contactRow(T(), spec);
+  std::printf("\nDSL vs C++ generator: %s (bbox %s vs %s)\n\n",
+              viaDsl.bbox() == viaCpp.bbox() ? "identical" : "DIFFERENT",
+              viaDsl.bbox().str().c_str(), viaCpp.bbox().str().c_str());
+}
+
+void BM_ContactRowCpp(benchmark::State& state) {
+  modules::ContactRowSpec spec;
+  spec.layer = "poly";
+  spec.w = um(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(modules::contactRow(T(), spec));
+}
+BENCHMARK(BM_ContactRowCpp)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_ContactRowDsl(benchmark::State& state) {
+  lang::Interpreter in(T());
+  in.load(modules::dsl::kContactRow);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        in.instantiate("ContactRow", {{"layer", lang::Value::string("poly")},
+                                      {"W", lang::Value::number(10)}}));
+}
+BENCHMARK(BM_ContactRowDsl);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reportFig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Placement stage: the paper's flow places generated modules "by the
+// slicing tree method [1-3]" (the amplifier itself was placed manually).
+// This bench compares the manual two-row arrangement of the six amplifier
+// blocks against the optimal slicing placement of the same blocks, and
+// measures the slicing DP's cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "amp/amplifier.h"
+#include "place/slicing.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+const tech::Technology& T() { return tech::bicmos1u(); }
+
+void reportPlacement() {
+  std::printf("=== Placement: manual (paper style) vs slicing tree ===\n");
+  const amp::AmplifierResult manual = amp::buildAmplifier(T());
+  const auto blocks = amp::buildBlocks(T());
+  const amp::AmplifierSpec spec;
+  const auto sliced = place::bestSlicing(T(), blocks, spec.street, "amp_sliced");
+
+  const double manualArea = static_cast<double>(manual.width) / kMicron *
+                            static_cast<double>(manual.height) / kMicron;
+  const double slicedArea = static_cast<double>(sliced.width) / kMicron *
+                            static_cast<double>(sliced.height) / kMicron;
+  std::printf("  manual two rows : %.0f x %.0f um = %.0f um^2 (incl. routing)\n",
+              static_cast<double>(manual.width) / kMicron,
+              static_cast<double>(manual.height) / kMicron, manualArea);
+  std::printf("  slicing optimum : %.0f x %.0f um = %.0f um^2 "
+              "(%zu candidates; blocks only, routing not included)\n",
+              static_cast<double>(sliced.width) / kMicron,
+              static_cast<double>(sliced.height) / kMicron, slicedArea,
+              sliced.candidatesConsidered);
+  std::printf("  slicing/manual  : %.2f\n\n", slicedArea / manualArea);
+}
+
+db::Module randomBlock(std::mt19937& rng, int i) {
+  std::uniform_int_distribution<Coord> d(5000, 60000);
+  db::Module m(T(), "b");
+  m.addShape(db::makeShape(Box{0, 0, d(rng), d(rng)}, T().layer("metal1"),
+                           m.net("n" + std::to_string(i))));
+  return m;
+}
+
+void BM_BestSlicing(benchmark::State& state) {
+  std::mt19937 rng(3);
+  std::vector<db::Module> blocks;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+    blocks.push_back(randomBlock(rng, i));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(place::bestSlicing(T(), blocks, um(10)));
+}
+BENCHMARK(BM_BestSlicing)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_RealizeTree(benchmark::State& state) {
+  std::mt19937 rng(3);
+  std::vector<db::Module> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(randomBlock(rng, i));
+  auto tree = place::SliceNode::leaf(0);
+  for (std::size_t i = 1; i < blocks.size(); ++i)
+    tree = i % 2 ? place::SliceNode::beside(std::move(tree), place::SliceNode::leaf(i))
+                 : place::SliceNode::stacked(std::move(tree), place::SliceNode::leaf(i));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(place::realize(T(), blocks, *tree, um(10)));
+}
+BENCHMARK(BM_RealizeTree);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reportPlacement();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

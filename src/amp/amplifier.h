@@ -1,0 +1,90 @@
+// The broad-band BiCMOS amplifier demonstration of §3 (Figs. 8–10).
+//
+// The paper partitions the schematic [10] into blocks with different
+// matching styles and generates each as one module:
+//   A — bias cascodes: two inter-digital MOS transistors (no matching)
+//   B — current mirror: symmetric, diode transistor in the middle
+//   C — current sources: cross-coupled inter-digital transistors
+//   D — helper devices: plain inter-digital MOS (no matching)
+//   E — input pair: centroid cross-coupled inter-digital differential pair
+//       with 8 centre + 2x4 edge dummies, symmetric wiring (Fig. 10)
+//   F — bipolar output: symmetric npn pair
+//
+// "The placement of the modules and the global routing were done manually"
+// — reproduced here as explicit block placement with routing streets and
+// hand-chosen metal trunks.  Substrate contacts are inserted until the
+// latch-up rule holds.  The paper reports 592 x 481 um^2 in a 1 um Siemens
+// BiCMOS technology and ~5 s build time for module E on 1996 hardware;
+// bench_fig9_amplifier compares our numbers against these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+
+namespace amg::amp {
+
+using tech::Technology;
+
+/// Device sizes per block; defaults give an amplifier of roughly the
+/// paper's complexity.  All values in nm.
+struct AmplifierSpec {
+  // Block A: bias cascodes.
+  Coord aW = um(20), aL = um(2);
+  int aFingers = 2;
+  // Block B: current mirror.
+  Coord bW = um(25), bL = um(2);
+  // Block C: cross-coupled current sources.
+  Coord cW = um(30), cL = um(2);
+  int cPairs = 1;
+  // Block D: helper devices.
+  Coord dW = um(15), dL = um(2);
+  int dFingers = 2;
+  // Block E: input differential pair.
+  Coord eW = um(25), eL = um(1);
+  int ePairs = 1;
+  int eCenterDummies = 8;
+  int eEdgeDummies = 4;
+  // Block F: bipolar output pair.  Disabled automatically in technologies
+  // without bipolar layers (the layout then ends at block E, proving
+  // technology independence of the MOS blocks).
+  bool includeBipolar = true;
+  Coord fEmitterW = um(2), fEmitterL = um(10);
+  // Placement street width between blocks.
+  Coord street = um(12);
+};
+
+/// Per-block build record for the Fig. 9 report.
+struct BlockReport {
+  char id = '?';
+  std::string style;
+  Coord width = 0, height = 0;
+  std::size_t rects = 0;
+  double buildSeconds = 0.0;
+};
+
+struct AmplifierResult {
+  db::Module layout;
+  std::vector<BlockReport> blocks;
+  double totalSeconds = 0.0;       ///< module generation time (all blocks)
+  double assembleSeconds = 0.0;    ///< placement + routing + substrate
+  int substrateContacts = 0;       ///< inserted for the latch-up rule
+  Coord width = 0, height = 0;     ///< final layout extent
+
+  explicit AmplifierResult(db::Module m) : layout(std::move(m)) {}
+};
+
+/// Build the complete amplifier layout.
+AmplifierResult buildAmplifier(const Technology& t, const AmplifierSpec& spec = {});
+
+/// Build only the block modules (the generation stage), in A..F order —
+/// F omitted when disabled or unsupported.  Used by the placement bench to
+/// compare the manual arrangement against the slicing-tree placer.
+std::vector<db::Module> buildBlocks(const Technology& t,
+                                    const AmplifierSpec& spec = {});
+
+/// Build only module E (the paper quotes its source length and build time).
+db::Module buildModuleE(const Technology& t, const AmplifierSpec& spec = {});
+
+}  // namespace amg::amp

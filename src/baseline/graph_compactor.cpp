@@ -1,0 +1,153 @@
+#include "baseline/graph_compactor.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "db/connectivity.h"
+#include "geom/transform.h"
+
+namespace amg::baseline {
+namespace {
+
+using db::Module;
+using db::Shape;
+using db::ShapeId;
+using tech::Technology;
+
+// Canonical frame: compaction toward -x.  All four directions map onto it
+// with an involutive orientation.
+geom::Transform canonicalizer(Dir d) {
+  switch (d) {
+    case Dir::West: return geom::Transform(geom::Orient::R0, {});
+    case Dir::East: return geom::Transform(geom::Orient::MY, {});
+    case Dir::South: return geom::Transform(geom::Orient::MX90, {});
+    case Dir::North: return geom::Transform(geom::Orient::MY90, {});
+  }
+  return {};
+}
+
+// Clearance rule mirror of the successive compactor (compactor.cpp).
+std::optional<Coord> requiredGap(const Technology& t, const Shape& a, const Shape& b,
+                                 bool sameNet) {
+  if (a.layer == b.layer) {
+    if (sameNet) return 0;
+    if (auto s = t.minSpacing(a.layer, a.layer)) return *s;
+    if (a.avoidOverlap || b.avoidOverlap) return 0;
+    return std::nullopt;
+  }
+  if (auto s = t.minSpacing(a.layer, b.layer)) return *s;
+  if (a.avoidOverlap || b.avoidOverlap) return 0;
+  return std::nullopt;
+}
+
+}  // namespace
+
+GraphStats graphCompact(db::Module& m, Dir dir) {
+  const Technology& t = m.technology();
+  const geom::Transform tf = canonicalizer(dir);
+  m.transform(tf);
+
+  const auto ids = m.shapeIds();
+  const std::size_t n = ids.size();
+  GraphStats stats;
+  if (n == 0) {
+    m.transform(tf);
+    return stats;
+  }
+
+  // Electrical nodes move rigidly (a cut must stay inside its landing
+  // pads); every other shape is its own cluster.
+  const db::Connectivity conn(m);
+  std::vector<int> clusterOf(n);
+  int nextCluster = conn.componentCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = conn.componentOf(ids[i]);
+    clusterOf[i] = c >= 0 ? c : nextCluster++;
+  }
+  const std::size_t nc = static_cast<std::size_t>(nextCluster);
+  stats.nodes = nc;
+
+  // Reference (drawn leftmost x1) per cluster, fixing the DAG order.
+  std::vector<Coord> refX(nc, std::numeric_limits<Coord>::max());
+  for (std::size_t i = 0; i < n; ++i)
+    refX[clusterOf[i]] = std::min(refX[clusterOf[i]], m.shape(ids[i]).box.x1);
+
+  std::vector<std::size_t> corder(nc);
+  std::iota(corder.begin(), corder.end(), 0);
+  std::sort(corder.begin(), corder.end(),
+            [&](std::size_t a, std::size_t b) { return refX[a] < refX[b]; });
+  std::vector<std::size_t> rank(nc);
+  for (std::size_t r = 0; r < nc; ++r) rank[corder[r]] = r;
+
+  // The full edge graph: for every interacting shape pair across clusters,
+  // a lower bound on the relative cluster displacement, oriented from the
+  // earlier cluster (by drawn order) to the later one.
+  struct Edge {
+    std::size_t to;  // cluster rank
+    Coord w;         // dx[to] >= dx[from] + w
+  };
+  std::vector<std::vector<Edge>> adj(nc);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Shape& sa = m.shape(ids[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (clusterOf[i] == clusterOf[j]) continue;
+      const Shape& sb = m.shape(ids[j]);
+      const bool sameNet = sa.net != db::kNoNet && sa.net == sb.net;
+      const auto gap = requiredGap(t, sa, sb, sameNet);
+      if (!gap) continue;
+      if (gapY(sa.box, sb.box) >= *gap) continue;  // clear on the cross axis
+
+      // Orient by cluster order: the later cluster keeps right of the
+      // earlier one.
+      const bool iFirst = rank[clusterOf[i]] < rank[clusterOf[j]];
+      const Shape& left = iFirst ? sa : sb;
+      const Shape& right = iFirst ? sb : sa;
+      const std::size_t from = rank[clusterOf[iFirst ? i : j]];
+      const std::size_t to = rank[clusterOf[iFirst ? j : i]];
+      // right.x1 + dx[to] >= left.x2 + dx[from] + gap
+      adj[from].push_back(Edge{to, left.box.x2 + *gap - right.box.x1});
+      ++stats.edges;
+    }
+  }
+
+  // Longest path in drawn-cluster order; the floor pins every cluster's
+  // leftmost shape at x >= 0.
+  std::vector<Coord> dx(nc);
+  for (std::size_t r = 0; r < nc; ++r) dx[r] = -refX[corder[r]];
+  for (std::size_t r = 0; r < nc; ++r)
+    for (const Edge& e : adj[r]) dx[e.to] = std::max(dx[e.to], dx[r] + e.w);
+
+  Coord span = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Shape& s = m.shape(ids[i]);
+    s.box = s.box.translated(dx[rank[clusterOf[i]]], 0);
+    span = std::max(span, s.box.x2);
+  }
+  stats.span = span;
+
+  m.transform(tf);  // involution restores the original frame
+  return stats;
+}
+
+GraphStats graphCompactStep(db::Module& target, const db::Module& obj, Dir dir) {
+  // Drop the object beyond the target on the arrival side, then globally
+  // recompact — the cost profile of using a general compactor per step.
+  const Box tb = target.bboxAll();
+  const Box ob = obj.bboxAll();
+  Coord dx = 0, dy = 0;
+  if (!tb.empty() && !ob.empty()) {
+    switch (dir) {
+      case Dir::West: dx = tb.x2 - ob.x1 + kMicron; break;
+      case Dir::East: dx = tb.x1 - ob.x2 - kMicron; break;
+      case Dir::South: dy = tb.y2 - ob.y1 + kMicron; break;
+      case Dir::North: dy = tb.y1 - ob.y2 - kMicron; break;
+    }
+  }
+  target.merge(obj, geom::Transform::translate(dx, dy));
+  return graphCompact(target, dir);
+}
+
+}  // namespace amg::baseline

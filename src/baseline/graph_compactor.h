@@ -1,0 +1,37 @@
+// Baseline: a classic full constraint-graph (longest-path) 1-D compactor.
+//
+// The paper contrasts its successive compactor with "general compaction
+// approaches [17, 18]" that build a complete edge graph over all shapes.
+// This library implements that general approach so the repository can
+// reproduce the §2.3 claim ("This speeds up the compaction time"): the
+// E7 bench builds the same module with both engines and compares wall time
+// and result area.
+//
+// Semantics: one call compacts *every* shape of the module as far as
+// possible toward `dir`, subject to the same pairwise clearance rules the
+// successive compactor uses (spacing, same-potential abutment, avoid-
+// overlap).  Same-potential shapes that touch keep their relative offset so
+// existing connections survive.
+#pragma once
+
+#include "db/module.h"
+
+namespace amg::baseline {
+
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  Coord span = 0;  ///< resulting extent along the compaction axis
+};
+
+/// Compact all shapes of `m` toward `dir` with a full constraint graph and
+/// a longest-path solve.  Mutates the module; returns graph statistics.
+GraphStats graphCompact(db::Module& m, Dir dir);
+
+/// Iterative use of the general compactor, as one would build a module with
+/// it: merge `obj` into `target` at its drawn position offset to the
+/// arrival side, then re-run graphCompact() over everything.  This is the
+/// apples-to-apples rival of compact::compact() for the E7 bench.
+GraphStats graphCompactStep(db::Module& target, const db::Module& obj, Dir dir);
+
+}  // namespace amg::baseline

@@ -1,0 +1,377 @@
+#include "compact/compactor.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "db/connectivity.h"
+#include "geom/contour.h"
+#include "primitives/primitives.h"
+
+namespace amg::compact {
+namespace {
+
+using db::Module;
+using db::NetId;
+using db::Shape;
+using db::ShapeId;
+using tech::LayerId;
+using tech::LayerKind;
+using tech::Technology;
+
+constexpr Coord kNone = geom::Envelope::kNone;
+
+bool layerIgnored(const Options& opt, LayerId l) {
+  return std::find(opt.ignoreLayers.begin(), opt.ignoreLayers.end(), l) !=
+         opt.ignoreLayers.end();
+}
+
+/// The clearance two shapes must keep, or nullopt when they may overlap
+/// freely.  0 means "may abut but not overlap" — used both for the
+/// same-potential merge exemption and for avoid-overlap shapes.
+std::optional<Coord> requiredGap(const Technology& t, const Shape& a, const Shape& b,
+                                 bool sameNet, const Options& opt) {
+  const bool ignored = layerIgnored(opt, a.layer) || layerIgnored(opt, b.layer);
+  if (a.layer == b.layer) {
+    // "Edges on the same potential are not considered during compaction,
+    // because they can be merged": stop at abutment instead of the rule.
+    if (sameNet || ignored) return 0;
+    if (auto s = t.minSpacing(a.layer, a.layer)) return *s + opt.extraGap;
+    if (a.avoidOverlap || b.avoidOverlap) return 0;
+    return std::nullopt;
+  }
+  if (ignored) return std::nullopt;
+  if (auto s = t.minSpacing(a.layer, b.layer)) return *s + opt.extraGap;
+  if (a.avoidOverlap || b.avoidOverlap) return 0;
+  return std::nullopt;
+}
+
+Coord stationaryFront(Dir d, const Box& b) {
+  switch (d) {
+    case Dir::West: return b.x2;
+    case Dir::East: return -b.x1;
+    case Dir::South: return b.y2;
+    case Dir::North: return -b.y1;
+  }
+  return 0;
+}
+
+Coord leadingEdge(Dir d, const Box& b) {
+  switch (d) {
+    case Dir::West: return b.x1;
+    case Dir::East: return -b.x2;
+    case Dir::South: return b.y1;
+    case Dir::North: return -b.y2;
+  }
+  return 0;
+}
+
+Coord crossGap(Dir d, const Box& a, const Box& b) {
+  return isHorizontal(d) ? gapY(a, b) : gapX(a, b);
+}
+
+Point actualTranslation(Dir d, Coord canonical) {
+  switch (d) {
+    case Dir::West: return {canonical, 0};
+    case Dir::East: return {-canonical, 0};
+    case Dir::South: return {0, canonical};
+    case Dir::North: return {0, -canonical};
+  }
+  return {};
+}
+
+/// One pairwise constraint: the object must be translated by at least
+/// `need` (canonical frame).
+struct Constraint {
+  Coord need;
+  ShapeId targetShape;
+  ShapeId objShape;
+};
+
+/// Net-name equivalence across two modules: objNet -> matching target net
+/// (kNoNet when unmatched or anonymous).
+std::vector<NetId> matchNets(const Module& target, const Module& obj) {
+  std::vector<NetId> map(obj.netCount(), db::kNoNet);
+  for (NetId n = 1; n < obj.netCount(); ++n)
+    if (auto tn = target.findNet(obj.netName(n))) map[n] = *tn;
+  return map;
+}
+
+std::vector<Constraint> computeConstraints(const Module& target, const Module& obj,
+                                           Dir dir, const Options& opt) {
+  const Technology& t = target.technology();
+  const std::vector<NetId> netMap = matchNets(target, obj);
+  std::vector<Constraint> out;
+  for (ShapeId ti : target.shapeIds()) {
+    const Shape& ts = target.shape(ti);
+    for (ShapeId oi : obj.shapeIds()) {
+      const Shape& os = obj.shape(oi);
+      const bool sameNet =
+          os.net != db::kNoNet && netMap[os.net] != db::kNoNet && netMap[os.net] == ts.net;
+      const auto gap = requiredGap(t, ts, os, sameNet, opt);
+      if (!gap) continue;
+      if (crossGap(dir, ts.box, os.box) >= *gap) continue;  // clear on the cross axis
+      const Coord need = stationaryFront(dir, ts.box) + *gap - leadingEdge(dir, os.box);
+      out.push_back(Constraint{need, ti, oi});
+    }
+  }
+  return out;
+}
+
+/// Fallback when nothing constrains the object: abut the bounding boxes.
+Coord bboxAbutTranslation(const Module& target, const Module& obj, Dir dir) {
+  const Box tb = target.bboxAll();
+  const Box ob = obj.bboxAll();
+  if (tb.empty() || ob.empty()) return 0;
+  return stationaryFront(dir, tb) - leadingEdge(dir, ob);
+}
+
+/// Move side `s` of the shape inwards by `d`.
+void shrinkEdge(Module& m, ShapeId id, Side s, Coord d) {
+  Box& b = m.shape(id).box;
+  switch (s) {
+    case Side::Left: b.x1 += d; break;
+    case Side::Bottom: b.y1 += d; break;
+    case Side::Right: b.x2 -= d; break;
+    case Side::Top: b.y2 -= d; break;
+  }
+}
+
+void rebuildArraysFor(Module& m, const std::set<ShapeId>& changed) {
+  if (changed.empty()) return;
+  for (db::ArrayRecord& rec : m.arrayRecords()) {
+    const bool affected = std::any_of(
+        rec.containers.begin(), rec.containers.end(),
+        [&](ShapeId id) { return changed.count(id) != 0; });
+    if (affected) prim::rebuildArray(m, rec);
+  }
+}
+
+}  // namespace
+
+Coord maxShrink(const Module& m, ShapeId id, Side side) {
+  const Technology& t = m.technology();
+  const Shape& s = m.shape(id);
+  const bool horizontalEdge = (side == Side::Left || side == Side::Right);
+  const Coord axisLen = horizontalEdge ? s.box.width() : s.box.height();
+
+  // Cuts are fixed-size; their edges never move.
+  if (t.info(s.layer).kind == LayerKind::Cut) return 0;
+
+  Coord limit = axisLen - t.findMinWidth(s.layer).value_or(0);
+
+  // Keep enclosed inbox shapes inside with their margin.
+  for (const db::EncloseRecord& enc : m.encloseRecords()) {
+    if (enc.inner == db::kNoShape || !m.isAlive(enc.inner)) continue;
+    if (std::find(enc.outers.begin(), enc.outers.end(), id) == enc.outers.end()) continue;
+    // Skip self-records where this shape is the inner as well.
+    if (enc.inner == id) continue;
+    const Shape& inner = m.shape(enc.inner);
+    const Coord margin = t.enclosure(s.layer, inner.layer).value_or(0);
+    Coord room = 0;
+    switch (side) {
+      case Side::Left: room = inner.box.x1 - margin - s.box.x1; break;
+      case Side::Bottom: room = inner.box.y1 - margin - s.box.y1; break;
+      case Side::Right: room = s.box.x2 - (inner.box.x2 + margin); break;
+      case Side::Top: room = s.box.y2 - (inner.box.y2 + margin); break;
+    }
+    limit = std::min(limit, room);
+  }
+
+  // Cut arrays are rebuilt after the move, but the container must keep room
+  // for at least one cut with its enclosure margin.
+  for (const db::ArrayRecord& rec : m.arrayRecords()) {
+    if (rec.elems.empty()) continue;
+    if (std::find(rec.containers.begin(), rec.containers.end(), id) ==
+        rec.containers.end())
+      continue;
+    const auto [cw, ch] = t.cutSize(rec.elemLayer);
+    const Coord margin = t.enclosure(s.layer, rec.elemLayer).value_or(0);
+    const Coord needed = (horizontalEdge ? cw : ch) + 2 * margin;
+    limit = std::min(limit, axisLen - needed);
+  }
+
+  return std::max<Coord>(limit, 0);
+}
+
+Coord requiredTranslation(const Module& target, const Module& obj, Dir dir,
+                          const Options& options) {
+  const auto cons = computeConstraints(target, obj, dir, options);
+  Coord best = kNone;
+  for (const Constraint& c : cons) best = std::max(best, c.need);
+  return best;
+}
+
+Result compact(db::Module& target, const db::Module& obj, Dir dir,
+               const Options& options) {
+  if (&target.technology() != &obj.technology())
+    throw Error("compact: object and target use different technologies");
+
+  Result res;
+
+  // "The first compaction command copies the first transistor into the
+  // data structure."
+  if (target.shapeCount() == 0) {
+    res.idMap = target.merge(obj, geom::Transform{});
+    return res;
+  }
+
+  Module work = obj;  // the object may be modified (variable edges)
+  std::set<ShapeId> changedTarget;
+  std::set<ShapeId> changedWork;
+
+  Coord tc = kNone;
+  for (int iter = 0; iter < 64; ++iter) {
+    const auto cons = computeConstraints(target, work, dir, options);
+    if (cons.empty()) {
+      tc = bboxAbutTranslation(target, work, dir);
+      break;
+    }
+    Coord fmax = kNone, f2 = kNone;
+    for (const Constraint& c : cons) {
+      if (c.need > fmax) {
+        f2 = fmax;
+        fmax = c.need;
+      } else if (c.need > f2 && c.need < fmax) {
+        f2 = c.need;
+      }
+    }
+    tc = fmax;
+    if (!options.enableVariableEdges) break;
+
+    // "If an edge is variable and defines the minimum distance between the
+    // two objects, the compactor tries to move it until it is no longer
+    // relevant."  Shrinking helps only when *every* binding constraint has
+    // a movable edge with remaining travel; a fixed binding constraint
+    // pins the distance and further shrinking would waste geometry.
+    const bool allBindingMovable = std::all_of(
+        cons.begin(), cons.end(), [&](const Constraint& c) {
+          if (c.need != fmax) return true;
+          const Side ts = landingSide(dir);
+          if (target.shape(c.targetShape).varEdges.variable(ts) &&
+              maxShrink(target, c.targetShape, ts) > 0)
+            return true;
+          const Side os = frontSide(dir);
+          return work.shape(c.objShape).varEdges.variable(os) &&
+                 maxShrink(work, c.objShape, os) > 0;
+        });
+    if (!allBindingMovable) break;
+
+    bool progressed = false;
+    for (const Constraint& c : cons) {
+      if (c.need != fmax) continue;
+      const Coord want = (f2 == kNone) ? std::numeric_limits<Coord>::max() : fmax - f2;
+
+      const Side tSide = landingSide(dir);
+      if (target.shape(c.targetShape).varEdges.variable(tSide)) {
+        const Coord d = std::min(want, maxShrink(target, c.targetShape, tSide));
+        if (d > 0) {
+          shrinkEdge(target, c.targetShape, tSide, d);
+          changedTarget.insert(c.targetShape);
+          ++res.edgeMoves;
+          progressed = true;
+          continue;
+        }
+      }
+      const Side oSide = frontSide(dir);
+      if (work.shape(c.objShape).varEdges.variable(oSide)) {
+        const Coord d = std::min(want, maxShrink(work, c.objShape, oSide));
+        if (d > 0) {
+          shrinkEdge(work, c.objShape, oSide, d);
+          changedWork.insert(c.objShape);
+          ++res.edgeMoves;
+          progressed = true;
+        }
+      }
+    }
+    if (!progressed) break;
+  }
+  if (tc == kNone) tc = bboxAbutTranslation(target, work, dir);
+
+  // "The objects affected by the movement are rebuilt automatically."
+  rebuildArraysFor(target, changedTarget);
+  rebuildArraysFor(work, changedWork);
+
+  res.translation = actualTranslation(dir, tc);
+  const auto tf =
+      geom::Transform::translate(res.translation.x, res.translation.y);
+  const std::size_t preMergeCount = target.rawSize();
+  res.idMap = target.merge(work, tf);
+
+  if (options.autoConnect) {
+    // "The geometries of these layers are connected automatically after the
+    // compaction if they are on the same potential": extend a stationary
+    // shape's facing edge to reach a same-net arrival across the movement
+    // axis, when no rule forbids it (Fig. 5a).
+    const Technology& t = target.technology();
+    std::set<ShapeId> extended;
+    for (ShapeId ni = static_cast<ShapeId>(preMergeCount); ni < target.rawSize(); ++ni) {
+      if (!target.isAlive(ni)) continue;
+      const Shape arrival = target.shape(ni);
+      if (!t.info(arrival.layer).conducting) continue;
+      // Ignored layers were exempted from spacing because their shapes are
+      // meant to merge; connect them even without declared potentials.
+      const bool ignoredLayer = layerIgnored(options, arrival.layer);
+      if (arrival.net == db::kNoNet && !ignoredLayer) continue;
+      for (ShapeId bi = 0; bi < preMergeCount; ++bi) {
+        if (!target.isAlive(bi)) continue;
+        const Shape& b = target.shape(bi);
+        if (b.layer != arrival.layer) continue;
+        if (!ignoredLayer && b.net != arrival.net) continue;
+        if (db::electricallyTouching(arrival.box, b.box)) continue;
+        if (crossGap(dir, b.box, arrival.box) >= 0) continue;  // no facing overlap
+        const Coord gapAlong =
+            isHorizontal(dir) ? gapX(b.box, arrival.box) : gapY(b.box, arrival.box);
+        if (gapAlong <= 0) continue;  // overlapping or behind
+
+        // Candidate: extend b's landing-side edge to touch the arrival.
+        Box nb = b.box;
+        const Side es = landingSide(dir);
+        const Coord to = leadingEdge(dir, arrival.box);
+        nb.setSide(es, (es == Side::Right || es == Side::Top) ? to : -to);
+        if (nb.empty() || !nb.contains(b.box)) continue;
+
+        // Safety: the extension must not violate a rule against any other
+        // shape, and must not newly cross a layer this layer forms devices
+        // with (a poly extension across diffusion would create a gate).
+        bool safe = true;
+        Shape cand = b;
+        cand.box = nb;
+        for (ShapeId ci : target.shapeIds()) {
+          if (ci == bi || ci == ni) continue;
+          const Shape& c = target.shape(ci);
+          const bool devicePair = t.extension(cand.layer, c.layer).has_value() ||
+                                  t.extension(c.layer, cand.layer).has_value();
+          if (devicePair && cand.box.overlaps(c.box) && !b.box.overlaps(c.box)) {
+            safe = false;
+            break;
+          }
+          const bool sameNet = c.net != db::kNoNet && c.net == cand.net;
+          const auto g = requiredGap(t, c, cand, sameNet, options);
+          if (!g) continue;
+          if (gapX(c.box, cand.box) < *g && gapY(c.box, cand.box) < *g &&
+              !(gapX(c.box, b.box) < *g && gapY(c.box, b.box) < *g)) {
+            safe = false;
+            break;
+          }
+        }
+        if (!safe) continue;
+        target.shape(bi).box = nb;
+        extended.insert(bi);
+        ++res.autoConnects;
+      }
+    }
+    rebuildArraysFor(target, extended);
+  }
+  return res;
+}
+
+Result compact(db::Module& target, const db::Module& obj, Dir dir,
+               std::initializer_list<std::string_view> ignoreLayerNames) {
+  Options opt;
+  for (std::string_view n : ignoreLayerNames)
+    opt.ignoreLayers.push_back(target.technology().layer(n));
+  return compact(target, obj, dir, opt);
+}
+
+}  // namespace amg::compact

@@ -1,0 +1,175 @@
+#include "db/connectivity.h"
+
+#include <algorithm>
+
+#include "geom/subtract.h"
+
+namespace amg::db {
+
+bool electricallyTouching(const Box& a, const Box& b) {
+  const Coord ix1 = std::max(a.x1, b.x1), ix2 = std::min(a.x2, b.x2);
+  const Coord iy1 = std::max(a.y1, b.y1), iy2 = std::min(a.y2, b.y2);
+  if (ix1 > ix2 || iy1 > iy2) return false;        // disjoint
+  return ix1 < ix2 || iy1 < iy2;                   // more than a corner point
+}
+
+Connectivity::Connectivity(const Module& m) : m_(&m) {
+  const tech::Technology& t = m.technology();
+
+  auto isElectrical = [&](ShapeId i) {
+    if (!m.isAlive(i)) return false;
+    const auto& li = t.info(m.shape(i).layer);
+    return li.conducting || li.kind == tech::LayerKind::Cut;
+  };
+
+  // Gate poly boxes: they split diffusion into channel-separated fragments
+  // (a MOS device does not short its source to its drain).
+  std::vector<Box> gatePoly;
+  for (ShapeId i : m.shapeIds())
+    if (t.info(m.shape(i).layer).kind == tech::LayerKind::Poly)
+      gatePoly.push_back(m.shape(i).box);
+
+  // Build nodes: one per shape, except diffusion shapes crossed by poly,
+  // which contribute one node per un-gated fragment.
+  const std::size_t rawN = m.rawSize();
+  nodesOf_.assign(rawN, {});
+  for (ShapeId i = 0; i < rawN; ++i) {
+    if (!isElectrical(i)) continue;
+    const Shape& s = m.shape(i);
+    std::vector<Box> pieces{s.box};
+    if (t.info(s.layer).kind == tech::LayerKind::Diffusion) {
+      std::vector<Box> cutters;
+      for (const Box& g : gatePoly)
+        if (g.overlaps(s.box)) cutters.push_back(g);
+      if (!cutters.empty()) {
+        pieces = geom::subtractAll({s.box}, cutters);
+        if (pieces.empty()) pieces = {s.box};  // fully gated: keep one node
+      }
+    }
+    for (const Box& p : pieces) {
+      nodesOf_[i].push_back(static_cast<int>(nodes_.size()));
+      nodes_.push_back(Node{i, p});
+    }
+  }
+
+  parent_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) parent_[i] = static_cast<int>(i);
+
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    const Shape& sa = m.shape(nodes_[a].shape);
+    for (std::size_t b = a + 1; b < nodes_.size(); ++b) {
+      const Shape& sb = m.shape(nodes_[b].shape);
+      if (!electricallyTouching(nodes_[a].box, nodes_[b].box)) continue;
+
+      const bool aCut = t.info(sa.layer).kind == tech::LayerKind::Cut;
+      const bool bCut = t.info(sb.layer).kind == tech::LayerKind::Cut;
+      bool joined = false;
+      if (sa.layer == sb.layer) {
+        joined = true;  // same conducting layer (or stacked cuts) touching
+      } else if (aCut || bCut) {
+        // A cut joins a shape on any layer it is declared to connect, but
+        // only by area overlap (an abutting cut does not make contact).
+        const bool cutIsA = aCut;
+        const Shape& cut = cutIsA ? sa : sb;
+        const Box& other = cutIsA ? nodes_[b].box : nodes_[a].box;
+        const Box& cutBox = cutIsA ? nodes_[a].box : nodes_[b].box;
+        const tech::LayerId otherLayer = cutIsA ? sb.layer : sa.layer;
+        if (cutBox.overlaps(other)) {
+          for (const auto& [la, lb] : t.cutConnections(cut.layer)) {
+            if (otherLayer == la || otherLayer == lb) {
+              joined = true;
+              break;
+            }
+          }
+          // Shielding: when the cut lands entirely on a shape whose layer
+          // must be *enclosed by* `otherLayer` (an emitter inside its
+          // base), the cut contacts the inner layer only.
+          if (joined) {
+            for (ShapeId xi : m.shapeIds()) {
+              const Shape& x = m.shape(xi);
+              if (x.layer == otherLayer || x.layer == cut.layer) continue;
+              if (!t.enclosure(otherLayer, x.layer).has_value()) continue;
+              if (!t.info(x.layer).conducting) continue;
+              if (x.box.contains(cutBox)) {
+                joined = false;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (joined) unite(static_cast<int>(a), static_cast<int>(b));
+    }
+  }
+
+  // Assign dense component indices.
+  compIndex_.assign(nodes_.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const int root = find(static_cast<int>(i));
+    if (compIndex_[static_cast<std::size_t>(root)] == -1)
+      compIndex_[static_cast<std::size_t>(root)] = next++;
+  }
+  componentCount_ = next;
+}
+
+int Connectivity::find(int x) const {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+void Connectivity::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a != b) parent_[static_cast<std::size_t>(b)] = a;
+}
+
+bool Connectivity::connected(ShapeId a, ShapeId b) const {
+  if (a >= nodesOf_.size() || b >= nodesOf_.size()) return false;
+  for (const int na : nodesOf_[a])
+    for (const int nb : nodesOf_[b])
+      if (find(na) == find(nb)) return true;
+  return false;
+}
+
+int Connectivity::componentOf(ShapeId id) const {
+  if (id >= nodesOf_.size() || nodesOf_[id].empty()) return -1;
+  const int first = compIndex_[static_cast<std::size_t>(find(nodesOf_[id].front()))];
+  for (const int n : nodesOf_[id])
+    if (compIndex_[static_cast<std::size_t>(find(n))] != first)
+      return -1;  // the shape spans several nodes (a gated diffusion)
+  return first;
+}
+
+int Connectivity::componentAt(ShapeId shape, Point p) const {
+  if (shape >= nodesOf_.size()) return -1;
+  for (const int n : nodesOf_[shape])
+    if (nodes_[static_cast<std::size_t>(n)].box.contains(p))
+      return compIndex_[static_cast<std::size_t>(find(n))];
+  return -1;
+}
+
+std::string Connectivity::netNameOf(int comp) const {
+  if (comp < 0) return "";
+  for (ShapeId i = 0; i < nodesOf_.size(); ++i) {
+    if (componentOf(i) != comp) continue;
+    const Shape& s = m_->shape(i);
+    if (s.net != kNoNet) return m_->netName(s.net);
+  }
+  return "";
+}
+
+std::vector<std::vector<ShapeId>> Connectivity::components() const {
+  std::vector<std::vector<ShapeId>> out(static_cast<std::size_t>(componentCount_));
+  for (ShapeId i = 0; i < nodesOf_.size(); ++i) {
+    const int c = componentOf(i);
+    if (c >= 0) out[static_cast<std::size_t>(c)].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace amg::db

@@ -1,0 +1,133 @@
+// Module: the layout database of one (possibly hierarchically built) cell.
+//
+// A Module owns a flat store of rectangles plus the provenance records the
+// compactor needs to rebuild derived geometry (contact arrays, enclosures)
+// after variable-edge moves.  Hierarchy exists at *generation* time — an
+// entity builds sub-objects and compacts them in — and is flattened into
+// the parent on merge, exactly as the paper's successive construction does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/shape.h"
+#include "geom/transform.h"
+
+namespace amg::db {
+
+/// Record: `inner` must stay inside every shape of `outers` with the
+/// technology enclosure margin.  Limits variable-edge shrinking and drives
+/// automatic expansion.
+struct EncloseRecord {
+  std::vector<ShapeId> outers;
+  ShapeId inner = kNoShape;
+};
+
+/// Record: `elems` is an equidistant array of cut rectangles on `elemLayer`
+/// placed inside the common area of `containers` (§2.2 ARRAY).  When a
+/// container is resized by the compactor the array is recalculated
+/// ("the contact row was rebuilt and the array of contact-rectangles was
+/// recalculated", §2.3).
+struct ArrayRecord {
+  std::vector<ShapeId> containers;
+  LayerId elemLayer = 0;
+  NetId net = kNoNet;
+  std::vector<ShapeId> elems;
+};
+
+/// A named connection point of a module: where external wiring may attach
+/// (an extension over the paper, which wires by potential only; ports make
+/// module composition explicit for the router).
+struct PortDef {
+  std::string name;
+  Point at;
+  LayerId layer = 0;
+  NetId net = kNoNet;
+};
+
+class Module {
+ public:
+  explicit Module(const tech::Technology& tech, std::string name = "");
+
+  // Modules are value types: copying copies the full database (how the DSL
+  // implements `trans2 = trans1`).
+  Module(const Module&) = default;
+  Module& operator=(const Module&) = default;
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+
+  const tech::Technology& technology() const { return *tech_; }
+  const std::string& name() const { return name_; }
+  void setName(std::string n) { name_ = std::move(n); }
+
+  /// --- nets -------------------------------------------------------------
+  /// Get-or-create a named potential.
+  NetId net(std::string_view name);
+  std::optional<NetId> findNet(std::string_view name) const;
+  const std::string& netName(NetId n) const { return netNames_.at(n); }
+  std::size_t netCount() const { return netNames_.size(); }
+  /// Rename every shape on net `from` to net `to`.
+  void moveNet(NetId from, NetId to);
+
+  /// --- shapes -----------------------------------------------------------
+  ShapeId addShape(Shape s);
+  Shape& shape(ShapeId id) { return shapes_.at(id); }
+  const Shape& shape(ShapeId id) const { return shapes_.at(id); }
+  void removeShape(ShapeId id);
+  /// Ids of all alive shapes, in insertion order.
+  std::vector<ShapeId> shapeIds() const;
+  /// Alive shapes on one layer.
+  std::vector<ShapeId> shapesOn(LayerId layer) const;
+  std::size_t shapeCount() const;
+  /// Raw store size including dead entries (for iteration with bounds).
+  std::size_t rawSize() const { return shapes_.size(); }
+  bool isAlive(ShapeId id) const { return id < shapes_.size() && shapes_[id].alive; }
+
+  /// --- ports ---------------------------------------------------------------
+  void addPort(std::string name, Point at, LayerId layer, NetId net = kNoNet);
+  const std::vector<PortDef>& ports() const { return ports_; }
+  /// First port with the given name; throws DesignRuleError when absent.
+  const PortDef& port(std::string_view name) const;
+  bool hasPort(std::string_view name) const;
+
+  /// --- provenance records ------------------------------------------------
+  void addEncloseRecord(EncloseRecord r) { encloses_.push_back(std::move(r)); }
+  void addArrayRecord(ArrayRecord r) { arrays_.push_back(std::move(r)); }
+  const std::vector<EncloseRecord>& encloseRecords() const { return encloses_; }
+  const std::vector<ArrayRecord>& arrayRecords() const { return arrays_; }
+  std::vector<ArrayRecord>& arrayRecords() { return arrays_; }
+  std::vector<EncloseRecord>& encloseRecords() { return encloses_; }
+
+  /// --- geometry ----------------------------------------------------------
+  /// Bounding box of all alive shapes on mask layers (markers excluded).
+  Box bbox() const;
+  /// Bounding box including marker layers.
+  Box bboxAll() const;
+  /// Layout area of the bounding box (the optimizer's primary criterion).
+  Coord area() const { return bbox().area(); }
+  /// Translate the whole module.
+  void translate(Coord dx, Coord dy);
+  /// Apply a rigid transform to the whole module (carries per-edge flags to
+  /// their transformed sides).
+  void transform(const geom::Transform& tf);
+
+  /// Merge `other` into this module under transform `tf`.
+  /// Nets are matched by name (same-name nets unify — this is how
+  /// electrical connections across sub-objects are expressed); anonymous
+  /// shapes stay anonymous.  Provenance records are carried over.
+  /// Returns old-id → new-id mapping indexed by `other`'s raw ids.
+  std::vector<ShapeId> merge(const Module& other, const geom::Transform& tf);
+
+ private:
+  const tech::Technology* tech_;
+  std::string name_;
+  std::vector<Shape> shapes_;
+  std::vector<std::string> netNames_;
+  std::vector<EncloseRecord> encloses_;
+  std::vector<ArrayRecord> arrays_;
+  std::vector<PortDef> ports_;
+};
+
+}  // namespace amg::db

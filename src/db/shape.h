@@ -1,0 +1,80 @@
+// Shape: one rectangle of the layout database.
+//
+// "Each geometry contains special properties that define if its edges are
+// fixed or variable for moving inwards or outwards" (§2.2) and "a special
+// property for every rectangle can avoid undesired overlaps (parasitic
+// capacitances)" (§2.3).  Both properties live here.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/box.h"
+#include "tech/tech.h"
+
+namespace amg::db {
+
+using tech::LayerId;
+
+/// Electrical potential (net) of a shape within one Module.  Index into the
+/// module's net table; kNoNet means "no declared potential" — such shapes
+/// never benefit from the same-potential compaction exemption.
+using NetId = std::uint16_t;
+inline constexpr NetId kNoNet = 0;
+
+/// Handle of a shape within one Module.  Stable across edits (shapes are
+/// soft-deleted), not meaningful across modules.
+using ShapeId = std::uint32_t;
+inline constexpr ShapeId kNoShape = 0xFFFFFFFFu;
+
+/// Per-edge variability flags.  A variable edge may be moved inwards by the
+/// compactor when it is the binding constraint, shrinking the shape
+/// ("the compactor tries to move it until it is no longer relevant", §2.3).
+class EdgeFlags {
+ public:
+  constexpr EdgeFlags() = default;
+
+  /// All four edges variable.
+  static constexpr EdgeFlags allVariable() { return EdgeFlags{0b1111}; }
+  /// All four edges fixed (the default).
+  static constexpr EdgeFlags allFixed() { return EdgeFlags{0}; }
+
+  constexpr bool variable(Side s) const {
+    return (bits_ >> static_cast<unsigned>(s)) & 1u;
+  }
+  constexpr void setVariable(Side s, bool v) {
+    const std::uint8_t m = static_cast<std::uint8_t>(1u << static_cast<unsigned>(s));
+    bits_ = v ? (bits_ | m) : (bits_ & static_cast<std::uint8_t>(~m));
+  }
+  constexpr bool any() const { return bits_ != 0; }
+
+  friend constexpr bool operator==(EdgeFlags, EdgeFlags) = default;
+
+ private:
+  explicit constexpr EdgeFlags(std::uint8_t bits) : bits_(bits) {}
+  std::uint8_t bits_ = 0;
+};
+
+/// One rectangle: geometry, mask layer, potential and compaction properties.
+struct Shape {
+  Box box;
+  LayerId layer = 0;
+  NetId net = kNoNet;
+  EdgeFlags varEdges;
+  /// When set, the compactor refuses any overlap with shapes of other
+  /// layers even where no spacing rule exists (parasitic-capacitance
+  /// avoidance).
+  bool avoidOverlap = false;
+  /// Soft-delete marker; dead shapes are skipped by all queries.
+  bool alive = true;
+};
+
+/// Convenience maker for the common box/layer/net triple.
+inline Shape makeShape(Box box, LayerId layer, NetId net = kNoNet) {
+  Shape s;
+  s.box = box;
+  s.layer = layer;
+  s.net = net;
+  return s;
+}
+
+}  // namespace amg::db

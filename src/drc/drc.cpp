@@ -1,0 +1,261 @@
+#include "drc/drc.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "db/connectivity.h"
+#include "geom/subtract.h"
+
+namespace amg::drc {
+namespace {
+
+using db::Module;
+using db::Shape;
+using db::ShapeId;
+using tech::LayerKind;
+using tech::Technology;
+
+std::string shapeDesc(const Module& m, ShapeId id) {
+  const Shape& s = m.shape(id);
+  std::ostringstream os;
+  os << m.technology().info(s.layer).name << ' ' << s.box;
+  if (s.net != db::kNoNet) os << " net=" << m.netName(s.net);
+  return os.str();
+}
+
+void checkWidths(const Module& m, std::vector<Violation>& out) {
+  const Technology& t = m.technology();
+  for (ShapeId id : m.shapeIds()) {
+    const Shape& s = m.shape(id);
+    const auto& info = t.info(s.layer);
+    if (info.kind == LayerKind::Marker) continue;
+    if (info.kind == LayerKind::Cut) {
+      const auto [cw, ch] = t.cutSize(s.layer);
+      if (s.box.width() != cw || s.box.height() != ch)
+        out.push_back(Violation{ViolationKind::CutSize, id, db::kNoShape, s.box,
+                                "cut is not the exact technology size: " +
+                                    shapeDesc(m, id)});
+      continue;
+    }
+    if (auto w = t.findMinWidth(s.layer)) {
+      if (s.box.width() < *w || s.box.height() < *w)
+        out.push_back(Violation{ViolationKind::MinWidth, id, db::kNoShape, s.box,
+                                "below minimum width " + std::to_string(*w) + ": " +
+                                    shapeDesc(m, id)});
+    }
+  }
+}
+
+void checkSpacings(const Module& m, bool samePotentialExempt,
+                   std::vector<Violation>& out) {
+  const Technology& t = m.technology();
+  const auto ids = m.shapeIds();
+  std::optional<db::Connectivity> conn;
+  if (samePotentialExempt) conn.emplace(m);
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Shape& a = m.shape(ids[i]);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const Shape& b = m.shape(ids[j]);
+      const auto rule = t.minSpacing(a.layer, b.layer);
+      if (!rule) continue;
+      if (gapX(a.box, b.box) >= *rule || gapY(a.box, b.box) >= *rule) continue;
+      if (a.layer == b.layer && samePotentialExempt &&
+          conn->connected(ids[i], ids[j]))
+        continue;
+      out.push_back(Violation{
+          ViolationKind::Spacing, ids[i], ids[j], a.box.unite(b.box),
+          "spacing < " + std::to_string(*rule) + " between " + shapeDesc(m, ids[i]) +
+              " and " + shapeDesc(m, ids[j])});
+    }
+  }
+}
+
+void checkEnclosures(const Module& m, std::vector<Violation>& out) {
+  const Technology& t = m.technology();
+  for (ShapeId id : m.shapeIds()) {
+    const Shape& cut = m.shape(id);
+    if (t.info(cut.layer).kind != LayerKind::Cut) continue;
+    const auto conns = t.cutConnections(cut.layer);
+    bool ok = false;
+    for (const auto& [la, lb] : conns) {
+      auto coveredBy = [&](tech::LayerId l) {
+        const Coord margin = t.enclosure(l, cut.layer).value_or(0);
+        std::vector<Box> covers;
+        for (ShapeId sid : m.shapesOn(l)) covers.push_back(m.shape(sid).box);
+        return geom::isCovered(cut.box.expanded(margin), covers);
+      };
+      if (coveredBy(la) && coveredBy(lb)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok && !conns.empty())
+      out.push_back(Violation{ViolationKind::Enclosure, id, db::kNoShape, cut.box,
+                              "cut not enclosed by any connectable layer pair: " +
+                                  shapeDesc(m, id)});
+  }
+}
+
+}  // namespace
+
+const char* violationName(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::MinWidth: return "min-width";
+    case ViolationKind::CutSize: return "cut-size";
+    case ViolationKind::Spacing: return "spacing";
+    case ViolationKind::Enclosure: return "enclosure";
+    case ViolationKind::LatchUp: return "latch-up";
+  }
+  return "?";
+}
+
+std::vector<Box> unenclosedPdiff(const db::Module& m) {
+  const Technology& t = m.technology();
+  const auto pdiff = t.findLayer("pdiff");
+  const auto nwell = t.findLayer("nwell");
+  std::vector<Box> out;
+  if (!pdiff || !nwell) return out;
+  const Coord margin = t.enclosure(*nwell, *pdiff).value_or(0);
+  std::vector<Box> wells;
+  for (ShapeId id : m.shapesOn(*nwell))
+    wells.push_back(m.shape(id).box.expanded(-margin));
+  for (ShapeId id : m.shapesOn(*pdiff)) {
+    auto rest = geom::subtractAll({m.shape(id).box}, wells);
+    out.insert(out.end(), rest.begin(), rest.end());
+  }
+  return out;
+}
+
+std::vector<Box> latchUpGuards(const db::Module& m) {
+  const Technology& t = m.technology();
+  std::vector<Box> guards;
+  if (t.substrateTieLayer() == tech::kNoLayer || t.latchUpRadius() <= 0) return guards;
+  for (ShapeId id : m.shapesOn(t.substrateTieLayer()))
+    guards.push_back(m.shape(id).box.expanded(t.latchUpRadius()));
+  return guards;
+}
+
+std::vector<Box> uncoveredActive(const db::Module& m) {
+  const Technology& t = m.technology();
+  const auto guards = latchUpGuards(m);
+  std::vector<Box> uncovered;
+  for (tech::LayerId l : t.activeLayers()) {
+    if (l == t.substrateTieLayer()) continue;
+    for (ShapeId id : m.shapesOn(l)) {
+      // "If these rectangles do not enclose completely the other rectangles
+      // only the overlapping part is cut while the remaining part of the
+      // rectangle is still stored" — exactly subtractAll.
+      auto rest = geom::subtractAll({m.shape(id).box}, guards);
+      uncovered.insert(uncovered.end(), rest.begin(), rest.end());
+    }
+  }
+  return uncovered;
+}
+
+std::vector<Violation> check(const db::Module& m, const CheckOptions& options) {
+  std::vector<Violation> out;
+  if (options.widths) checkWidths(m, out);
+  if (options.spacings) checkSpacings(m, options.samePotentialExempt, out);
+  if (options.enclosures) checkEnclosures(m, out);
+  if (options.latchUp) {
+    for (const Box& piece : uncoveredActive(m))
+      out.push_back(Violation{ViolationKind::LatchUp, db::kNoShape, db::kNoShape, piece,
+                              "active area " + piece.str() +
+                                  " not covered by a substrate contact guard"});
+  }
+  if (options.wellEnclosure) {
+    for (const Box& piece : unenclosedPdiff(m))
+      out.push_back(Violation{ViolationKind::Enclosure, db::kNoShape, db::kNoShape,
+                              piece,
+                              "pdiff " + piece.str() + " not enclosed by an n-well"});
+  }
+  return out;
+}
+
+void expectClean(const db::Module& m, const CheckOptions& options) {
+  const auto v = check(m, options);
+  if (v.empty()) return;
+  std::ostringstream os;
+  os << "module '" << m.name() << "': " << v.size() << " DRC violation(s):";
+  for (std::size_t i = 0; i < v.size() && i < 8; ++i)
+    os << "\n  [" << violationName(v[i].kind) << "] " << v[i].message;
+  if (v.size() > 8) os << "\n  ...";
+  throw DesignRuleError(os.str());
+}
+
+namespace {
+
+/// True when `cand` can be added to `m` without breaking spacing rules or
+/// overlapping existing mask geometry.
+bool placementLegal(const Module& m, const Shape& cand) {
+  const Technology& t = m.technology();
+  for (ShapeId id : m.shapeIds()) {
+    const Shape& s = m.shape(id);
+    if (t.info(s.layer).kind == LayerKind::Marker) continue;
+    if (auto rule = t.minSpacing(cand.layer, s.layer)) {
+      if (gapX(cand.box, s.box) < *rule && gapY(cand.box, s.box) < *rule) return false;
+    } else if (cand.box.overlaps(s.box)) {
+      return false;  // no rule, but a stray overlap would change devices
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int insertSubstrateContacts(db::Module& m, const std::string& netName) {
+  const Technology& t = m.technology();
+  const tech::LayerId tie = t.substrateTieLayer();
+  if (tie == tech::kNoLayer)
+    throw DesignRuleError("technology has no substrate tie layer");
+  const tech::LayerId contact = t.layer("contact");
+  const tech::LayerId metal1 = t.layer("metal1");
+  const auto [cw, ch] = t.cutSize(contact);
+  const Coord tieEnc = t.enclosure(tie, contact).value_or(0);
+  const Coord metEnc = t.enclosure(metal1, contact).value_or(0);
+  const Coord tieSize = std::max(t.minWidth(tie), std::max(cw, ch) + 2 * tieEnc);
+  const db::NetId net = m.net(netName);
+
+  int inserted = 0;
+  for (int round = 0; round < 64; ++round) {
+    const auto uncovered = uncoveredActive(m);
+    if (uncovered.empty()) return inserted;
+
+    const Box piece = uncovered.front();
+    // Search positions on expanding rings around the uncovered piece; any
+    // position within latchUpRadius of the piece covers it.
+    const Coord step = tieSize + 3000;
+    bool placed = false;
+    for (int ring = 1; ring <= 40 && !placed; ++ring) {
+      for (int ix = -ring; ix <= ring && !placed; ++ix) {
+        for (int iy = -ring; iy <= ring && !placed; ++iy) {
+          if (std::max(std::abs(ix), std::abs(iy)) != ring) continue;
+          const Point c{piece.center().x + ix * step, piece.center().y + iy * step};
+          const Shape tieShape =
+              db::makeShape(Box::centredOn(c, tieSize, tieSize), tie, net);
+          // The guard from this position must still cover the piece.
+          if (!tieShape.box.expanded(t.latchUpRadius()).contains(piece)) continue;
+          const Shape metShape = db::makeShape(
+              tieShape.box.expanded(-(tieEnc - metEnc)), metal1, net);
+          const Shape cutShape = db::makeShape(Box::centredOn(c, cw, ch), contact, net);
+          if (!placementLegal(m, tieShape) || !placementLegal(m, metShape) ||
+              !placementLegal(m, cutShape))
+            continue;
+
+          m.addShape(tieShape);
+          m.addShape(metShape);
+          m.addShape(cutShape);
+          ++inserted;
+          placed = true;
+        }
+      }
+    }
+    if (!placed)
+      throw DesignRuleError(
+          "insertSubstrateContacts: no legal position found near " + piece.str());
+  }
+  return inserted;
+}
+
+}  // namespace amg::drc

@@ -1,0 +1,106 @@
+#include "drc/extract.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "db/connectivity.h"
+
+namespace amg::drc {
+namespace {
+
+using db::Module;
+using db::Shape;
+using db::ShapeId;
+using tech::LayerKind;
+using tech::Technology;
+
+}  // namespace
+
+std::vector<ExtractedMos> extractMos(const db::Module& m) {
+  const Technology& t = m.technology();
+  const db::Connectivity conn(m);
+  std::vector<ExtractedMos> out;
+
+  for (ShapeId gi : m.shapeIds()) {
+    const Shape& gate = m.shape(gi);
+    if (t.info(gate.layer).kind != LayerKind::Poly) continue;
+    for (ShapeId di : m.shapeIds()) {
+      const Shape& diff = m.shape(di);
+      if (t.info(diff.layer).kind != LayerKind::Diffusion) continue;
+      if (diff.layer == t.substrateTieLayer()) continue;
+      const Box ch = gate.box.intersect(diff.box);
+      if (ch.empty()) continue;
+
+      ExtractedMos dev;
+      dev.diffLayer = t.info(diff.layer).name;
+      dev.gateNet = gate.net == db::kNoNet ? "" : m.netName(gate.net);
+
+      Point pa, pb;
+      if (gate.box.y1 <= diff.box.y1 && gate.box.y2 >= diff.box.y2) {
+        // Vertical gate: terminals west/east of the channel.
+        dev.l = ch.width();
+        dev.w = ch.height();
+        pa = Point{ch.x1 - 1, ch.center().y};
+        pb = Point{ch.x2 + 1, ch.center().y};
+      } else if (gate.box.x1 <= diff.box.x1 && gate.box.x2 >= diff.box.x2) {
+        // Horizontal gate: terminals south/north.
+        dev.l = ch.height();
+        dev.w = ch.width();
+        pa = Point{ch.center().x, ch.y1 - 1};
+        pb = Point{ch.center().x, ch.y2 + 1};
+      } else {
+        continue;  // partial overlap: no channel is formed
+      }
+
+      dev.sourceNet = conn.netNameOf(conn.componentAt(di, pa));
+      dev.drainNet = conn.netNameOf(conn.componentAt(di, pb));
+      if (dev.sourceNet > dev.drainNet) std::swap(dev.sourceNet, dev.drainNet);
+      out.push_back(std::move(dev));
+    }
+  }
+  return out;
+}
+
+LvsResult lvs(const db::Module& m, const std::vector<NetlistMos>& netlist,
+              const std::vector<std::string>& ignoreGateNets) {
+  LvsResult res;
+  auto ignored = [&](const std::string& g) {
+    return std::find(ignoreGateNets.begin(), ignoreGateNets.end(), g) !=
+           ignoreGateNets.end();
+  };
+
+  // Canonical key: gate | min(terminals) | max(terminals).
+  auto key = [](const std::string& g, std::string s, std::string d) {
+    if (s > d) std::swap(s, d);
+    return g + "|" + s + "|" + d;
+  };
+
+  std::multiset<std::string> layout;
+  for (const ExtractedMos& dev : extractMos(m)) {
+    if (ignored(dev.gateNet)) continue;
+    layout.insert(key(dev.gateNet, dev.sourceNet, dev.drainNet));
+  }
+  std::multiset<std::string> wanted;
+  for (const NetlistMos& dev : netlist) wanted.insert(key(dev.gate, dev.source, dev.drain));
+
+  res.layoutDevices = static_cast<int>(layout.size());
+  res.netlistDevices = static_cast<int>(wanted.size());
+
+  for (const std::string& k : wanted) {
+    const auto it = layout.find(k);
+    if (it != layout.end()) {
+      layout.erase(it);
+    } else {
+      res.messages.push_back("missing in layout: MOS(" + k + ")");
+    }
+  }
+  for (const std::string& k : layout)
+    res.messages.push_back("extra in layout: MOS(" + k + ")");
+
+  res.matched = res.messages.empty();
+  return res;
+}
+
+}  // namespace amg::drc

@@ -1,0 +1,54 @@
+// Device extraction and layout-vs-schematic comparison (LVS).
+//
+// An extension beyond the paper's scope, but squarely in its spirit: the
+// module generators promise electrically correct modules, and this checker
+// proves it from the geometry alone.  A MOS device is recognized wherever
+// a poly shape fully crosses a diffusion shape; its source/drain nets are
+// the electrical components of the diffusion fragments on either side of
+// the channel (the same gate-aware splitting the connectivity extractor
+// uses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+
+namespace amg::drc {
+
+/// One extracted MOS transistor.
+struct ExtractedMos {
+  std::string gateNet;   ///< "" when the gate is on an anonymous net
+  std::string sourceNet; ///< terminal nets, source/drain interchangeable;
+  std::string drainNet;  ///< canonicalized so sourceNet <= drainNet
+  std::string diffLayer; ///< "pdiff" / "ndiff"
+  Coord w = 0;           ///< channel width (nm)
+  Coord l = 0;           ///< channel length (nm)
+};
+
+/// Extract every MOS device of the module.  Devices whose terminals have
+/// no named net report "" for that terminal.
+std::vector<ExtractedMos> extractMos(const db::Module& m);
+
+/// A reference (schematic) device for the comparison; source/drain order
+/// does not matter.
+struct NetlistMos {
+  std::string gate, source, drain;
+};
+
+struct LvsResult {
+  bool matched = false;
+  int layoutDevices = 0;
+  int netlistDevices = 0;
+  std::vector<std::string> messages;  ///< per-discrepancy diagnostics
+};
+
+/// Compare the extracted devices against a reference netlist: every
+/// schematic device must appear in the layout with the same gate and
+/// terminal nets (multiset match, S/D symmetric), and vice versa.
+/// Dummy devices may be excluded by listing their gate nets in
+/// `ignoreGateNets`.
+LvsResult lvs(const db::Module& m, const std::vector<NetlistMos>& netlist,
+              const std::vector<std::string>& ignoreGateNets = {});
+
+}  // namespace amg::drc

@@ -1,0 +1,52 @@
+#include "geom/box.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace amg {
+
+const char* dirName(Dir d) {
+  switch (d) {
+    case Dir::West: return "WEST";
+    case Dir::East: return "EAST";
+    case Dir::South: return "SOUTH";
+    case Dir::North: return "NORTH";
+  }
+  return "?";
+}
+
+const char* sideName(Side s) {
+  switch (s) {
+    case Side::Left: return "left";
+    case Side::Bottom: return "bottom";
+    case Side::Right: return "right";
+    case Side::Top: return "top";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << '[' << b.x1 << ',' << b.y1 << " - " << b.x2 << ',' << b.y2 << ']';
+}
+
+std::string Box::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Coord boxGap(const Box& a, const Box& b) {
+  const Coord gx = gapX(a, b);
+  const Coord gy = gapY(a, b);
+  if (gx <= 0 && gy <= 0) return 0;  // touching or overlapping
+  // Separated along at least one axis: the rule distance is measured along
+  // the axis (or corner) of closest approach.
+  if (gx > 0 && gy > 0) return std::max(gx, gy);  // diagonal neighbours
+  return std::max(gx, gy);
+}
+
+}  // namespace amg

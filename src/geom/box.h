@@ -1,0 +1,137 @@
+// Axis-aligned points and boxes — the only geometric primitives of the
+// environment.  The paper's database deliberately stores rectangles only
+// ("polygons are converted into simple rectangular structures", §2.1).
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "geom/coord.h"
+
+namespace amg {
+
+/// A point in the layout plane, nanometre units.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  constexpr Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Closed axis-aligned rectangle (x1,y1)-(x2,y2) with x1 < x2 and y1 < y2.
+/// A default-constructed Box is empty() and must not be used in geometry
+/// arithmetic other than validity checks and unions (where it acts as the
+/// identity).
+struct Box {
+  Coord x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  /// Canonical constructor helpers -------------------------------------
+  static constexpr Box fromCorners(Coord ax, Coord ay, Coord bx, Coord by) {
+    return Box{std::min(ax, bx), std::min(ay, by), std::max(ax, bx), std::max(ay, by)};
+  }
+  static constexpr Box fromSize(Coord x, Coord y, Coord w, Coord h) {
+    return Box{x, y, x + w, y + h};
+  }
+  /// A box of width `w` and height `h` centred on `c` (rounded down when the
+  /// size is odd in database units).
+  static constexpr Box centredOn(Point c, Coord w, Coord h) {
+    return Box{c.x - w / 2, c.y - h / 2, c.x - w / 2 + w, c.y - h / 2 + h};
+  }
+
+  constexpr bool empty() const { return x1 >= x2 || y1 >= y2; }
+  constexpr Coord width() const { return x2 - x1; }
+  constexpr Coord height() const { return y2 - y1; }
+  constexpr Coord area() const { return empty() ? 0 : width() * height(); }
+  constexpr Point center() const { return {(x1 + x2) / 2, (y1 + y2) / 2}; }
+  constexpr Point ll() const { return {x1, y1}; }
+  constexpr Point ur() const { return {x2, y2}; }
+
+  /// Coordinate of one side: Left/Right return x, Bottom/Top return y.
+  constexpr Coord side(Side s) const {
+    switch (s) {
+      case Side::Left: return x1;
+      case Side::Bottom: return y1;
+      case Side::Right: return x2;
+      case Side::Top: return y2;
+    }
+    return 0;  // unreachable
+  }
+  /// Mutable access used by the variable-edge machinery of the compactor.
+  void setSide(Side s, Coord v) {
+    switch (s) {
+      case Side::Left: x1 = v; break;
+      case Side::Bottom: y1 = v; break;
+      case Side::Right: x2 = v; break;
+      case Side::Top: y2 = v; break;
+    }
+  }
+
+  constexpr Box translated(Coord dx, Coord dy) const {
+    return Box{x1 + dx, y1 + dy, x2 + dx, y2 + dy};
+  }
+  /// Box grown by `m` on all four sides (negative shrinks; may produce an
+  /// empty box).
+  constexpr Box expanded(Coord m) const { return Box{x1 - m, y1 - m, x2 + m, y2 + m}; }
+  /// Box grown by `mx` horizontally and `my` vertically.
+  constexpr Box expanded(Coord mx, Coord my) const {
+    return Box{x1 - mx, y1 - my, x2 + mx, y2 + my};
+  }
+
+  /// True when the two boxes share interior area (touching edges do not
+  /// count as overlap).
+  constexpr bool overlaps(const Box& o) const {
+    return !empty() && !o.empty() && x1 < o.x2 && o.x1 < x2 && y1 < o.y2 && o.y1 < y2;
+  }
+  /// True when `o` lies fully inside (or coincides with) this box.
+  constexpr bool contains(const Box& o) const {
+    return !o.empty() && x1 <= o.x1 && y1 <= o.y1 && x2 >= o.x2 && y2 >= o.y2;
+  }
+  constexpr bool contains(Point p) const {
+    return x1 <= p.x && p.x <= x2 && y1 <= p.y && p.y <= y2;
+  }
+
+  /// Intersection; empty Box when the boxes do not overlap.
+  constexpr Box intersect(const Box& o) const {
+    Box r{std::max(x1, o.x1), std::max(y1, o.y1), std::min(x2, o.x2), std::min(y2, o.y2)};
+    if (r.empty()) return Box{};
+    return r;
+  }
+
+  /// Smallest box containing both operands; an empty operand acts as the
+  /// identity element.
+  constexpr Box unite(const Box& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Box{std::min(x1, o.x1), std::min(y1, o.y1), std::max(x2, o.x2), std::max(y2, o.y2)};
+  }
+
+  friend constexpr bool operator==(const Box&, const Box&) = default;
+
+  std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+/// Minimum Euclidean-free ("Chebyshev style") separation used by design
+/// rules: the larger of the horizontal and vertical gaps between two boxes;
+/// 0 if they touch or overlap.  Classic Manhattan DRC measures spacing
+/// per-axis, which this reproduces for axis-aligned rectangles.
+Coord boxGap(const Box& a, const Box& b);
+
+/// Gap along one axis only: horizontal gap (negative when the x-ranges
+/// overlap by that amount).
+constexpr Coord gapX(const Box& a, const Box& b) {
+  return std::max(a.x1 - b.x2, b.x1 - a.x2);
+}
+/// Vertical counterpart of gapX().
+constexpr Coord gapY(const Box& a, const Box& b) {
+  return std::max(a.y1 - b.y2, b.y1 - a.y2);
+}
+
+}  // namespace amg

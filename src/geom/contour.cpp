@@ -1,0 +1,86 @@
+#include "geom/contour.h"
+
+namespace amg::geom {
+
+Envelope::Envelope() {
+  // One segment covering the whole axis with the "nothing here" value.
+  segs_.emplace(std::numeric_limits<Coord>::min(), kNone);
+}
+
+void Envelope::splitAt(Coord x) {
+  auto it = segs_.upper_bound(x);
+  --it;  // segment containing x (the sentinel at min() guarantees validity)
+  if (it->first != x) segs_.emplace(x, it->second);
+}
+
+void Envelope::add(Coord lo, Coord hi, Coord val) {
+  if (lo >= hi) return;
+  splitAt(lo);
+  splitAt(hi);
+  for (auto it = segs_.find(lo); it != segs_.end() && it->first < hi; ++it) {
+    it->second = std::max(it->second, val);
+  }
+}
+
+Coord Envelope::query(Coord lo, Coord hi) const {
+  if (lo >= hi) return kNone;
+  Coord best = kNone;
+  auto it = segs_.upper_bound(lo);
+  --it;  // segment containing lo
+  for (; it != segs_.end() && it->first < hi; ++it) {
+    best = std::max(best, it->second);
+  }
+  return best;
+}
+
+Coord Contour::frontOfStationary(const Box& b) const {
+  switch (dir_) {
+    case Dir::West: return b.x2;
+    case Dir::East: return -b.x1;
+    case Dir::South: return b.y2;
+    case Dir::North: return -b.y1;
+  }
+  return 0;  // unreachable
+}
+
+Coord Contour::leadingEdge(const Box& b) const {
+  switch (dir_) {
+    case Dir::West: return b.x1;
+    case Dir::East: return -b.x2;
+    case Dir::South: return b.y1;
+    case Dir::North: return -b.y2;
+  }
+  return 0;  // unreachable
+}
+
+std::pair<Coord, Coord> Contour::crossRange(const Box& b) const {
+  if (isHorizontal(dir_)) return {b.y1, b.y2};
+  return {b.x1, b.x2};
+}
+
+void Contour::add(const Box& b) {
+  auto [lo, hi] = crossRange(b);
+  env_.add(lo, hi, frontOfStationary(b));
+}
+
+Coord Contour::requiredFront(const Box& moving, Coord spacing) const {
+  auto [lo, hi] = crossRange(moving);
+  // A stationary box constrains the front axis only when its cross-axis
+  // gap to the moving box would be < spacing; that is exactly an overlap of
+  // the half-open query window [lo - spacing, hi + spacing).
+  const Coord q = env_.query(lo - spacing, hi + spacing);
+  if (q == Envelope::kNone) return Envelope::kNone;
+  return q + spacing;
+}
+
+Point Contour::translationFor(const Box& b, Coord front) const {
+  switch (dir_) {
+    case Dir::West: return Point{front - b.x1, 0};
+    case Dir::East: return Point{-front - b.x2, 0};
+    case Dir::South: return Point{0, front - b.y1};
+    case Dir::North: return Point{0, -front - b.y2};
+  }
+  return Point{};  // unreachable
+}
+
+}  // namespace amg::geom

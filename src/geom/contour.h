@@ -1,0 +1,89 @@
+// Outer-edge contours (piecewise-constant envelopes).
+//
+// The successive compactor of the paper keeps "only outer edges of the main
+// object ... in the data structure and no general edge graph must be
+// created" (§2.3).  An Envelope is that outer-edge record for one movement
+// direction: for every position along the cross axis it stores the extreme
+// front coordinate any stationary rectangle reaches.  Placing a new object
+// then costs one envelope query per moving rectangle instead of a pass over
+// the whole database.
+#pragma once
+
+#include <limits>
+#include <map>
+
+#include "geom/box.h"
+
+namespace amg::geom {
+
+/// Piecewise-constant upper envelope value(cross) with max-merge semantics.
+class Envelope {
+ public:
+  /// Value reported where nothing has been added.
+  static constexpr Coord kNone = std::numeric_limits<Coord>::min();
+
+  Envelope();
+
+  /// Raise the envelope to at least `val` over the cross interval [lo, hi).
+  void add(Coord lo, Coord hi, Coord val);
+
+  /// Maximum envelope value over [lo, hi); kNone if nothing intersects.
+  Coord query(Coord lo, Coord hi) const;
+
+  /// Number of constant segments (for tests / complexity accounting).
+  std::size_t segmentCount() const { return segs_.size(); }
+
+ private:
+  void splitAt(Coord x);
+  // Key = segment start; value = envelope value until the next key.
+  std::map<Coord, Coord> segs_;
+};
+
+/// A directional contour of a set of boxes: an Envelope in the canonical
+/// frame of movement direction `dir`.  Stationary boxes are added; a moving
+/// box's minimal legal leading-edge position against the contour is queried
+/// with `requiredFront`.
+class Contour {
+ public:
+  explicit Contour(Dir dir) : dir_(dir) {}
+
+  Dir dir() const { return dir_; }
+
+  /// Record a stationary box (its landing-side edge enters the envelope).
+  void add(const Box& b);
+
+  /// Given a box moving in dir() whose cross extent (expanded by the rule
+  /// spacing on the cross axis) is that of `moving.expanded(spacing)`:
+  /// returns the minimal translation-frame coordinate of the moving box's
+  /// leading edge such that it keeps `spacing` from every recorded box, or
+  /// Envelope::kNone when no recorded box constrains it.
+  ///
+  /// The returned value is in the canonical frame; use leadingEdge() /
+  /// translationFor() to convert.
+  Coord requiredFront(const Box& moving, Coord spacing) const;
+
+  /// Canonical-frame coordinate of the leading edge of `b` when moving in
+  /// dir() (e.g. moving West the leading edge is x1 and the canonical value
+  /// is -x1 so that "larger = further along the movement").
+  Coord leadingEdge(const Box& b) const;
+
+  /// Translation (dx, dy) that places `b`'s leading edge at canonical-frame
+  /// coordinate `front`.
+  Point translationFor(const Box& b, Coord front) const;
+
+  /// Number of constant segments in the underlying envelope (the size of
+  /// the outer-edge record).
+  std::size_t segmentCount() const { return env_.segmentCount(); }
+
+ private:
+  // Canonical frame: movement = decreasing canonical front axis; we store
+  // the *maximum* canonical front of stationary boxes and the moving box
+  // must stop at >= stored value + spacing.
+  Coord frontOfStationary(const Box& b) const;
+  std::pair<Coord, Coord> crossRange(const Box& b) const;
+
+  Dir dir_;
+  Envelope env_;
+};
+
+}  // namespace amg::geom

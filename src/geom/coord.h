@@ -1,0 +1,84 @@
+// Basic coordinate types and unit conventions for the AMGEN layout engine.
+//
+// All geometry is expressed in integer nanometres.  Integer coordinates make
+// design-rule arithmetic exact (no epsilon comparisons) and match the way
+// 1990s layout databases (CIF, GDSII) store geometry.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace amg {
+
+/// Layout coordinate in nanometres.  int64 gives ±9.2e18 nm, far beyond any
+/// reticle; overflow in intermediate arithmetic is therefore not a concern
+/// for realistic module sizes.
+using Coord = std::int64_t;
+
+/// One micrometre in database units.
+inline constexpr Coord kMicron = 1000;
+
+/// Convenience literal-style helper: micrometres to database units.
+constexpr Coord um(double microns) { return static_cast<Coord>(microns * kMicron); }
+
+/// Base class of all errors thrown by the environment.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a geometric request cannot satisfy the design rules
+/// ("If a rule cannot be fulfilled an error message occurs", §2.1).
+class DesignRuleError : public Error {
+ public:
+  explicit DesignRuleError(const std::string& what) : Error(what) {}
+};
+
+/// Compass direction an object is moved during successive compaction, or a
+/// side of a rectangle.  compact(obj, South) moves `obj` southwards until it
+/// abuts the target structure.
+enum class Dir : std::uint8_t { West = 0, East = 1, South = 2, North = 3 };
+
+/// Returns the opposite compass direction.
+constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::West: return Dir::East;
+    case Dir::East: return Dir::West;
+    case Dir::South: return Dir::North;
+    case Dir::North: return Dir::South;
+  }
+  return Dir::West;  // unreachable
+}
+
+/// True for West/East.
+constexpr bool isHorizontal(Dir d) { return d == Dir::West || d == Dir::East; }
+
+/// Human-readable name ("WEST", ...), matching the DSL keywords.
+const char* dirName(Dir d);
+
+/// Side of a rectangle, used to address per-edge properties (fixed/variable
+/// edges, §2.3).  The numeric values index EdgeFlags arrays.
+enum class Side : std::uint8_t { Left = 0, Bottom = 1, Right = 2, Top = 3 };
+
+/// Human-readable name ("left", ...).
+const char* sideName(Side s);
+
+/// The side of a rectangle that faces movement direction `d`
+/// (the "front" side): moving West the Left side leads.
+constexpr Side frontSide(Dir d) {
+  switch (d) {
+    case Dir::West: return Side::Left;
+    case Dir::East: return Side::Right;
+    case Dir::South: return Side::Bottom;
+    case Dir::North: return Side::Top;
+  }
+  return Side::Left;  // unreachable
+}
+
+/// The side of a stationary rectangle that faces an object arriving while
+/// moving in direction `d` (the side the object lands on): an object moving
+/// West lands on the target's Right side.
+constexpr Side landingSide(Dir d) { return frontSide(opposite(d)); }
+
+}  // namespace amg

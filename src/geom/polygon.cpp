@@ -1,0 +1,81 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <map>
+
+namespace amg::geom {
+
+bool isRectilinear(const Polygon& poly) {
+  if (poly.size() < 4) return false;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % poly.size()];
+    const bool horizontal = a.y == b.y && a.x != b.x;
+    const bool vertical = a.x == b.x && a.y != b.y;
+    if (!horizontal && !vertical) return false;
+    // Edges must alternate orientation (a rectilinear simple loop).
+    const Point& c = poly[(i + 2) % poly.size()];
+    const bool nextHorizontal = b.y == c.y && b.x != c.x;
+    if (horizontal == nextHorizontal) return false;
+  }
+  return true;
+}
+
+std::vector<Box> decompose(const Polygon& poly) {
+  if (!isRectilinear(poly))
+    throw DesignRuleError("polygon is not a valid rectilinear loop");
+
+  // Vertical edges of the loop.
+  struct VEdge {
+    Coord x, y1, y2;
+  };
+  std::vector<VEdge> edges;
+  std::vector<Coord> ys;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Point& a = poly[i];
+    const Point& b = poly[(i + 1) % poly.size()];
+    ys.push_back(a.y);
+    if (a.x == b.x) edges.push_back(VEdge{a.x, std::min(a.y, b.y), std::max(a.y, b.y)});
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Horizontal slabs between consecutive scanlines; inside-ness by the
+  // even-odd rule over the vertical edges crossing the slab.
+  std::vector<Box> slabs;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const Coord y1 = ys[s], y2 = ys[s + 1];
+    std::vector<Coord> xs;
+    for (const VEdge& e : edges)
+      if (e.y1 <= y1 && e.y2 >= y2) xs.push_back(e.x);
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2)
+      if (xs[i] < xs[i + 1]) slabs.push_back(Box{xs[i], y1, xs[i + 1], y2});
+  }
+
+  // Coalesce vertically adjacent slabs with identical x-range to keep the
+  // database small (the paper's "simple rectangular structures").
+  std::sort(slabs.begin(), slabs.end(), [](const Box& a, const Box& b) {
+    if (a.x1 != b.x1) return a.x1 < b.x1;
+    if (a.x2 != b.x2) return a.x2 < b.x2;
+    return a.y1 < b.y1;
+  });
+  std::vector<Box> out;
+  for (const Box& s : slabs) {
+    if (!out.empty() && out.back().x1 == s.x1 && out.back().x2 == s.x2 &&
+        out.back().y2 == s.y1) {
+      out.back().y2 = s.y2;
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+Coord polygonArea(const Polygon& poly) {
+  Coord area = 0;
+  for (const Box& b : decompose(poly)) area += b.area();
+  return area;
+}
+
+}  // namespace amg::geom

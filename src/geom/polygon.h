@@ -1,0 +1,34 @@
+// Rectilinear polygon decomposition.
+//
+// "To keep the layout data structure efficient, polygons are converted
+// into simple rectangular structures" (§2.1).  The environment's database
+// stores rectangles only; this module converts a rectilinear polygon
+// (axis-parallel edges) into a set of disjoint rectangles covering exactly
+// the same area, by horizontal slab decomposition at vertex scanlines.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.h"
+
+namespace amg::geom {
+
+/// A rectilinear polygon given as its vertex loop (closed implicitly from
+/// the last vertex back to the first).  Consecutive vertices must differ
+/// in exactly one coordinate; the winding may be either direction.
+using Polygon = std::vector<Point>;
+
+/// True when the loop is a valid rectilinear polygon: at least 4 vertices,
+/// alternating horizontal/vertical edges, closed, no zero-length edges.
+bool isRectilinear(const Polygon& poly);
+
+/// Decompose into disjoint rectangles covering exactly the polygon's
+/// interior (even-odd fill).  Throws DesignRuleError for invalid input.
+/// Self-touching loops are handled by the even-odd rule; the result is
+/// canonical for a given input (scanline order).
+std::vector<Box> decompose(const Polygon& poly);
+
+/// Interior area of the polygon (sum of the decomposition).
+Coord polygonArea(const Polygon& poly);
+
+}  // namespace amg::geom

@@ -1,0 +1,74 @@
+#include "geom/subtract.h"
+
+namespace amg::geom {
+
+OverlapClass classifyOverlap(Coord a1, Coord a2, Coord b1, Coord b2) {
+  if (b2 <= a1 || b1 >= a2) return OverlapClass::None;
+  const bool coversLow = b1 <= a1;
+  const bool coversHigh = b2 >= a2;
+  if (coversLow && coversHigh) return OverlapClass::Covers;
+  if (coversLow) return OverlapClass::Low;
+  if (coversHigh) return OverlapClass::High;
+  return OverlapClass::Inside;
+}
+
+std::vector<Box> cutRect(const Box& a, const Box& b) {
+  if (a.empty()) return {};
+  const Box c = a.intersect(b);
+  if (c.empty()) return {a};
+
+  std::vector<Box> out;
+  out.reserve(4);
+  // Slab decomposition: bottom and top slabs span the full width of `a`,
+  // the left and right pieces only the vertical extent of the cut.  This
+  // yields disjoint remainders for every one of the 16 overlap cases.
+  if (c.y1 > a.y1) out.push_back(Box{a.x1, a.y1, a.x2, c.y1});  // bottom slab
+  if (c.y2 < a.y2) out.push_back(Box{a.x1, c.y2, a.x2, a.y2});  // top slab
+  if (c.x1 > a.x1) out.push_back(Box{a.x1, c.y1, c.x1, c.y2});  // left piece
+  if (c.x2 < a.x2) out.push_back(Box{c.x2, c.y1, a.x2, c.y2});  // right piece
+  return out;
+}
+
+std::vector<Box> subtractAll(std::vector<Box> solids, const std::vector<Box>& cutters) {
+  for (const Box& cutter : cutters) {
+    std::vector<Box> next;
+    next.reserve(solids.size());
+    for (const Box& solid : solids) {
+      auto pieces = cutRect(solid, cutter);
+      next.insert(next.end(), pieces.begin(), pieces.end());
+    }
+    solids = std::move(next);
+    if (solids.empty()) break;
+  }
+  return solids;
+}
+
+bool isCovered(const Box& solid, const std::vector<Box>& covers) {
+  return subtractAll({solid}, covers).empty();
+}
+
+Coord unionArea(const std::vector<Box>& boxes) {
+  // Fragment every box against all previously accepted fragments; the sum
+  // of disjoint fragment areas is the union area.  O(n^2) in fragments,
+  // fine for module-sized inputs and exact in integer arithmetic.
+  std::vector<Box> disjoint;
+  for (const Box& b : boxes) {
+    std::vector<Box> pieces{b};
+    for (const Box& d : disjoint) {
+      pieces = subtractAll(std::move(pieces), {d});
+      if (pieces.empty()) break;
+    }
+    disjoint.insert(disjoint.end(), pieces.begin(), pieces.end());
+  }
+  Coord area = 0;
+  for (const Box& d : disjoint) area += d.area();
+  return area;
+}
+
+Box boundingBox(const std::vector<Box>& boxes) {
+  Box bb;
+  for (const Box& b : boxes) bb = bb.unite(b);
+  return bb;
+}
+
+}  // namespace amg::geom

@@ -1,0 +1,52 @@
+// Rectangle subtraction and coverage tests.
+//
+// This is the geometric core of the paper's latch-up rule check (Fig. 1):
+// temporary rectangles placed around substrate contacts are subtracted from
+// the solid (active-area) rectangles; whatever remains after all temporary
+// rectangles have been processed is uncovered and violates the rule.  The
+// subtraction must handle all 16 combinations of 4 horizontal × 4 vertical
+// overlap classes; cutRect() below produces at most four axis-aligned
+// remainder pieces and covers every case.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.h"
+
+namespace amg::geom {
+
+/// Relative overlap of one axis range `[b1,b2)` against a reference range
+/// `[a1,a2)` — the four per-axis classes of the paper's Fig. 1 matrix.
+enum class OverlapClass : std::uint8_t {
+  None = 0,      ///< ranges are disjoint
+  Low = 1,       ///< b covers the low end of a but not the high end
+  High = 2,      ///< b covers the high end of a but not the low end
+  Inside = 3,    ///< b lies strictly within a (both remainders non-empty)
+  Covers = 4,    ///< b covers a completely
+};
+
+/// Classify the overlap of range [b1,b2) relative to [a1,a2).
+OverlapClass classifyOverlap(Coord a1, Coord a2, Coord b1, Coord b2);
+
+/// `a − b`: the parts of `a` not covered by `b`, as 0–4 disjoint boxes.
+/// Returns {a} when the boxes do not overlap, and {} when b covers a.
+std::vector<Box> cutRect(const Box& a, const Box& b);
+
+/// `solids − cutters`: subtract every cutter from every solid, keeping the
+/// remainders disjoint per original solid.  This is exactly the loop of the
+/// latch-up check: "the overlapping part is cut while the remaining part of
+/// the rectangle is still stored in the database".
+std::vector<Box> subtractAll(std::vector<Box> solids, const std::vector<Box>& cutters);
+
+/// True when the union of `covers` completely covers `solid`.
+bool isCovered(const Box& solid, const std::vector<Box>& covers);
+
+/// Total area of a possibly-overlapping set of boxes (union area), computed
+/// by fragmenting into disjoint pieces.  Used by the optimizer's rating
+/// function and by tests.
+Coord unionArea(const std::vector<Box>& boxes);
+
+/// The bounding box of a set (empty Box for an empty set).
+Box boundingBox(const std::vector<Box>& boxes);
+
+}  // namespace amg::geom

@@ -1,0 +1,94 @@
+#include "geom/transform.h"
+
+#include <array>
+
+namespace amg::geom {
+namespace {
+
+// 2x2 integer matrix of each orientation: {a, b, c, d} meaning
+// x' = a*x + b*y ; y' = c*x + d*y.
+// MX mirrors across the x-axis (negates y), MY across the y-axis
+// (negates x); MX90/MY90 apply the mirror first, then rotate 90 CCW.
+struct Mat {
+  int a, b, c, d;
+};
+
+constexpr std::array<Mat, 8> kMats = {{
+    {1, 0, 0, 1},    // R0
+    {0, -1, 1, 0},   // R90
+    {-1, 0, 0, -1},  // R180
+    {0, 1, -1, 0},   // R270
+    {1, 0, 0, -1},   // MX
+    {0, 1, 1, 0},    // MX90 = R90 * MX
+    {-1, 0, 0, 1},   // MY
+    {0, -1, -1, 0},  // MY90 = R90 * MY
+}};
+
+const Mat& mat(Orient o) { return kMats[static_cast<std::size_t>(o)]; }
+
+Mat mul(const Mat& m, const Mat& n) {  // m * n (n applied first)
+  return Mat{m.a * n.a + m.b * n.c, m.a * n.b + m.b * n.d,
+             m.c * n.a + m.d * n.c, m.c * n.b + m.d * n.d};
+}
+
+Orient orientOf(const Mat& m) {
+  for (std::size_t i = 0; i < kMats.size(); ++i) {
+    const Mat& k = kMats[i];
+    if (k.a == m.a && k.b == m.b && k.c == m.c && k.d == m.d)
+      return static_cast<Orient>(i);
+  }
+  return Orient::R0;  // unreachable for valid inputs
+}
+
+}  // namespace
+
+Orient compose(Orient a, Orient b) { return orientOf(mul(mat(b), mat(a))); }
+
+Transform Transform::mirrorX(Coord axis) {
+  return Transform(Orient::MY, Point{2 * axis, 0});
+}
+
+Transform Transform::mirrorY(Coord axis) {
+  return Transform(Orient::MX, Point{0, 2 * axis});
+}
+
+Transform Transform::rotate180(Point about) {
+  return Transform(Orient::R180, Point{2 * about.x, 2 * about.y});
+}
+
+Point Transform::apply(Point p) const {
+  const Mat& m = mat(orient_);
+  return Point{m.a * p.x + m.b * p.y + offset_.x, m.c * p.x + m.d * p.y + offset_.y};
+}
+
+Box Transform::apply(const Box& b) const {
+  return Box::fromCorners(apply(b.ll()).x, apply(b.ll()).y, apply(b.ur()).x,
+                          apply(b.ur()).y);
+}
+
+Side Transform::apply(Side s) const {
+  // Transform the outward normal of the side and map back to a side.
+  static constexpr std::array<Point, 4> kNormals = {{
+      {-1, 0},  // Left
+      {0, -1},  // Bottom
+      {1, 0},   // Right
+      {0, 1},   // Top
+  }};
+  const Mat& m = mat(orient_);
+  const Point n = kNormals[static_cast<std::size_t>(s)];
+  const Point t{m.a * n.x + m.b * n.y, m.c * n.x + m.d * n.y};
+  if (t.x < 0) return Side::Left;
+  if (t.x > 0) return Side::Right;
+  if (t.y < 0) return Side::Bottom;
+  return Side::Top;
+}
+
+Transform Transform::then(const Transform& outer) const {
+  // result(p) = outer(this(p))
+  Transform r;
+  r.orient_ = orientOf(mul(mat(outer.orient_), mat(orient_)));
+  r.offset_ = outer.apply(offset_);
+  return r;
+}
+
+}  // namespace amg::geom

@@ -1,0 +1,54 @@
+// Rigid layout transforms (the eight square symmetries plus translation).
+//
+// Module instances in the environment are placed by transform; the
+// symmetric module styles of the paper (cross-coupled, common-centroid,
+// mirror-symmetric wiring) are produced by mirroring generated halves.
+#pragma once
+
+#include "geom/box.h"
+
+namespace amg::geom {
+
+/// The eight orientations of the square dihedral group, GDSII-style naming:
+/// R* are counter-clockwise rotations, M* mirror about the named axis
+/// applied before the rotation.
+enum class Orient : std::uint8_t { R0, R90, R180, R270, MX, MX90, MY, MY90 };
+
+/// Orientation composition: result = `b` applied after `a`.
+Orient compose(Orient a, Orient b);
+
+/// A rigid transform: orientation about the origin followed by translation.
+class Transform {
+ public:
+  constexpr Transform() = default;
+  constexpr Transform(Orient o, Point offset) : orient_(o), offset_(offset) {}
+
+  /// Pure translation.
+  static constexpr Transform translate(Coord dx, Coord dy) {
+    return Transform(Orient::R0, Point{dx, dy});
+  }
+  /// Mirror about the vertical line x = axis.
+  static Transform mirrorX(Coord axis);
+  /// Mirror about the horizontal line y = axis.
+  static Transform mirrorY(Coord axis);
+  /// Rotate 180 degrees about a point (used for cross-coupled placement).
+  static Transform rotate180(Point about);
+
+  constexpr Orient orient() const { return orient_; }
+  constexpr Point offset() const { return offset_; }
+
+  Point apply(Point p) const;
+  Box apply(const Box& b) const;
+  /// Which side of a transformed box corresponds to side `s` of the
+  /// original box — needed to carry per-edge properties through transforms.
+  Side apply(Side s) const;
+
+  /// Composition: (this ∘ other), i.e. `other` is applied first.
+  Transform then(const Transform& outer) const;
+
+ private:
+  Orient orient_ = Orient::R0;
+  Point offset_{};
+};
+
+}  // namespace amg::geom

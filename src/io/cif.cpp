@@ -1,0 +1,51 @@
+#include "io/cif.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace amg::io {
+
+std::string toCif(const db::Module& m) {
+  const tech::Technology& t = m.technology();
+  // CIF unit: centimicrons (10 nm).
+  auto cu = [](Coord nm) { return nm / 10; };
+
+  // Group shapes per layer so each "L" command is emitted once.
+  std::map<tech::LayerId, std::vector<db::ShapeId>> byLayer;
+  for (db::ShapeId id : m.shapeIds()) {
+    const auto& info = t.info(m.shape(id).layer);
+    if (info.kind == tech::LayerKind::Marker) continue;  // not a mask
+    byLayer[m.shape(id).layer].push_back(id);
+  }
+
+  std::ostringstream os;
+  os << "(CIF written by AMGEN; module " << m.name() << ");\n";
+  os << "DS 1 1 1;\n";
+  os << "9 " << (m.name().empty() ? "module" : m.name()) << ";\n";
+  for (const auto& [layer, ids] : byLayer) {
+    const auto& info = t.info(layer);
+    os << "L L" << info.cifId << ";\n";
+    for (db::ShapeId id : ids) {
+      const Box& b = m.shape(id).box;
+      // B length width xcenter ycenter (doubled centre per CIF convention
+      // is avoided by using even units: we emit exact centres in
+      // centimicrons, which is standard for manhattan boxes).
+      os << "B " << cu(b.width()) << ' ' << cu(b.height()) << ' '
+         << cu(b.x1 + b.width() / 2) << ' ' << cu(b.y1 + b.height() / 2) << ";\n";
+    }
+  }
+  os << "DF;\n";
+  os << "C 1;\n";
+  os << "E\n";
+  return os.str();
+}
+
+void writeCif(const db::Module& m, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot write CIF file '" + path + "'");
+  f << toCif(m);
+}
+
+}  // namespace amg::io

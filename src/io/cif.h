@@ -1,0 +1,19 @@
+// CIF (Caltech Intermediate Form) export — the tape-out format of the
+// paper's era.  One definition symbol per module; layers use the numeric
+// ids of the technology's layer table ("L L<cif-id>;").
+#pragma once
+
+#include <string>
+
+#include "db/module.h"
+
+namespace amg::io {
+
+/// Serialize the module as a CIF file (100 units per micrometre, the CIF
+/// convention of centimicrons).
+std::string toCif(const db::Module& m);
+
+/// Write to a file; throws amg::Error on I/O failure.
+void writeCif(const db::Module& m, const std::string& path);
+
+}  // namespace amg::io

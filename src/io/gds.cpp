@@ -1,0 +1,215 @@
+#include "io/gds.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace amg::io {
+namespace {
+
+// GDSII record types used by this writer.
+enum Rec : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kLayer = 0x0D,
+  kDatatype = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+};
+
+// Data type codes (second byte of the record header).
+enum Dt : std::uint8_t {
+  kNoData = 0x00,
+  kInt16 = 0x02,
+  kInt32 = 0x03,
+  kReal8 = 0x05,
+  kAscii = 0x06,
+};
+
+class Writer {
+ public:
+  std::vector<std::uint8_t> bytes;
+
+  void record(Rec rec, Dt dt, const std::vector<std::uint8_t>& payload) {
+    const std::size_t len = 4 + payload.size();
+    bytes.push_back(static_cast<std::uint8_t>(len >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    bytes.push_back(rec);
+    bytes.push_back(dt);
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  }
+
+  static void put16(std::vector<std::uint8_t>& v, std::int16_t x) {
+    v.push_back(static_cast<std::uint8_t>((x >> 8) & 0xFF));
+    v.push_back(static_cast<std::uint8_t>(x & 0xFF));
+  }
+  static void put32(std::vector<std::uint8_t>& v, std::int32_t x) {
+    v.push_back(static_cast<std::uint8_t>((x >> 24) & 0xFF));
+    v.push_back(static_cast<std::uint8_t>((x >> 16) & 0xFF));
+    v.push_back(static_cast<std::uint8_t>((x >> 8) & 0xFF));
+    v.push_back(static_cast<std::uint8_t>(x & 0xFF));
+  }
+
+  /// GDSII 8-byte excess-64 base-16 real.
+  static void putReal8(std::vector<std::uint8_t>& v, double d) {
+    std::uint8_t out[8] = {0};
+    if (d != 0.0) {
+      const bool neg = d < 0;
+      double mant = neg ? -d : d;
+      int exp = 0;
+      while (mant >= 1.0) {
+        mant /= 16.0;
+        ++exp;
+      }
+      while (mant < 1.0 / 16.0) {
+        mant *= 16.0;
+        --exp;
+      }
+      out[0] = static_cast<std::uint8_t>((neg ? 0x80 : 0x00) | ((exp + 64) & 0x7F));
+      for (int i = 1; i < 8; ++i) {
+        mant *= 256.0;
+        const int b = static_cast<int>(mant);
+        out[i] = static_cast<std::uint8_t>(b);
+        mant -= b;
+      }
+    }
+    v.insert(v.end(), out, out + 8);
+  }
+
+  static std::vector<std::uint8_t> ascii(const std::string& s) {
+    std::vector<std::uint8_t> v(s.begin(), s.end());
+    if (v.size() % 2) v.push_back(0);  // records are word-aligned
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> toGds(const db::Module& m) {
+  const tech::Technology& t = m.technology();
+  Writer w;
+
+  std::vector<std::uint8_t> p;
+  Writer::put16(p, 600);  // version
+  w.record(kHeader, kInt16, p);
+
+  // Modification/access timestamps: 12 int16 fields (zeroed).
+  p.assign(24, 0);
+  w.record(kBgnLib, kInt16, p);
+  w.record(kLibName, kAscii, Writer::ascii("AMGEN"));
+
+  // UNITS: user unit in db units (1e-3 -> 1 um per 1000 nm), db unit in m.
+  p.clear();
+  Writer::putReal8(p, 1e-3);
+  Writer::putReal8(p, 1e-9);
+  w.record(kUnits, kReal8, p);
+
+  p.assign(24, 0);
+  w.record(kBgnStr, kInt16, p);
+  w.record(kStrName, kAscii,
+           Writer::ascii(m.name().empty() ? "module" : m.name()));
+
+  for (db::ShapeId id : m.shapeIds()) {
+    const db::Shape& s = m.shape(id);
+    const auto& info = t.info(s.layer);
+    if (info.kind == tech::LayerKind::Marker) continue;
+    w.record(kBoundary, kNoData, {});
+    p.clear();
+    Writer::put16(p, static_cast<std::int16_t>(info.cifId));
+    w.record(kLayer, kInt16, p);
+    p.clear();
+    Writer::put16(p, 0);
+    w.record(kDatatype, kInt16, p);
+    p.clear();
+    const Box& b = s.box;
+    const Point loop[5] = {{b.x1, b.y1}, {b.x2, b.y1}, {b.x2, b.y2}, {b.x1, b.y2},
+                           {b.x1, b.y1}};
+    for (const Point& pt : loop) {
+      Writer::put32(p, static_cast<std::int32_t>(pt.x));
+      Writer::put32(p, static_cast<std::int32_t>(pt.y));
+    }
+    w.record(kXy, kInt32, p);
+    w.record(kEndEl, kNoData, {});
+  }
+
+  w.record(kEndStr, kNoData, {});
+  w.record(kEndLib, kNoData, {});
+  return std::move(w.bytes);
+}
+
+void writeGds(const db::Module& m, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw Error("cannot write GDS file '" + path + "'");
+  const auto bytes = toGds(m);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+GdsLib parseGds(const std::vector<std::uint8_t>& bytes) {
+  GdsLib lib;
+  std::size_t pos = 0;
+  GdsBoundary current;
+  bool inBoundary = false;
+
+  auto get16 = [&](std::size_t at) {
+    return static_cast<std::int16_t>((bytes[at] << 8) | bytes[at + 1]);
+  };
+  auto get32 = [&](std::size_t at) {
+    return static_cast<std::int32_t>((bytes[at] << 24) | (bytes[at + 1] << 16) |
+                                     (bytes[at + 2] << 8) | bytes[at + 3]);
+  };
+
+  while (pos + 4 <= bytes.size()) {
+    const std::size_t len = static_cast<std::size_t>((bytes[pos] << 8) | bytes[pos + 1]);
+    if (len < 4 || pos + len > bytes.size())
+      throw Error("GDS: malformed record at offset " + std::to_string(pos));
+    const std::uint8_t rec = bytes[pos + 2];
+    const std::size_t dataAt = pos + 4;
+    const std::size_t dataLen = len - 4;
+
+    switch (rec) {
+      case kLibName:
+        lib.name.assign(bytes.begin() + static_cast<long>(dataAt),
+                        bytes.begin() + static_cast<long>(dataAt + dataLen));
+        while (!lib.name.empty() && lib.name.back() == '\0') lib.name.pop_back();
+        break;
+      case kStrName:
+        lib.structure.assign(bytes.begin() + static_cast<long>(dataAt),
+                             bytes.begin() + static_cast<long>(dataAt + dataLen));
+        while (!lib.structure.empty() && lib.structure.back() == '\0')
+          lib.structure.pop_back();
+        break;
+      case kBoundary:
+        inBoundary = true;
+        current = GdsBoundary{};
+        break;
+      case kLayer:
+        if (inBoundary) current.layer = get16(dataAt);
+        break;
+      case kXy:
+        if (inBoundary) {
+          for (std::size_t i = 0; i + 8 <= dataLen; i += 8)
+            current.xy.push_back(Point{get32(dataAt + i), get32(dataAt + i + 4)});
+        }
+        break;
+      case kEndEl:
+        if (inBoundary) lib.boundaries.push_back(std::move(current));
+        inBoundary = false;
+        break;
+      case kEndLib:
+        return lib;
+      default:
+        break;  // records we do not interpret
+    }
+    pos += len;
+  }
+  throw Error("GDS: missing ENDLIB");
+}
+
+}  // namespace amg::io

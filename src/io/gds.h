@@ -1,0 +1,40 @@
+// GDSII stream format export (binary) — the industry interchange format,
+// so generated modules can be inspected in KLayout or merged into a flow.
+//
+// One structure per module; every rectangle becomes a BOUNDARY on the
+// layer's numeric id (the same id the CIF writer uses).  Units: database
+// unit 1 nm, user unit 1 um.  A minimal reader for the records this writer
+// emits is provided for round-trip testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+
+namespace amg::io {
+
+/// Serialize the module as a GDSII stream (binary).
+std::vector<std::uint8_t> toGds(const db::Module& m);
+
+/// Write to a file; throws amg::Error on I/O failure.
+void writeGds(const db::Module& m, const std::string& path);
+
+/// One boundary read back from a GDSII stream.
+struct GdsBoundary {
+  int layer = 0;
+  std::vector<Point> xy;  ///< closed loop (first == last), nm units
+};
+
+/// Parse the records toGds() emits (HEADER..ENDLIB with BOUNDARY
+/// elements).  Throws amg::Error on malformed input.  Intended for tests
+/// and simple interchange, not as a general GDSII reader.
+struct GdsLib {
+  std::string name;
+  std::string structure;
+  std::vector<GdsBoundary> boundaries;
+};
+GdsLib parseGds(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace amg::io

@@ -1,0 +1,115 @@
+#include "io/svg.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace amg::io {
+namespace {
+
+// Layer draw order: wells and implants below, cuts on top.
+int drawRank(tech::LayerKind k) {
+  switch (k) {
+    case tech::LayerKind::Well: return 0;
+    case tech::LayerKind::Implant: return 1;
+    case tech::LayerKind::Diffusion: return 2;
+    case tech::LayerKind::Poly: return 3;
+    case tech::LayerKind::Metal: return 4;
+    case tech::LayerKind::Cut: return 5;
+    case tech::LayerKind::Marker: return 6;
+  }
+  return 7;
+}
+
+// SVG pattern definition for one layer's fill style (Fig. 4).
+std::string patternDef(const std::string& id, const std::string& pattern,
+                       const std::string& color) {
+  std::ostringstream os;
+  if (pattern == "solid") return "";  // plain fill, no pattern needed
+  os << "<pattern id=\"" << id << "\" width=\"6\" height=\"6\" "
+     << "patternUnits=\"userSpaceOnUse\">";
+  os << "<rect width=\"6\" height=\"6\" fill=\"" << color << "\" fill-opacity=\"0.25\"/>";
+  if (pattern == "diag") {
+    os << "<path d=\"M0,6 L6,0\" stroke=\"" << color << "\" stroke-width=\"1.2\"/>";
+  } else if (pattern == "cross") {
+    os << "<path d=\"M0,6 L6,0 M0,0 L6,6\" stroke=\"" << color
+       << "\" stroke-width=\"1\"/>";
+  } else if (pattern == "dots") {
+    os << "<circle cx=\"3\" cy=\"3\" r=\"1.2\" fill=\"" << color << "\"/>";
+  } else if (pattern == "hatch") {
+    os << "<path d=\"M0,3 L6,3\" stroke=\"" << color << "\" stroke-width=\"1.2\"/>";
+  }
+  os << "</pattern>";
+  return os.str();
+}
+
+}  // namespace
+
+std::string toSvg(const db::Module& m, const SvgOptions& opt) {
+  const tech::Technology& t = m.technology();
+  const Box bb = m.bboxAll();
+  const double s = opt.scale / kMicron;  // pixels per nm
+  const double margin = opt.marginUm * opt.scale;
+  const double w = (bb.empty() ? 1 : bb.width()) * s + 2 * margin;
+  const double h = (bb.empty() ? 1 : bb.height()) * s + 2 * margin;
+  const double extra = opt.caption ? 18.0 : 0.0;
+
+  // SVG y grows downwards; layout y grows upwards.
+  auto X = [&](Coord x) { return (x - bb.x1) * s + margin; };
+  auto Y = [&](Coord y) { return h - ((y - bb.y1) * s + margin); };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\""
+     << h + extra << "\" viewBox=\"0 0 " << w << ' ' << h + extra << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n<defs>";
+  for (tech::LayerId l = 0; l < t.layerCount(); ++l) {
+    const auto& info = t.info(l);
+    os << patternDef("p" + std::to_string(l), info.pattern, info.color);
+  }
+  os << "</defs>\n";
+
+  // Group shapes by draw rank.
+  std::multimap<int, db::ShapeId> byRank;
+  for (db::ShapeId id : m.shapeIds()) {
+    const auto& info = t.info(m.shape(id).layer);
+    if (opt.hideMarkers && info.kind == tech::LayerKind::Marker) continue;
+    byRank.emplace(drawRank(info.kind), id);
+  }
+
+  for (const auto& [rank, id] : byRank) {
+    (void)rank;
+    const db::Shape& sh = m.shape(id);
+    const auto& info = t.info(sh.layer);
+    const std::string fill = info.pattern == "solid"
+                                 ? info.color
+                                 : "url(#p" + std::to_string(sh.layer) + ")";
+    const double opacity = info.pattern == "solid" ? 0.55 : 1.0;
+    os << "<rect x=\"" << X(sh.box.x1) << "\" y=\"" << Y(sh.box.y2) << "\" width=\""
+       << sh.box.width() * s << "\" height=\"" << sh.box.height() * s << "\" fill=\""
+       << fill << "\" fill-opacity=\"" << opacity << "\" stroke=\"" << info.color
+       << "\" stroke-width=\"0.6\"/>\n";
+    if (opt.labelNets && sh.net != db::kNoNet) {
+      os << "<text x=\"" << X(sh.box.center().x) << "\" y=\"" << Y(sh.box.center().y)
+         << "\" font-size=\"8\" text-anchor=\"middle\" fill=\"black\">"
+         << m.netName(sh.net) << "</text>\n";
+    }
+  }
+
+  if (opt.caption) {
+    os << "<text x=\"4\" y=\"" << h + 13 << "\" font-size=\"11\" fill=\"black\">"
+       << (m.name().empty() ? "module" : m.name()) << "  "
+       << static_cast<double>(bb.width()) / kMicron << " x "
+       << static_cast<double>(bb.height()) / kMicron << " um  ("
+       << m.shapeCount() << " rects)</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void writeSvg(const db::Module& m, const std::string& path, const SvgOptions& opt) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot write SVG file '" + path + "'");
+  f << toSvg(m, opt);
+}
+
+}  // namespace amg::io

@@ -1,0 +1,34 @@
+// SVG rendering of modules, with the per-layer fill patterns of Fig. 4.
+//
+// The paper's environment shows "a corresponding graphical view of the
+// module" next to the source window; this writer is that view for the
+// repository's examples and benches (open the .svg in any browser).
+#pragma once
+
+#include <string>
+
+#include "db/module.h"
+
+namespace amg::io {
+
+struct SvgOptions {
+  /// Pixels per micrometre.
+  double scale = 8.0;
+  /// Margin around the layout, in micrometres.
+  double marginUm = 2.0;
+  /// Draw net names at shape centres.
+  bool labelNets = false;
+  /// Draw a dimension caption (module name and size).
+  bool caption = true;
+  /// Skip marker layers (latch-up guards etc.).
+  bool hideMarkers = false;
+};
+
+/// Render the module as a standalone SVG document.
+std::string toSvg(const db::Module& m, const SvgOptions& options = {});
+
+/// Render and write to a file; throws amg::Error on I/O failure.
+void writeSvg(const db::Module& m, const std::string& path,
+              const SvgOptions& options = {});
+
+}  // namespace amg::io

@@ -1,0 +1,100 @@
+// Abstract syntax of the layout description language.
+//
+// Grammar (statements are newline-terminated; '//' comments):
+//
+//   program      := { statement | entity }
+//   entity       := 'ENT' name '(' entParams ')' NL { statement } [ 'END' ]
+//                   (an entity body also ends at the next ENT or EOF, as in
+//                    the paper's listings)
+//   entParams    := [ entParam { ',' entParam } ]
+//   entParam     := name [ '=' expr ] | '<' name '>'
+//                   -- <name> is optional (rule-derived default);
+//                   -- name = expr supplies an explicit default value
+//   statement    := name '=' expr
+//                 | expr                            -- a call for effect
+//                 | 'IF' expr 'THEN' NL body [ 'ELSE' NL body ] 'ENDIF'
+//                 | 'FOR' name '=' expr 'TO' expr 'DO' NL body 'ENDFOR'
+//                 | [ 'BEST' ] 'VARIANT' NL body { 'OR' NL body } 'ENDVARIANT'
+//                 | 'ERROR' '(' expr ')'
+//   expr         := comparison with + - * / ( ) literals, calls, variables
+//   call         := name '(' [ arg { ',' arg } ] ')'
+//   arg          := [ name '=' ] expr               -- named or positional
+//
+// Number literals are micrometres.  WEST/EAST/SOUTH/NORTH are direction
+// literals.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace amg::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One call argument, optionally named (layer = "poly").
+struct Arg {
+  std::optional<std::string> name;
+  ExprPtr value;
+};
+
+struct Expr {
+  enum class Kind { Number, String, Dir, Var, Binary, Call };
+  Kind kind;
+  int line = 0;
+
+  double number = 0;            // Number
+  std::string text;             // String payload / Var name / Call name
+  Dir dir = Dir::West;          // Dir
+  Tok op = Tok::Plus;           // Binary operator
+  ExprPtr lhs, rhs;             // Binary
+  std::vector<Arg> args;        // Call
+};
+
+struct Stmt;
+using Body = std::vector<Stmt>;
+
+struct Stmt {
+  enum class Kind { Assign, ExprStmt, If, For, Variant, Error };
+  Kind kind;
+  int line = 0;
+
+  std::string name;             // Assign target / For variable
+  ExprPtr expr;                 // Assign value / ExprStmt / If condition /
+                                // Error message
+  ExprPtr expr2;                // For upper bound
+  Body body;                    // If-then / For body
+  Body elseBody;                // If-else
+  std::vector<Body> branches;   // Variant alternatives
+  bool rated = false;           // BEST VARIANT: rate all feasible branches
+};
+
+struct EntityDecl {
+  struct Param {
+    std::string name;
+    bool optional = false;   ///< <name>: may stay unset (rule defaults)
+    ExprPtr defaultValue;    ///< name = expr: evaluated when omitted
+  };
+  std::string name;
+  std::vector<Param> params;
+  Body body;
+  int line = 0;
+};
+
+struct Program {
+  Body top;                          ///< the calling sequence
+  std::vector<EntityDecl> entities;  ///< declarations, in source order
+  const EntityDecl* find(const std::string& name) const;
+};
+
+/// Parse a token stream into a program.
+Program parse(std::vector<Token> tokens);
+
+/// Convenience: lex + parse.
+Program parseSource(const std::string& source);
+
+}  // namespace amg::lang

@@ -1,0 +1,696 @@
+#include "lang/interp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "compact/compactor.h"
+#include "opt/rating.h"
+#include "primitives/primitives.h"
+#include "route/router.h"
+
+namespace amg::lang {
+
+// --------------------------------------------------------------------------
+// Value
+// --------------------------------------------------------------------------
+
+Value Value::number(double v) {
+  Value x;
+  x.kind_ = Kind::Number;
+  x.num_ = v;
+  return x;
+}
+
+Value Value::string(std::string s) {
+  Value x;
+  x.kind_ = Kind::String;
+  x.str_ = std::move(s);
+  return x;
+}
+
+Value Value::direction(Dir d) {
+  Value x;
+  x.kind_ = Kind::Dir;
+  x.dir_ = d;
+  return x;
+}
+
+Value Value::object(db::Module m) {
+  Value x;
+  x.kind_ = Kind::Object;
+  x.obj_ = std::make_shared<const db::Module>(std::move(m));
+  return x;
+}
+
+double Value::asNumber() const {
+  if (kind_ != Kind::Number) throw Error("value is not a number: " + str());
+  return num_;
+}
+
+const std::string& Value::asString() const {
+  if (kind_ != Kind::String) throw Error("value is not a string: " + str());
+  return str_;
+}
+
+Dir Value::asDir() const {
+  if (kind_ != Kind::Dir) throw Error("value is not a direction: " + str());
+  return dir_;
+}
+
+const db::Module& Value::asObject() const {
+  if (kind_ != Kind::Object) throw Error("value is not a layout object: " + str());
+  return *obj_;
+}
+
+Value Value::deepCopy() const {
+  if (kind_ != Kind::Object) return *this;
+  return object(db::Module(*obj_));
+}
+
+std::string Value::str() const {
+  switch (kind_) {
+    case Kind::None: return "<unset>";
+    case Kind::Number: {
+      std::ostringstream os;
+      os << num_;
+      return os.str();
+    }
+    case Kind::String: return "\"" + str_ + "\"";
+    case Kind::Dir: return dirName(dir_);
+    case Kind::Object:
+      return "<object " + obj_->name() + ", " + std::to_string(obj_->shapeCount()) +
+             " rects>";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// Interpreter implementation
+// --------------------------------------------------------------------------
+
+class Interpreter::Impl {
+ public:
+  Impl(Interpreter& host) : host_(host), tech_(*host.tech_) {}
+
+  void execTop(const Body& body) {
+    // Scope 0 aliases the host's globals.
+    execBody(body);
+  }
+
+  db::Module instantiate(const EntityDecl& ent,
+                         const std::vector<std::pair<std::string, Value>>& namedArgs,
+                         int line) {
+    std::vector<Arg> args;  // not used; direct named binding below
+    (void)args;
+    if (++depth_ > 64) throw LangError("entity recursion too deep", line);
+    ++host_.stats_.entityCalls;
+
+    scopes_.emplace_back();
+    for (const auto& p : ent.params) scopes_.back()[p.name] = Value{};
+    for (const auto& [name, v] : namedArgs) {
+      const bool known = std::any_of(ent.params.begin(), ent.params.end(),
+                                     [&](const auto& p) { return p.name == name; });
+      if (!known)
+        throw LangError("entity '" + ent.name + "' has no parameter '" + name + "'",
+                        line);
+      scopes_.back()[name] = v;
+    }
+    for (const auto& p : ent.params) {
+      if (!scopes_.back()[p.name].isNone()) continue;
+      if (p.defaultValue) {
+        // Explicit default, evaluated with earlier parameters in scope.
+        scopes_.back()[p.name] = eval(*p.defaultValue);
+      } else if (!p.optional) {
+        throw LangError("entity '" + ent.name + "': required parameter '" + p.name +
+                            "' missing",
+                        line);
+      }
+    }
+
+    db::Module self(tech_, ent.name);
+    selfStack_.push_back(&self);
+    try {
+      execBody(ent.body);
+    } catch (...) {
+      selfStack_.pop_back();
+      scopes_.pop_back();
+      --depth_;
+      throw;
+    }
+    selfStack_.pop_back();
+    scopes_.pop_back();
+    --depth_;
+    return self;
+  }
+
+ private:
+  // --- environment -------------------------------------------------------
+
+  Value* findVar(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto v = it->find(name);
+      if (v != it->end()) return &v->second;
+    }
+    auto g = host_.globals_.find(name);
+    return g == host_.globals_.end() ? nullptr : &g->second;
+  }
+
+  void setVar(const std::string& name, Value v) {
+    if (Value* existing = findVar(name)) {
+      *existing = std::move(v);
+      return;
+    }
+    if (scopes_.empty())
+      host_.globals_[name] = std::move(v);
+    else
+      scopes_.back()[name] = std::move(v);
+  }
+
+  db::Module& self(int line) {
+    if (selfStack_.empty())
+      throw LangError("geometry statement outside an entity body", line);
+    return *selfStack_.back();
+  }
+
+  static Coord toCoord(double microns) {
+    return static_cast<Coord>(std::llround(microns * kMicron));
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void execBody(const Body& body) {
+    for (const Stmt& s : body) execStmt(s);
+  }
+
+  void execStmt(const Stmt& s) {
+    ++host_.stats_.statementsExecuted;
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        // Assignment copies objects ("trans2 = trans1 // copy of trans1").
+        setVar(s.name, eval(*s.expr).deepCopy());
+        return;
+      }
+      case Stmt::Kind::ExprStmt:
+        (void)eval(*s.expr);
+        return;
+      case Stmt::Kind::If: {
+        const Value c = eval(*s.expr);
+        if (c.asNumber() != 0.0)
+          execBody(s.body);
+        else
+          execBody(s.elseBody);
+        return;
+      }
+      case Stmt::Kind::For: {
+        const double lo = eval(*s.expr).asNumber();
+        const double hi = eval(*s.expr2).asNumber();
+        for (double i = lo; i <= hi + 1e-9; i += 1.0) {
+          setVar(s.name, Value::number(i));
+          execBody(s.body);
+        }
+        return;
+      }
+      case Stmt::Kind::Variant:
+        execVariant(s);
+        return;
+      case Stmt::Kind::Error:
+        throw DesignRuleError(eval(*s.expr).asString());
+    }
+  }
+
+  /// Backtracking (§2.1): try branches against a snapshot of the module
+  /// under construction; a DesignRuleError rolls back and tries the next.
+  /// BEST VARIANT rates every feasible branch and keeps the winner (§2.4).
+  void execVariant(const Stmt& s) {
+    db::Module& me = self(s.line);
+    const db::Module snapshotSelf = me;
+    const auto snapshotScopes = scopes_;
+
+    std::optional<db::Module> bestSelf;
+    std::optional<std::vector<std::map<std::string, Value>>> bestScopes;
+    double bestScore = 0;
+    std::string firstError;
+
+    for (const Body& branch : s.branches) {
+      me = snapshotSelf;
+      scopes_ = snapshotScopes;
+      try {
+        execBody(branch);
+      } catch (const DesignRuleError& e) {
+        ++host_.stats_.variantRollbacks;
+        if (firstError.empty()) firstError = e.what();
+        continue;
+      }
+      if (!s.rated) return;  // first feasible branch wins
+      const double score = opt::rate(me);
+      if (!bestSelf || score < bestScore) {
+        bestScore = score;
+        bestSelf = me;
+        bestScopes = scopes_;
+      }
+    }
+
+    if (bestSelf) {
+      me = std::move(*bestSelf);
+      scopes_ = std::move(*bestScopes);
+      return;
+    }
+    me = snapshotSelf;
+    scopes_ = snapshotScopes;
+    throw DesignRuleError("all VARIANT branches failed" +
+                          (firstError.empty() ? "" : ("; first error: " + firstError)));
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  Value eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Number: return Value::number(e.number);
+      case Expr::Kind::String: return Value::string(e.text);
+      case Expr::Kind::Dir: return Value::direction(e.dir);
+      case Expr::Kind::Var: {
+        const Value* v = findVar(e.text);
+        if (!v) throw LangError("unknown variable '" + e.text + "'", e.line);
+        return *v;
+      }
+      case Expr::Kind::Binary: return evalBinary(e);
+      case Expr::Kind::Call: return evalCall(e);
+    }
+    throw LangError("bad expression", e.line);
+  }
+
+  Value evalBinary(const Expr& e) {
+    const Value a = eval(*e.lhs);
+    const Value b = eval(*e.rhs);
+    if (e.op == Tok::Plus && a.kind() == Value::Kind::String)
+      return Value::string(a.asString() + b.asString());
+    double x, y;
+    try {
+      x = a.asNumber();
+      y = b.asNumber();
+    } catch (const Error& err) {
+      throw LangError(err.what(), e.line);
+    }
+    switch (e.op) {
+      case Tok::Plus: return Value::number(x + y);
+      case Tok::Minus: return Value::number(x - y);
+      case Tok::Star: return Value::number(x * y);
+      case Tok::Slash:
+        if (y == 0) throw LangError("division by zero", e.line);
+        return Value::number(x / y);
+      case Tok::Lt: return Value::number(x < y);
+      case Tok::Gt: return Value::number(x > y);
+      case Tok::Le: return Value::number(x <= y);
+      case Tok::Ge: return Value::number(x >= y);
+      case Tok::EqEq: return Value::number(x == y);
+      case Tok::Ne: return Value::number(x != y);
+      default: throw LangError("bad operator", e.line);
+    }
+  }
+
+  // --- calls ---------------------------------------------------------------
+
+  Value evalCall(const Expr& e) {
+    // Entities shadow builtins, so user code can override library modules.
+    for (const EntityDecl& ent : host_.entities_) {
+      if (ent.name == e.text) {
+        std::vector<std::pair<std::string, Value>> named;
+        std::size_t positional = 0;
+        for (const Arg& a : e.args) {
+          if (a.name) {
+            named.emplace_back(*a.name, eval(*a.value));
+          } else {
+            if (positional >= ent.params.size())
+              throw LangError("too many arguments for entity '" + ent.name + "'",
+                              e.line);
+            named.emplace_back(ent.params[positional++].name, eval(*a.value));
+          }
+        }
+        return Value::object(instantiate(ent, named, e.line));
+      }
+    }
+    return builtin(e);
+  }
+
+  /// Bind a builtin's arguments against its declared slot names.
+  std::vector<Value> bindArgs(const Expr& e, std::initializer_list<const char*> slots,
+                              std::size_t required) {
+    std::vector<std::string> names(slots.begin(), slots.end());
+    std::vector<Value> vals(names.size());
+    std::vector<bool> filled(names.size(), false);
+    std::size_t nextPos = 0;
+    for (const Arg& a : e.args) {
+      if (a.name) {
+        const auto it = std::find(names.begin(), names.end(), *a.name);
+        if (it == names.end())
+          throw LangError(e.text + "() has no parameter '" + *a.name + "'", e.line);
+        const auto idx = static_cast<std::size_t>(it - names.begin());
+        vals[idx] = eval(*a.value);
+        filled[idx] = true;
+      } else {
+        while (nextPos < names.size() && filled[nextPos]) ++nextPos;
+        if (nextPos >= names.size())
+          throw LangError("too many arguments for " + e.text + "()", e.line);
+        vals[nextPos] = eval(*a.value);
+        filled[nextPos] = true;
+        ++nextPos;
+      }
+    }
+    for (std::size_t i = 0; i < required; ++i)
+      if (vals[i].isNone())
+        throw LangError(e.text + "(): required argument '" + names[i] + "' missing",
+                        e.line);
+    return vals;
+  }
+
+  tech::LayerId layerOf(const Value& v, int line) {
+    try {
+      return tech_.layer(v.asString());
+    } catch (const Error& err) {
+      throw LangError(err.what(), line);
+    }
+  }
+
+  std::optional<Coord> optCoord(const Value& v) {
+    if (v.isNone()) return std::nullopt;
+    return toCoord(v.asNumber());
+  }
+
+  db::NetId optNet(db::Module& m, const Value& v) {
+    if (v.isNone()) return db::kNoNet;
+    return m.net(v.asString());
+  }
+
+  Value builtin(const Expr& e) {
+    const std::string& f = e.text;
+    try {
+      if (f == "INBOX") {
+        auto a = bindArgs(e, {"layer", "W", "L", "net"}, 1);
+        db::Module& m = self(e.line);
+        prim::inbox(m, layerOf(a[0], e.line), optCoord(a[1]), optCoord(a[2]),
+                    optNet(m, a[3]));
+        return Value{};
+      }
+      if (f == "AROUND") {
+        auto a = bindArgs(e, {"layer", "margin", "net"}, 1);
+        db::Module& m = self(e.line);
+        prim::around(m, layerOf(a[0], e.line), {}, optCoord(a[1]).value_or(0),
+                     optNet(m, a[2]));
+        return Value{};
+      }
+      if (f == "ARRAY") {
+        auto a = bindArgs(e, {"layer", "net"}, 1);
+        db::Module& m = self(e.line);
+        prim::array(m, layerOf(a[0], e.line), {}, optNet(m, a[1]));
+        return Value{};
+      }
+      if (f == "RING") {
+        auto a = bindArgs(e, {"layer", "W", "gap", "net"}, 1);
+        db::Module& m = self(e.line);
+        prim::ring(m, layerOf(a[0], e.line), optCoord(a[1]), optCoord(a[2]), {},
+                   optNet(m, a[3]));
+        return Value{};
+      }
+      if (f == "TWORECTS") {
+        auto a = bindArgs(e, {"layerA", "layerB", "W", "L", "netA", "netB"}, 4);
+        db::Module& m = self(e.line);
+        prim::tworects(m, layerOf(a[0], e.line), layerOf(a[1], e.line),
+                       toCoord(a[2].asNumber()), toCoord(a[3].asNumber()),
+                       optNet(m, a[4]), optNet(m, a[5]));
+        return Value{};
+      }
+      if (f == "ANGLE") {
+        auto a = bindArgs(e, {"layer", "x", "y", "lenH", "lenV", "W", "net"}, 5);
+        db::Module& m = self(e.line);
+        prim::angleAdaptor(m, layerOf(a[0], e.line),
+                           Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
+                           toCoord(a[3].asNumber()), toCoord(a[4].asNumber()),
+                           optCoord(a[5]), optNet(m, a[6]));
+        return Value{};
+      }
+      if (f == "POLY") {
+        // POLY(layer, x1, y1, x2, y2, ... [, net = "..."]): rectilinear
+        // polygon, converted to rectangles.
+        if (e.args.size() < 7)
+          throw LangError("POLY(layer, x1, y1, ... ) needs at least 3 vertices",
+                          e.line);
+        db::Module& m = self(e.line);
+        tech::LayerId layer = 0;
+        geom::Polygon pts;
+        db::NetId net = db::kNoNet;
+        bool first = true;
+        std::optional<double> pendingX;
+        for (const Arg& a : e.args) {
+          if (a.name) {
+            if (*a.name != "net")
+              throw LangError("POLY(): unknown named argument '" + *a.name + "'",
+                              e.line);
+            net = m.net(eval(*a.value).asString());
+            continue;
+          }
+          const Value v = eval(*a.value);
+          if (first) {
+            layer = layerOf(v, e.line);
+            first = false;
+          } else if (!pendingX) {
+            pendingX = v.asNumber();
+          } else {
+            pts.push_back(Point{toCoord(*pendingX), toCoord(v.asNumber())});
+            pendingX.reset();
+          }
+        }
+        if (pendingX)
+          throw LangError("POLY(): odd number of coordinates", e.line);
+        prim::polygon(m, layer, pts, net);
+        return Value{};
+      }
+      if (f == "WIRE") {
+        auto a = bindArgs(e, {"layer", "x1", "y1", "x2", "y2", "W", "net"}, 5);
+        db::Module& m = self(e.line);
+        route::wireStraight(m, layerOf(a[0], e.line),
+                            Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
+                            Point{toCoord(a[3].asNumber()), toCoord(a[4].asNumber())},
+                            optCoord(a[5]), optNet(m, a[6]));
+        return Value{};
+      }
+      if (f == "VIA") {
+        auto a = bindArgs(e, {"x", "y", "from", "to", "net"}, 4);
+        db::Module& m = self(e.line);
+        route::viaStack(m, Point{toCoord(a[0].asNumber()), toCoord(a[1].asNumber())},
+                        layerOf(a[2], e.line), layerOf(a[3], e.line), optNet(m, a[4]));
+        return Value{};
+      }
+      if (f == "compact") {
+        if (e.args.size() < 2)
+          throw LangError("compact(obj, direction, [layers...])", e.line);
+        std::vector<Value> vals;
+        for (const Arg& a : e.args) {
+          if (a.name) throw LangError("compact() takes positional arguments", e.line);
+          vals.push_back(eval(*a.value));
+        }
+        db::Module& m = self(e.line);
+        compact::Options opt;
+        for (std::size_t i = 2; i < vals.size(); ++i)
+          opt.ignoreLayers.push_back(layerOf(vals[i], e.line));
+        compact::compact(m, vals[0].asObject(), vals[1].asDir(), opt);
+        ++host_.stats_.compactions;
+        return Value{};
+      }
+      if (f == "PIN") {
+        auto a = bindArgs(e, {"name", "x", "y", "layer", "net"}, 4);
+        db::Module& m = self(e.line);
+        m.addPort(a[0].asString(),
+                  Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
+                  layerOf(a[3], e.line), optNet(m, a[4]));
+        return Value{};
+      }
+      if (f == "setnet") {
+        auto a = bindArgs(e, {"layer", "net"}, 2);
+        db::Module& m = self(e.line);
+        const auto layer = layerOf(a[0], e.line);
+        const db::NetId net = m.net(a[1].asString());
+        for (db::ShapeId id : m.shapesOn(layer)) m.shape(id).net = net;
+        return Value{};
+      }
+      if (f == "renamenet") {
+        auto a = bindArgs(e, {"old", "new"}, 2);
+        db::Module& m = self(e.line);
+        if (auto old = m.findNet(a[0].asString()))
+          m.moveNet(*old, m.net(a[1].asString()));
+        return Value{};
+      }
+      if (f == "varedge") {
+        auto a = bindArgs(e, {"layer", "side"}, 2);
+        db::Module& m = self(e.line);
+        const auto layer = layerOf(a[0], e.line);
+        const std::string side = a[1].asString();
+        for (db::ShapeId id : m.shapesOn(layer)) {
+          auto& flags = m.shape(id).varEdges;
+          if (side == "all") {
+            flags = db::EdgeFlags::allVariable();
+          } else if (side == "left") flags.setVariable(Side::Left, true);
+          else if (side == "right") flags.setVariable(Side::Right, true);
+          else if (side == "top") flags.setVariable(Side::Top, true);
+          else if (side == "bottom") flags.setVariable(Side::Bottom, true);
+          else throw LangError("varedge(): bad side '" + side + "'", e.line);
+        }
+        return Value{};
+      }
+      if (f == "avoidoverlap") {
+        auto a = bindArgs(e, {"layer"}, 1);
+        db::Module& m = self(e.line);
+        for (db::ShapeId id : m.shapesOn(layerOf(a[0], e.line)))
+          m.shape(id).avoidOverlap = true;
+        return Value{};
+      }
+      if (f == "mirrorx") {
+        auto a = bindArgs(e, {"obj", "axis"}, 1);
+        db::Module m = a[0].asObject();
+        const Coord axis =
+            a[1].isNone() ? m.bboxAll().center().x : toCoord(a[1].asNumber());
+        m.transform(geom::Transform::mirrorX(axis));
+        return Value::object(std::move(m));
+      }
+      if (f == "mirrory") {
+        auto a = bindArgs(e, {"obj", "axis"}, 1);
+        db::Module m = a[0].asObject();
+        const Coord axis =
+            a[1].isNone() ? m.bboxAll().center().y : toCoord(a[1].asNumber());
+        m.transform(geom::Transform::mirrorY(axis));
+        return Value::object(std::move(m));
+      }
+      if (f == "rot180") {
+        auto a = bindArgs(e, {"obj"}, 1);
+        db::Module m = a[0].asObject();
+        m.transform(geom::Transform::rotate180(m.bboxAll().center()));
+        return Value::object(std::move(m));
+      }
+      if (f == "area") {
+        auto a = bindArgs(e, {"obj"}, 1);
+        const Box bb = a[0].asObject().bbox();
+        return Value::number(static_cast<double>(bb.area()) / (kMicron * kMicron));
+      }
+      if (f == "width") {
+        auto a = bindArgs(e, {"obj"}, 1);
+        return Value::number(static_cast<double>(a[0].asObject().bbox().width()) /
+                             kMicron);
+      }
+      if (f == "height") {
+        auto a = bindArgs(e, {"obj"}, 1);
+        return Value::number(static_cast<double>(a[0].asObject().bbox().height()) /
+                             kMicron);
+      }
+      if (f == "minwidth") {
+        auto a = bindArgs(e, {"layer"}, 1);
+        return Value::number(
+            static_cast<double>(tech_.minWidth(layerOf(a[0], e.line))) / kMicron);
+      }
+      if (f == "floor") {
+        auto a = bindArgs(e, {"x"}, 1);
+        return Value::number(std::floor(a[0].asNumber()));
+      }
+      if (f == "min") {
+        auto a = bindArgs(e, {"x", "y"}, 2);
+        return Value::number(std::min(a[0].asNumber(), a[1].asNumber()));
+      }
+      if (f == "max") {
+        auto a = bindArgs(e, {"x", "y"}, 2);
+        return Value::number(std::max(a[0].asNumber(), a[1].asNumber()));
+      }
+      if (f == "isset") {
+        auto a = bindArgs(e, {"x"}, 0);
+        return Value::number(a[0].isNone() ? 0.0 : 1.0);
+      }
+      if (f == "print") {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          if (i) os << ' ';
+          const Value v = eval(*e.args[i].value);
+          // Strings print raw, everything else in display form.
+          if (v.kind() == Value::Kind::String)
+            os << v.asString();
+          else
+            os << v.str();
+        }
+        host_.output_.push_back(os.str());
+        return Value{};
+      }
+    } catch (const LangError&) {
+      throw;
+    } catch (const DesignRuleError&) {
+      throw;  // preserved for VARIANT backtracking
+    } catch (const Error& err) {
+      throw LangError(std::string(err.what()) + " (in " + f + "())", e.line);
+    }
+    throw LangError("unknown entity or function '" + f + "'", e.line);
+  }
+
+  Interpreter& host_;
+  const tech::Technology& tech_;
+  std::vector<std::map<std::string, Value>> scopes_;
+  std::vector<db::Module*> selfStack_;
+  int depth_ = 0;
+};
+
+// --------------------------------------------------------------------------
+// Interpreter facade
+// --------------------------------------------------------------------------
+
+Interpreter::Interpreter(const tech::Technology& tech) : tech_(&tech) {}
+
+void Interpreter::load(const std::string& source) {
+  Program prog = parseSource(source);
+  for (EntityDecl& e : prog.entities) {
+    // Later declarations shadow earlier ones (remove the old).
+    entities_.erase(std::remove_if(entities_.begin(), entities_.end(),
+                                   [&](const EntityDecl& x) { return x.name == e.name; }),
+                    entities_.end());
+    entities_.push_back(std::move(e));
+  }
+  if (!prog.top.empty())
+    throw LangError("load(): script has top-level statements; use run()",
+                    prog.top.front().line);
+}
+
+void Interpreter::run(const std::string& source) {
+  Program prog = parseSource(source);
+  for (EntityDecl& e : prog.entities) {
+    entities_.erase(std::remove_if(entities_.begin(), entities_.end(),
+                                   [&](const EntityDecl& x) { return x.name == e.name; }),
+                    entities_.end());
+    entities_.push_back(std::move(e));
+  }
+  Impl impl(*this);
+  impl.execTop(prog.top);
+}
+
+db::Module Interpreter::instantiate(
+    const std::string& entity, const std::vector<std::pair<std::string, Value>>& args) {
+  const auto it = std::find_if(entities_.begin(), entities_.end(),
+                               [&](const EntityDecl& e) { return e.name == entity; });
+  if (it == entities_.end())
+    throw LangError("unknown entity '" + entity + "'", 0);
+  Impl impl(*this);
+  return impl.instantiate(*it, args, it->line);
+}
+
+const Value* Interpreter::global(const std::string& name) const {
+  const auto it = globals_.find(name);
+  return it == globals_.end() ? nullptr : &it->second;
+}
+
+const db::Module& Interpreter::globalObject(const std::string& name) const {
+  const Value* v = global(name);
+  if (!v) throw Error("script did not define '" + name + "'");
+  return v->asObject();
+}
+
+db::Module runScript(const tech::Technology& tech, const std::string& source,
+                     const std::string& resultVar) {
+  Interpreter in(tech);
+  in.run(source);
+  return in.globalObject(resultVar);
+}
+
+}  // namespace amg::lang

@@ -1,0 +1,110 @@
+// Tree-walking interpreter of the layout description language.
+//
+// "The implemented language interpreter evaluates and fulfills the design
+// rules automatically" (§2.1): every builtin maps onto the primitive shape
+// functions and the successive compactor, so scripts never see a
+// coordinate or a rule value.  The paper's workflow translates module
+// source into C++; here the interpreter and the C++ module library share
+// the same underlying functions, so both paths are first-class.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+#include "lang/ast.h"
+
+namespace amg::lang {
+
+/// A runtime value: nothing (an omitted optional parameter), a number in
+/// micrometres, a string, a compass direction, or a layout object.
+class Value {
+ public:
+  enum class Kind { None, Number, String, Dir, Object };
+
+  Value() = default;
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value direction(Dir d);
+  static Value object(db::Module m);
+
+  Kind kind() const { return kind_; }
+  bool isNone() const { return kind_ == Kind::None; }
+
+  /// Checked accessors; throw LangError via the interpreter's helpers.
+  double asNumber() const;
+  const std::string& asString() const;
+  Dir asDir() const;
+  const db::Module& asObject() const;
+
+  /// Deep copy for assignment semantics ("trans2 = trans1 // copy").
+  Value deepCopy() const;
+
+  /// Display form for print() and diagnostics.
+  std::string str() const;
+
+ private:
+  Kind kind_ = Kind::None;
+  double num_ = 0;
+  std::string str_;
+  Dir dir_ = Dir::West;
+  std::shared_ptr<const db::Module> obj_;
+};
+
+/// Interpreter statistics (reported by the benches: the paper quotes
+/// "about 180 lines" and "five seconds" for the big module).
+struct InterpStats {
+  std::size_t statementsExecuted = 0;
+  std::size_t entityCalls = 0;
+  std::size_t compactions = 0;
+  std::size_t variantRollbacks = 0;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const tech::Technology& tech);
+
+  /// Parse and register a script: entities are added to the registry, the
+  /// top-level statements (the "calling sequence") run immediately.
+  void run(const std::string& source);
+
+  /// Register entities only (no top-level execution).
+  void load(const std::string& source);
+
+  /// Instantiate an entity with named arguments.
+  db::Module instantiate(const std::string& entity,
+                         const std::vector<std::pair<std::string, Value>>& args = {});
+
+  /// Look up a global produced by the calling sequence (nullptr if absent).
+  const Value* global(const std::string& name) const;
+  /// All globals the calling sequence bound, by name.
+  const std::map<std::string, Value>& globals() const { return globals_; }
+  /// Convenience for the common case: a global layout object.
+  const db::Module& globalObject(const std::string& name) const;
+
+  const InterpStats& stats() const { return stats_; }
+
+  /// Lines printed by the script's print() builtin.
+  const std::vector<std::string>& output() const { return output_; }
+
+ private:
+  struct Frame;
+  class Impl;
+
+  const tech::Technology* tech_;
+  std::vector<EntityDecl> entities_;
+  std::map<std::string, Value> globals_;
+  InterpStats stats_;
+  std::vector<std::string> output_;
+
+  friend class Impl;
+};
+
+/// One-shot helper: run `source` and return the object bound to
+/// `resultVar` by the calling sequence.
+db::Module runScript(const tech::Technology& tech, const std::string& source,
+                     const std::string& resultVar);
+
+}  // namespace amg::lang

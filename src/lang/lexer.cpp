@@ -1,0 +1,126 @@
+#include <cctype>
+#include <map>
+
+#include "lang/token.h"
+
+namespace amg::lang {
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"ENT", Tok::KwEnt},         {"END", Tok::KwEnd},
+      {"IF", Tok::KwIf},           {"THEN", Tok::KwThen},
+      {"ELSE", Tok::KwElse},       {"ENDIF", Tok::KwEndif},
+      {"FOR", Tok::KwFor},         {"TO", Tok::KwTo},
+      {"DO", Tok::KwDo},           {"ENDFOR", Tok::KwEndfor},
+      {"VARIANT", Tok::KwVariant}, {"OR", Tok::KwOr},
+      {"ENDVARIANT", Tok::KwEndvariant}, {"BEST", Tok::KwBest},
+      {"WEST", Tok::KwWest},       {"EAST", Tok::KwEast},
+      {"SOUTH", Tok::KwSouth},     {"NORTH", Tok::KwNorth},
+      {"ERROR", Tok::KwError},
+  };
+  return kw;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](Tok k, std::string text = {}, double num = 0) {
+    out.push_back(Token{k, std::move(text), num, line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      // Collapse runs of newlines into one separator.
+      if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t end = i;
+      int dots = 0;
+      while (end < n && (std::isdigit(static_cast<unsigned char>(src[end])) ||
+                         src[end] == '.')) {
+        if (src[end] == '.') ++dots;
+        ++end;
+      }
+      const std::string text = src.substr(i, end - i);
+      if (dots > 1 || text.back() == '.')
+        throw LangError("malformed number '" + text + "'", line);
+      push(Tok::Number, text, std::stod(text));
+      i = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i;
+      while (end < n && (std::isalnum(static_cast<unsigned char>(src[end])) ||
+                         src[end] == '_'))
+        ++end;
+      const std::string word = src.substr(i, end - i);
+      const auto kw = keywords().find(word);
+      if (kw != keywords().end())
+        push(kw->second, word);
+      else
+        push(Tok::Ident, word);
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t end = i + 1;
+      while (end < n && src[end] != '"' && src[end] != '\n') ++end;
+      if (end >= n || src[end] != '"')
+        throw LangError("unterminated string literal", line);
+      push(Tok::String, src.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && src[i + 1] == b;
+    };
+    if (two('<', '=')) { push(Tok::Le); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::Ge); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::EqEq); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::Ne); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case ',': push(Tok::Comma); break;
+      case '=': push(Tok::Assign); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '<': push(Tok::Lt); break;
+      case '>': push(Tok::Gt); break;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'", line);
+    }
+    ++i;
+  }
+  if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace amg::lang

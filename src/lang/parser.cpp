@@ -1,0 +1,347 @@
+#include <algorithm>
+
+#include "lang/ast.h"
+
+namespace amg::lang {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program parse() {
+    Program prog;
+    skipNewlines();
+    while (!at(Tok::End)) {
+      if (at(Tok::KwEnt)) {
+        prog.entities.push_back(parseEntity());
+      } else {
+        prog.top.push_back(parseStatement());
+      }
+      skipNewlines();
+    }
+    return prog;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  const Token& advance() { return toks_[pos_++]; }
+  int line() const { return cur().line; }
+
+  const Token& expect(Tok k, const char* what) {
+    if (!at(k)) throw LangError(std::string("expected ") + what, line());
+    return advance();
+  }
+
+  void skipNewlines() {
+    while (at(Tok::Newline)) advance();
+  }
+
+  void endStatement() {
+    if (at(Tok::End)) return;
+    expect(Tok::Newline, "end of statement");
+  }
+
+  // --- entities ---------------------------------------------------------
+
+  EntityDecl parseEntity() {
+    EntityDecl ent;
+    ent.line = line();
+    expect(Tok::KwEnt, "ENT");
+    ent.name = expect(Tok::Ident, "entity name").text;
+    expect(Tok::LParen, "'('");
+    if (!at(Tok::RParen)) {
+      for (;;) {
+        EntityDecl::Param p;
+        if (at(Tok::Lt)) {
+          advance();
+          p.optional = true;
+          p.name = expect(Tok::Ident, "parameter name").text;
+          expect(Tok::Gt, "'>'");
+        } else {
+          p.name = expect(Tok::Ident, "parameter name").text;
+          if (at(Tok::Assign)) {
+            advance();
+            p.defaultValue = parseExpr();
+          }
+        }
+        ent.params.push_back(std::move(p));
+        if (!at(Tok::Comma)) break;
+        advance();
+      }
+    }
+    expect(Tok::RParen, "')'");
+    endStatement();
+
+    // The body runs until END, the next ENT, or EOF (the paper's listings
+    // have no explicit terminator).
+    skipNewlines();
+    while (!at(Tok::End) && !at(Tok::KwEnt) && !at(Tok::KwEnd)) {
+      ent.body.push_back(parseStatement());
+      skipNewlines();
+    }
+    if (at(Tok::KwEnd)) {
+      advance();
+      endStatement();
+    }
+    return ent;
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  Stmt parseStatement() {
+    if (at(Tok::KwIf)) return parseIf();
+    if (at(Tok::KwFor)) return parseFor();
+    if (at(Tok::KwVariant) || at(Tok::KwBest)) return parseVariant();
+    if (at(Tok::KwError)) return parseError();
+
+    // Assignment vs expression statement: IDENT '=' that is not '=='.
+    if (at(Tok::Ident) && toks_[pos_ + 1].kind == Tok::Assign) {
+      Stmt s;
+      s.kind = Stmt::Kind::Assign;
+      s.line = line();
+      s.name = advance().text;
+      advance();  // '='
+      s.expr = parseExpr();
+      endStatement();
+      return s;
+    }
+    Stmt s;
+    s.kind = Stmt::Kind::ExprStmt;
+    s.line = line();
+    s.expr = parseExpr();
+    endStatement();
+    return s;
+  }
+
+  Stmt parseIf() {
+    Stmt s;
+    s.kind = Stmt::Kind::If;
+    s.line = line();
+    expect(Tok::KwIf, "IF");
+    s.expr = parseExpr();
+    expect(Tok::KwThen, "THEN");
+    endStatement();
+    skipNewlines();
+    while (!at(Tok::KwElse) && !at(Tok::KwEndif)) {
+      if (at(Tok::End)) throw LangError("IF without ENDIF", s.line);
+      s.body.push_back(parseStatement());
+      skipNewlines();
+    }
+    if (at(Tok::KwElse)) {
+      advance();
+      endStatement();
+      skipNewlines();
+      while (!at(Tok::KwEndif)) {
+        if (at(Tok::End)) throw LangError("ELSE without ENDIF", s.line);
+        s.elseBody.push_back(parseStatement());
+        skipNewlines();
+      }
+    }
+    expect(Tok::KwEndif, "ENDIF");
+    endStatement();
+    return s;
+  }
+
+  Stmt parseFor() {
+    Stmt s;
+    s.kind = Stmt::Kind::For;
+    s.line = line();
+    expect(Tok::KwFor, "FOR");
+    s.name = expect(Tok::Ident, "loop variable").text;
+    expect(Tok::Assign, "'='");
+    s.expr = parseExpr();
+    expect(Tok::KwTo, "TO");
+    s.expr2 = parseExpr();
+    expect(Tok::KwDo, "DO");
+    endStatement();
+    skipNewlines();
+    while (!at(Tok::KwEndfor)) {
+      if (at(Tok::End)) throw LangError("FOR without ENDFOR", s.line);
+      s.body.push_back(parseStatement());
+      skipNewlines();
+    }
+    expect(Tok::KwEndfor, "ENDFOR");
+    endStatement();
+    return s;
+  }
+
+  Stmt parseVariant() {
+    Stmt s;
+    s.kind = Stmt::Kind::Variant;
+    s.line = line();
+    if (at(Tok::KwBest)) {
+      advance();
+      s.rated = true;
+    }
+    expect(Tok::KwVariant, "VARIANT");
+    endStatement();
+    s.branches.emplace_back();
+    skipNewlines();
+    while (!at(Tok::KwEndvariant)) {
+      if (at(Tok::End)) throw LangError("VARIANT without ENDVARIANT", s.line);
+      if (at(Tok::KwOr)) {
+        advance();
+        endStatement();
+        s.branches.emplace_back();
+        skipNewlines();
+        continue;
+      }
+      s.branches.back().push_back(parseStatement());
+      skipNewlines();
+    }
+    expect(Tok::KwEndvariant, "ENDVARIANT");
+    endStatement();
+    return s;
+  }
+
+  Stmt parseError() {
+    Stmt s;
+    s.kind = Stmt::Kind::Error;
+    s.line = line();
+    expect(Tok::KwError, "ERROR");
+    expect(Tok::LParen, "'('");
+    s.expr = parseExpr();
+    expect(Tok::RParen, "')'");
+    endStatement();
+    return s;
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  ExprPtr parseExpr() { return parseComparison(); }
+
+  ExprPtr parseComparison() {
+    ExprPtr e = parseAdditive();
+    while (at(Tok::Lt) || at(Tok::Gt) || at(Tok::Le) || at(Tok::Ge) ||
+           at(Tok::EqEq) || at(Tok::Ne)) {
+      auto b = std::make_unique<Expr>();
+      b->kind = Expr::Kind::Binary;
+      b->line = line();
+      b->op = advance().kind;
+      b->lhs = std::move(e);
+      b->rhs = parseAdditive();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr e = parseMultiplicative();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      auto b = std::make_unique<Expr>();
+      b->kind = Expr::Kind::Binary;
+      b->line = line();
+      b->op = advance().kind;
+      b->lhs = std::move(e);
+      b->rhs = parseMultiplicative();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr e = parseUnary();
+    while (at(Tok::Star) || at(Tok::Slash)) {
+      auto b = std::make_unique<Expr>();
+      b->kind = Expr::Kind::Binary;
+      b->line = line();
+      b->op = advance().kind;
+      b->lhs = std::move(e);
+      b->rhs = parseUnary();
+      e = std::move(b);
+    }
+    return e;
+  }
+
+  ExprPtr parseUnary() {
+    if (at(Tok::Minus)) {
+      const int ln = line();
+      advance();
+      auto zero = std::make_unique<Expr>();
+      zero->kind = Expr::Kind::Number;
+      zero->line = ln;
+      zero->number = 0;
+      auto b = std::make_unique<Expr>();
+      b->kind = Expr::Kind::Binary;
+      b->line = ln;
+      b->op = Tok::Minus;
+      b->lhs = std::move(zero);
+      b->rhs = parseUnary();
+      return b;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    auto e = std::make_unique<Expr>();
+    e->line = line();
+    switch (cur().kind) {
+      case Tok::Number:
+        e->kind = Expr::Kind::Number;
+        e->number = advance().number;
+        return e;
+      case Tok::String:
+        e->kind = Expr::Kind::String;
+        e->text = advance().text;
+        return e;
+      case Tok::KwWest: e->kind = Expr::Kind::Dir; e->dir = Dir::West; advance(); return e;
+      case Tok::KwEast: e->kind = Expr::Kind::Dir; e->dir = Dir::East; advance(); return e;
+      case Tok::KwSouth: e->kind = Expr::Kind::Dir; e->dir = Dir::South; advance(); return e;
+      case Tok::KwNorth: e->kind = Expr::Kind::Dir; e->dir = Dir::North; advance(); return e;
+      case Tok::LParen: {
+        advance();
+        ExprPtr inner = parseExpr();
+        expect(Tok::RParen, "')'");
+        return inner;
+      }
+      case Tok::Ident: {
+        const std::string name = advance().text;
+        if (at(Tok::LParen)) {
+          e->kind = Expr::Kind::Call;
+          e->text = name;
+          advance();
+          if (!at(Tok::RParen)) {
+            for (;;) {
+              Arg a;
+              // Named argument: IDENT '=' expr (not '==').
+              if (at(Tok::Ident) && toks_[pos_ + 1].kind == Tok::Assign) {
+                a.name = advance().text;
+                advance();
+              }
+              a.value = parseExpr();
+              e->args.push_back(std::move(a));
+              if (!at(Tok::Comma)) break;
+              advance();
+            }
+          }
+          expect(Tok::RParen, "')'");
+          return e;
+        }
+        e->kind = Expr::Kind::Var;
+        e->text = name;
+        return e;
+      }
+      default:
+        throw LangError("expected an expression", line());
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const EntityDecl* Program::find(const std::string& name) const {
+  const auto it = std::find_if(entities.begin(), entities.end(),
+                               [&](const EntityDecl& e) { return e.name == name; });
+  return it == entities.end() ? nullptr : &*it;
+}
+
+Program parse(std::vector<Token> tokens) { return Parser(std::move(tokens)).parse(); }
+
+Program parseSource(const std::string& source) { return parse(lex(source)); }
+
+}  // namespace amg::lang

@@ -1,0 +1,53 @@
+// Tokens of the procedural layout description language (§2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/coord.h"
+
+namespace amg::lang {
+
+enum class Tok : std::uint8_t {
+  End,        ///< end of input
+  Newline,    ///< statement separator (newline or ';')
+  Ident,      ///< identifiers: variables, entity and builtin names
+  Number,     ///< numeric literal (micrometres)
+  String,     ///< "quoted" string literal
+  LParen, RParen,
+  Comma,
+  Assign,     ///< =
+  Plus, Minus, Star, Slash,
+  Lt, Gt, Le, Ge, EqEq, Ne,
+  // Keywords -----------------------------------------------------------
+  KwEnt, KwEnd,
+  KwIf, KwThen, KwElse, KwEndif,
+  KwFor, KwTo, KwDo, KwEndfor,
+  KwVariant, KwOr, KwEndvariant, KwBest,
+  KwWest, KwEast, KwSouth, KwNorth,
+  KwError,    ///< ERROR("message"): raise a DesignRuleError (backtracking)
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   ///< identifier / string payload
+  double number = 0;  ///< numeric payload
+  int line = 0;
+};
+
+/// Diagnostic with a source location, the language counterpart of the
+/// paper's "an error message occurs".
+class LangError : public Error {
+ public:
+  LangError(const std::string& what, int line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenize a complete source text; '//' starts a line comment.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace amg::lang

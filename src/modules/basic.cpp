@@ -1,0 +1,75 @@
+#include "modules/basic.h"
+
+#include "compact/compactor.h"
+#include "primitives/primitives.h"
+
+namespace amg::modules {
+
+db::Module contactRow(const Technology& t, const ContactRowSpec& spec) {
+  db::Module m(t, "ContactRow");
+  const db::NetId net = m.net(spec.net);
+  prim::inbox(m, t.layer(spec.layer), spec.w, spec.l, net);
+  prim::inbox(m, t.layer("metal1"), std::nullopt, std::nullopt, net);
+  prim::array(m, t.layer("contact"), {}, net);
+  return m;
+}
+
+db::Module mosTransistor(const Technology& t, const MosSpec& spec) {
+  db::Module m(t, "Mos");
+  const db::NetId gate = m.net(spec.gateNet);
+  prim::tworects(m, t.layer("poly"), t.layer(spec.diffLayer), spec.w, spec.l, gate,
+                 db::kNoNet);
+
+  if (spec.gateContact) {
+    ContactRowSpec rc;
+    rc.layer = "poly";
+    rc.w = spec.l;  // match the gate stripe; auto-expands when too narrow
+    rc.net = spec.gateNet;
+    compact::compact(m, contactRow(t, rc), Dir::South, {"poly"});
+  }
+  if (spec.sourceContact) {
+    ContactRowSpec rc;
+    rc.layer = spec.diffLayer;
+    rc.l = spec.w;
+    rc.net = spec.sourceNet;
+    // West-side row: the object arrives moving east.
+    compact::compact(m, contactRow(t, rc), Dir::East, {spec.diffLayer.c_str()});
+  }
+  if (spec.drainContact) {
+    ContactRowSpec rc;
+    rc.layer = spec.diffLayer;
+    rc.l = spec.w;
+    rc.net = spec.drainNet;
+    compact::compact(m, contactRow(t, rc), Dir::West, {spec.diffLayer.c_str()});
+  }
+  return m;
+}
+
+db::Module diffPair(const Technology& t, const DiffPairSpec& spec) {
+  // The five compaction steps of Fig. 7, with electrical potentials:
+  // [outA row][gate A][tail row][gate B][outB row].
+  MosSpec ma;
+  ma.w = spec.w;
+  ma.l = spec.l;
+  ma.diffLayer = spec.diffLayer;
+  ma.gateNet = spec.gateANet;
+  ma.sourceNet = spec.outANet;  // west row of transistor A = its drain
+  ma.drainContact = false;
+  MosSpec mb = ma;
+  mb.gateNet = spec.gateBNet;
+  mb.sourceNet = spec.tailNet;  // west row of transistor B = shared source
+
+  db::Module m(t, "DiffPair");
+  compact::compact(m, mosTransistor(t, ma), Dir::West);                     // step 3
+  compact::compact(m, mosTransistor(t, mb), Dir::West, {spec.diffLayer.c_str()});  // step 4
+
+  ContactRowSpec rb;
+  rb.layer = spec.diffLayer;
+  rb.l = spec.w;
+  rb.net = spec.outBNet;
+  compact::compact(m, contactRow(t, rb), Dir::West, {spec.diffLayer.c_str()});  // step 5
+  m.setName("DiffPair");
+  return m;
+}
+
+}  // namespace amg::modules

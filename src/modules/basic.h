@@ -1,0 +1,64 @@
+// Basic parameterizable modules: the contact row of Fig. 2, the MOS
+// transistor and the simple differential pair of Figs. 6/7.
+//
+// These C++ generators mirror the DSL listings one-to-one (the DSL versions
+// live in scripts/*.amg); both drive the same primitives and compactor, as
+// the paper's "source code is automatically translated into C++" workflow
+// implies.  All dimensions in nm; all rule values come from the technology.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "db/module.h"
+
+namespace amg::modules {
+
+using tech::Technology;
+
+/// The contact row of Fig. 2: a rectangle on `layer`, a metal1 rectangle
+/// inside it, and the maximal equidistant contact array.  Omitted
+/// dimensions take the rule minimum; too-small dimensions are expanded so
+/// at least one contact always fits (Fig. 3, left).
+struct ContactRowSpec {
+  std::string layer = "poly";
+  std::optional<Coord> w;  ///< x-extent
+  std::optional<Coord> l;  ///< y-extent
+  std::string net;         ///< potential of the whole row
+};
+db::Module contactRow(const Technology& t, const ContactRowSpec& spec);
+
+/// A single MOS transistor in the style of the paper's "Trans" entity:
+/// TWORECTS gate/diffusion plus compacted contact rows.  The gate is a
+/// vertical stripe (channel length `l` in x, width `w` in y); diffusion
+/// contact rows land on the west and east sides, the gate contact row on
+/// the south end of the gate.
+struct MosSpec {
+  Coord w = 0;                    ///< channel width (nm)
+  Coord l = 0;                    ///< channel length (nm)
+  std::string diffLayer = "pdiff";
+  std::string gateNet = "g";
+  std::string sourceNet = "s";    ///< west contact row
+  std::string drainNet = "d";     ///< east contact row
+  bool gateContact = true;
+  bool sourceContact = true;
+  bool drainContact = true;
+};
+db::Module mosTransistor(const Technology& t, const MosSpec& spec);
+
+/// The simple MOS differential pair of Figs. 6/7: two transistors and three
+/// diffusion contact rows, built with the paper's five compaction steps.
+/// The shared middle row is the common-source node.
+struct DiffPairSpec {
+  Coord w = 0;
+  Coord l = 0;
+  std::string diffLayer = "pdiff";
+  std::string tailNet = "tail";   ///< common source (middle row)
+  std::string outANet = "outa";   ///< left drain row
+  std::string outBNet = "outb";   ///< right drain row
+  std::string gateANet = "inp";
+  std::string gateBNet = "inn";
+};
+db::Module diffPair(const Technology& t, const DiffPairSpec& spec);
+
+}  // namespace amg::modules

@@ -1,0 +1,79 @@
+#include "modules/bipolar.h"
+
+#include "compact/compactor.h"
+#include "modules/basic.h"
+#include "primitives/primitives.h"
+
+namespace amg::modules {
+
+db::Module bipolarNpn(const Technology& t, const NpnSpec& spec) {
+  if (!t.findLayer("pbase") || !t.findLayer("nplus"))
+    throw DesignRuleError("technology '" + t.name() + "' has no bipolar layers");
+
+  db::Module m(t, spec.name);
+  const db::NetId e = m.net(spec.emitterNet);
+
+  // Emitter: nplus stripe with its metal and contact array.
+  const auto emitter =
+      prim::inbox(m, t.layer("nplus"), spec.emitterW, spec.emitterL, e);
+  prim::inbox(m, t.layer("metal1"), std::nullopt, std::nullopt, e, {emitter});
+  prim::array(m, t.layer("contact"), {emitter, m.shapeIds().back()}, e);
+
+  // Base implant around the emitter (enclosure pbase > nplus from rules).
+  const auto baseId = prim::around(m, t.layer("pbase"), {emitter}, 0, m.net(spec.baseNet));
+
+  // Base contact row beside the emitter, merging into the base implant.
+  {
+    ContactRowSpec rc;
+    rc.layer = "pbase";
+    rc.l = m.shape(baseId).box.height();
+    rc.net = spec.baseNet;
+    compact::compact(m, contactRow(t, rc), Dir::West, {"pbase"});
+  }
+
+  // Collector plug: an nplus contact row kept clear of the base implant.
+  {
+    ContactRowSpec rc;
+    rc.layer = "nplus";
+    rc.l = m.shape(baseId).box.height();
+    rc.net = spec.collectorNet;
+    compact::Options opt;
+    opt.extraGap = 0;
+    // nplus has no spacing rule against pbase (the emitter must overlap),
+    // so the plug row uses the avoid-overlap property plus extra gap.
+    db::Module plug = contactRow(t, rc);
+    for (db::ShapeId id : plug.shapeIds()) plug.shape(id).avoidOverlap = true;
+    opt.extraGap = um(1);
+    compact::compact(m, plug, Dir::East, opt);
+  }
+
+  // Collector n-well around everything (also encloses pbase and nplus by
+  // rule margins).
+  prim::around(m, t.layer("nwell"), {}, 0, m.net(spec.collectorNet));
+  return m;
+}
+
+db::Module bipolarPair(const Technology& t, const NpnPairSpec& spec) {
+  NpnSpec left;
+  left.emitterW = spec.emitterW;
+  left.emitterL = spec.emitterL;
+  left.emitterNet = spec.leftPrefix + "e";
+  left.baseNet = spec.leftPrefix + "b";
+  left.collectorNet = spec.leftPrefix + "c";
+  NpnSpec right = left;
+  right.emitterNet = spec.rightPrefix + "e";
+  right.baseNet = spec.rightPrefix + "b";
+  right.collectorNet = spec.rightPrefix + "c";
+
+  db::Module a = bipolarNpn(t, left);
+  db::Module b = bipolarNpn(t, right);
+  // "Composed symmetrically": the right device is the mirror image.
+  b.transform(geom::Transform::mirrorX(b.bboxAll().center().x));
+
+  db::Module m(t, spec.name);
+  compact::compact(m, a, Dir::West);
+  compact::compact(m, b, Dir::West);
+  return m;
+}
+
+}  // namespace amg::modules

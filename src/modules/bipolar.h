@@ -1,0 +1,40 @@
+// Vertical npn transistors for the BiCMOS blocks (block F of §3: "the
+// bipolar transistors of block F are composed symmetrically").
+//
+// Device model in the bicmos1u deck: the collector is an n-well with an
+// nplus plug contact, the base a pbase implant with its own contact row,
+// the emitter an nplus stripe inside the base.  The generator builds
+// inside-out with the same primitives/compaction flow as the MOS modules.
+#pragma once
+
+#include "db/module.h"
+
+namespace amg::modules {
+
+using tech::Technology;
+
+struct NpnSpec {
+  Coord emitterW = 0;  ///< emitter stripe x-extent (nm)
+  Coord emitterL = 0;  ///< emitter stripe y-extent (nm)
+  std::string emitterNet = "e";
+  std::string baseNet = "b";
+  std::string collectorNet = "c";
+  std::string name = "Npn";
+};
+
+/// One vertical npn with emitter/base/collector contacts, n-well collector.
+db::Module bipolarNpn(const Technology& t, const NpnSpec& spec);
+
+/// A mirror-symmetric pair of npn devices (block F style): the second
+/// device is the mirror image of the first, compacted against it, with
+/// per-device emitter/base/collector nets.
+struct NpnPairSpec {
+  Coord emitterW = 0;
+  Coord emitterL = 0;
+  std::string leftPrefix = "q1_";
+  std::string rightPrefix = "q2_";
+  std::string name = "NpnPair";
+};
+db::Module bipolarPair(const Technology& t, const NpnPairSpec& spec);
+
+}  // namespace amg::modules

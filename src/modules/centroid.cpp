@@ -1,0 +1,192 @@
+#include "modules/centroid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "route/router.h"
+
+namespace amg::modules {
+namespace {
+
+/// One finger with its left/right diffusion terminals.
+struct FingerPlan {
+  std::string net;    // gate net
+  std::string leftT;  // terminal net on the left row
+  std::string rightT;
+  bool dummy = false;
+};
+
+std::vector<FingerPlan> planFingers(const CentroidSpec& s) {
+  std::vector<FingerPlan> plan;
+  auto dummy = [&] {
+    plan.push_back(FingerPlan{s.dummyNet, s.sourceNet, s.sourceNet, true});
+  };
+  auto active = [&](const std::string& gate, const std::string& left,
+                    const std::string& right) {
+    plan.push_back(FingerPlan{gate, left, right, false});
+  };
+  auto groupABBA = [&] {
+    active(s.gateANet, s.drainANet, s.sourceNet);
+    active(s.gateBNet, s.sourceNet, s.drainBNet);
+    active(s.gateBNet, s.drainBNet, s.sourceNet);
+    active(s.gateANet, s.sourceNet, s.drainANet);
+  };
+  auto groupBAAB = [&] {
+    active(s.gateBNet, s.drainBNet, s.sourceNet);
+    active(s.gateANet, s.sourceNet, s.drainANet);
+    active(s.gateANet, s.drainANet, s.sourceNet);
+    active(s.gateBNet, s.sourceNet, s.drainBNet);
+  };
+
+  for (int i = 0; i < s.edgeDummies; ++i) dummy();
+  for (int p = 0; p < s.pairsPerSide; ++p) groupABBA();
+  for (int i = 0; i < s.centerDummies; ++i) dummy();
+  for (int p = 0; p < s.pairsPerSide; ++p) groupBAAB();
+  for (int i = 0; i < s.edgeDummies; ++i) dummy();
+  return plan;
+}
+
+std::vector<std::string> planRows(const CentroidSpec& s,
+                                  const std::vector<FingerPlan>& fingers) {
+  std::vector<std::string> rows;
+  rows.reserve(fingers.size() + 1);
+  for (std::size_t i = 0; i <= fingers.size(); ++i) {
+    const FingerPlan* left = i > 0 ? &fingers[i - 1] : nullptr;
+    const FingerPlan* right = i < fingers.size() ? &fingers[i] : nullptr;
+    std::string net = s.sourceNet;
+    if (left && left->rightT != s.sourceNet) net = left->rightT;
+    if (right && right->leftT != s.sourceNet) {
+      if (net != s.sourceNet && net != right->leftT)
+        throw DesignRuleError("centroid: inconsistent row terminals at slot " +
+                              std::to_string(i));
+      net = right->leftT;
+    }
+    rows.push_back(net);
+  }
+  return rows;
+}
+
+}  // namespace
+
+db::Module centroidDiffPair(const Technology& t, const CentroidSpec& spec) {
+  const auto plan = planFingers(spec);
+  const auto rows = planRows(spec, plan);
+
+  FingerArraySpec fa;
+  fa.w = spec.w;
+  fa.l = spec.l;
+  fa.diffLayer = spec.diffLayer;
+  fa.name = spec.name;
+  for (const FingerPlan& f : plan) {
+    FingerSpec fs;
+    fs.gateNet = f.net;
+    if (f.dummy) {
+      // Dummies are tied locally (below); no rail, no extension.
+    } else if (f.net == spec.gateANet) {
+      fs.gateExtendDown = scaled(t, 4.8);
+    } else {
+      fs.gateExtendUp = scaled(t, 4.8);
+    }
+    fa.fingers.push_back(fs);
+  }
+  fa.rowNets = rows;
+  fa.rowExtendDown[spec.sourceNet] = scaled(t, 2);
+  fa.rowExtendUp[spec.drainANet] = scaled(t, 2);
+  fa.rowExtendUp[spec.drainBNet] = scaled(t, 2);
+  fa.rails = {
+      RailSpec{spec.sourceNet, "metal1", Dir::South, scaled(t, 2)},
+      // The metal2 drain-B rail goes first: its via pads sit at the row
+      // tops and the drain-A rail then lands above it (autoConnect closes
+      // the gap to the drain-A rows).
+      RailSpec{spec.drainBNet, "metal2", Dir::North, scaled(t, 2)},
+      RailSpec{spec.drainANet, "metal1", Dir::North, scaled(t, 2)},
+      RailSpec{spec.gateANet, "poly", Dir::South, std::nullopt},
+      RailSpec{spec.gateBNet, "poly", Dir::North, std::nullopt},
+  };
+  db::Module m = fingerArray(t, fa);
+
+  // Tie every dummy gate locally to its adjacent source row: a poly
+  // contact on the gate and a short metal1 jumper to the row metal.
+  // Dummies are off devices, so a contact over the stripe is harmless and
+  // keeps all sixteen ties identical (matching).
+  if (auto dumOpt = m.findNet(spec.dummyNet)) {
+    const db::NetId dum = *dumOpt;
+    const db::NetId src = *m.findNet(spec.sourceNet);
+
+    // Collect dummy gate columns and source row metals.
+    std::vector<Box> gates;
+    for (db::ShapeId id : m.shapesOn(t.layer("poly")))
+      if (m.shape(id).net == dum && m.shape(id).box.width() == spec.l)
+        gates.push_back(m.shape(id).box);
+    std::vector<Box> rows;
+    for (db::ShapeId id : m.shapesOn(t.layer("metal1")))
+      if (m.shape(id).net == src && m.shape(id).box.height() > m.shape(id).box.width())
+        rows.push_back(m.shape(id).box);
+    if (gates.empty() || rows.empty())
+      throw DesignRuleError("centroid: dummy tie targets not found");
+
+    for (const Box& g : gates) {
+      // Nearest source row (dummies are flanked by source rows by plan).
+      const Box* best = &rows.front();
+      for (const Box& r : rows)
+        if (std::abs(r.center().x - g.center().x) <
+            std::abs(best->center().x - g.center().x))
+          best = &r;
+      const Coord y = spec.w / 2;
+      route::viaStack(m, Point{g.center().x, y}, t.layer("poly"), t.layer("metal1"),
+                      dum);
+      route::wireStraight(m, t.layer("metal1"), Point{g.center().x, y},
+                          Point{best->center().x, y}, std::nullopt, dum);
+    }
+    m.moveNet(dum, src);  // one potential now that they are connected
+  }
+  return m;
+}
+
+CentroidSymmetry analyzeCentroid(const db::Module& m, const CentroidSpec& spec) {
+  const tech::Technology& t = m.technology();
+  CentroidSymmetry out;
+  const auto netA = m.findNet(spec.gateANet);
+  const auto netB = m.findNet(spec.gateBNet);
+  const auto netS = m.findNet(spec.sourceNet);
+
+  std::vector<double> xa, xb;
+  int dummies = 0;
+  for (db::ShapeId id : m.shapesOn(t.layer("poly"))) {
+    const db::Shape& s = m.shape(id);
+    if (s.box.width() != spec.l) continue;  // gates are exactly one channel long
+    const double cx = static_cast<double>(s.box.center().x) / kMicron;
+    if (netA && s.net == *netA) xa.push_back(cx);
+    else if (netB && s.net == *netB) xb.push_back(cx);
+    else if (netS && s.net == *netS) ++dummies;
+  }
+  out.fingersA = static_cast<int>(xa.size());
+  out.fingersB = static_cast<int>(xb.size());
+  out.dummies = dummies;
+  if (xa.empty() || xb.empty()) return out;
+
+  // Mirror A's finger positions about the combined centre; they must land
+  // on B's positions (cross-coupling makes the placement A<->B symmetric).
+  double centre = 0;
+  for (double x : xa) centre += x;
+  for (double x : xb) centre += x;
+  centre /= static_cast<double>(xa.size() + xb.size());
+
+  std::vector<double> mirrored;
+  mirrored.reserve(xa.size());
+  for (double x : xa) mirrored.push_back(2 * centre - x);
+  std::sort(mirrored.begin(), mirrored.end());
+  std::sort(xb.begin(), xb.end());
+  out.fingerPlacementSymmetric =
+      mirrored.size() == xb.size() &&
+      std::equal(mirrored.begin(), mirrored.end(), xb.begin(),
+                 [](double a, double b) { return std::abs(a - b) < 0.01; });
+
+  double ca = 0, cb = 0;
+  for (double x : xa) ca += x;
+  for (double x : xb) cb += x;
+  out.centroidOffsetUm = std::abs(ca / xa.size() - cb / xb.size());
+  return out;
+}
+
+}  // namespace amg::modules

@@ -1,0 +1,53 @@
+// Block E of the amplifier: the centroid cross-coupled inter-digital
+// differential pair with dummy devices (Fig. 10).
+//
+// "The differential pair in block E consists of centroidal cross-coupled
+// inter-digital transistors with eight dummy transistors in the middle and
+// four dummy transistors on the right and left side ... the wiring is
+// fully symmetrical and every net has identical crossings."
+//
+// Construction: edge dummies | (A B B A)^p | centre dummies | (B A A B)^p |
+// edge dummies.  Mirroring the active pattern about the centre makes the
+// finger placement common-centroid: both devices' fingers average to the
+// same centroid.  Drain A rides a metal1 rail, drain B a metal2 rail with
+// one via per finger — each drain net crosses the other's rail exactly the
+// same number of times.  Gate rails run south (A) and north (B); dummy
+// gates are strapped on a dedicated outer rail and tied to the source
+// potential at the rail end.
+#pragma once
+
+#include "modules/interdigitated.h"
+
+namespace amg::modules {
+
+struct CentroidSpec {
+  Coord w = 0;                 ///< channel width per finger (nm)
+  Coord l = 0;                 ///< channel length (nm)
+  int pairsPerSide = 1;        ///< ABBA groups per half (1 => 4+4 active fingers)
+  int centerDummies = 8;       ///< Fig. 10: eight dummies in the middle
+  int edgeDummies = 4;         ///< four on each side
+  std::string diffLayer = "pdiff";
+  std::string gateANet = "inp";
+  std::string gateBNet = "inn";
+  std::string drainANet = "outa";
+  std::string drainBNet = "outb";
+  std::string sourceNet = "tail";
+  std::string dummyNet = "dum";
+  std::string name = "CentroidDiffPair";
+};
+
+db::Module centroidDiffPair(const Technology& t, const CentroidSpec& spec);
+
+/// Symmetry report used by tests and the E6 bench: finger x-centres of
+/// device A must mirror onto device B's about the module centre, and the
+/// dummy count must match the spec.
+struct CentroidSymmetry {
+  bool fingerPlacementSymmetric = false;
+  double centroidOffsetUm = 0.0;  ///< |centroid(A) − centroid(B)| in um
+  int fingersA = 0;
+  int fingersB = 0;
+  int dummies = 0;
+};
+CentroidSymmetry analyzeCentroid(const db::Module& m, const CentroidSpec& spec);
+
+}  // namespace amg::modules

@@ -1,0 +1,31 @@
+// Substrate contacts and guard rings.
+//
+// "The internal wiring and the substrate or well contacts are included into
+// the modules" (§3) and the latch-up rule requires every LOCOS area to be
+// near a substrate contact (§2.1, Fig. 1).
+#pragma once
+
+#include "db/module.h"
+
+namespace amg::modules {
+
+using tech::Technology;
+
+/// Surround the module's current contents with a substrate-tie guard ring
+/// (tie diffusion + metal1 + contact arrays in all four segments) on net
+/// `netName`.  Returns the number of contacts placed.  After this the
+/// latch-up rule holds for everything inside (tests verify via drc).
+int substrateRing(db::Module& m, const std::string& netName = "gnd");
+
+/// A single square substrate contact (tie + metal + cut) centred at `at` —
+/// the unit the DRC's automatic insertion also uses.
+void substrateContactAt(db::Module& m, Point at, const std::string& netName = "gnd");
+
+/// Surround the module's p-diffusion with an n-well and place a well tap
+/// (an ndiff contact on `tapNet`, normally the positive supply) inside it.
+/// Turns a generic pdiff module into a proper PMOS-in-well module; the
+/// well enclosure rule then holds (drc::CheckOptions::wellEnclosure).
+/// Returns the well shape id.
+db::ShapeId nwellWithTap(db::Module& m, const std::string& tapNet = "vdd");
+
+}  // namespace amg::modules

@@ -1,0 +1,253 @@
+#include "modules/interdigitated.h"
+
+#include <algorithm>
+
+#include "compact/compactor.h"
+#include "modules/basic.h"
+#include "primitives/primitives.h"
+#include "route/router.h"
+
+namespace amg::modules {
+namespace {
+
+/// A diffusion contact row for one array slot, extended vertically towards
+/// its rail and aligned so the un-extended part spans the channel [0, w].
+db::Module arrayRow(const Technology& t, const FingerArraySpec& spec,
+                    const std::string& net) {
+  Coord up = 0, down = 0;
+  if (auto it = spec.rowExtendUp.find(net); it != spec.rowExtendUp.end())
+    up = it->second;
+  if (auto it = spec.rowExtendDown.find(net); it != spec.rowExtendDown.end())
+    down = it->second;
+  ContactRowSpec rc;
+  rc.layer = spec.diffLayer;
+  rc.l = spec.w + up + down;
+  rc.net = net;
+  db::Module row = contactRow(t, rc);
+  row.translate(0, -down);
+  return row;
+}
+
+/// One gate finger: TWORECTS with the poly stripe optionally extended.
+db::Module arrayFinger(const Technology& t, const FingerArraySpec& spec,
+                       const FingerSpec& f) {
+  db::Module u(t, "finger");
+  const auto [gate, diff] = prim::tworects(u, t.layer("poly"), t.layer(spec.diffLayer),
+                                           spec.w, spec.l, u.net(f.gateNet));
+  (void)diff;
+  Box& gb = u.shape(gate).box;
+  gb.y2 += f.gateExtendUp;
+  gb.y1 -= f.gateExtendDown;
+  return u;
+}
+
+void addRail(const Technology& t, db::Module& m, const RailSpec& rail) {
+  // A rail on the north side is compacted southwards onto the structure
+  // and vice versa.  Requested widths are raised to the layer minimum so
+  // the same generator works in coarser technologies.
+  const Dir dir = rail.side == Dir::North ? Dir::South : Dir::North;
+  std::optional<Coord> width = rail.width;
+  if (width) {
+    const tech::LayerId l =
+        t.layer(rail.layer == "metal2" ? "metal2" : rail.layer);
+    width = std::max(*width, t.minWidth(l));
+  }
+
+  if (rail.layer == "metal2") {
+    // Second-level rail: via stacks at the rail-side end of every metal1
+    // shape of the net, then a metal2 strap that lands on the via pads and
+    // crosses first-level rails freely.
+    const auto net = m.findNet(rail.net);
+    if (!net)
+      throw DesignRuleError("metal2 rail: module has no net '" + rail.net + "'");
+    const auto [vw, vh] = t.cutSize(t.layer("via"));
+    const Coord inset = vh / 2 + t.enclosure(t.layer("metal1"), t.layer("via")).value_or(0);
+    for (db::ShapeId id : m.shapesOn(t.layer("metal1"))) {
+      const db::Shape& s = m.shape(id);
+      if (s.net != *net) continue;
+      const Coord y = rail.side == Dir::North ? s.box.y2 - inset : s.box.y1 + inset;
+      route::viaStack(m, Point{s.box.center().x, y}, t.layer("metal1"),
+                      t.layer("metal2"), *net);
+    }
+    route::strapByCompaction(m, rail.net, t.layer("metal2"), dir, width);
+    return;
+  }
+  route::strapByCompaction(m, rail.net, t.layer(rail.layer), dir, width);
+}
+
+}  // namespace
+
+db::Module fingerArray(const Technology& t, const FingerArraySpec& spec) {
+  if (spec.rowNets.size() != spec.fingers.size() + 1)
+    throw DesignRuleError("fingerArray: need fingers+1 row nets (got " +
+                          std::to_string(spec.rowNets.size()) + " for " +
+                          std::to_string(spec.fingers.size()) + " fingers)");
+  db::Module m(t, spec.name);
+  const compact::Options ignoreDiff{
+      {t.layer(spec.diffLayer)}, true, true, 0};
+
+  compact::compact(m, arrayRow(t, spec, spec.rowNets[0]), Dir::West, ignoreDiff);
+  for (std::size_t i = 0; i < spec.fingers.size(); ++i) {
+    compact::compact(m, arrayFinger(t, spec, spec.fingers[i]), Dir::West, ignoreDiff);
+    compact::compact(m, arrayRow(t, spec, spec.rowNets[i + 1]), Dir::West, ignoreDiff);
+  }
+  for (const RailSpec& rail : spec.rails) addRail(t, m, rail);
+  return m;
+}
+
+db::Module interdigitatedMos(const Technology& t, const InterdigSpec& spec) {
+  FingerArraySpec fa;
+  fa.w = spec.w;
+  fa.l = spec.l;
+  fa.diffLayer = spec.diffLayer;
+  fa.name = spec.name;
+  for (int i = 0; i < spec.fingers; ++i) {
+    FingerSpec f;
+    f.gateNet = spec.gateNet;
+    f.gateExtendDown = scaled(t, 4.8);
+    fa.fingers.push_back(f);
+  }
+  for (int i = 0; i <= spec.fingers; ++i)
+    fa.rowNets.push_back(i % 2 == 0 ? spec.sourceNet : spec.drainNet);
+  fa.rowExtendDown[spec.sourceNet] = scaled(t, 2);
+  fa.rowExtendUp[spec.drainNet] = scaled(t, 2);
+  fa.rails = {
+      RailSpec{spec.sourceNet, "metal1", Dir::South, scaled(t, 2)},
+      RailSpec{spec.drainNet, "metal1", Dir::North, scaled(t, 2)},
+      RailSpec{spec.gateNet, "poly", Dir::South, std::nullopt},
+  };
+  return fingerArray(t, fa);
+}
+
+db::Module currentMirror(const Technology& t, const MirrorSpec& spec) {
+  // Fingers [out, diode, diode, out]; rows [OUT, S, DIO, S, OUT].
+  FingerArraySpec fa;
+  fa.w = spec.w;
+  fa.l = spec.l;
+  fa.diffLayer = spec.diffLayer;
+  fa.name = spec.name;
+  const std::string gateNet = "mirror_gate";
+  for (int i = 0; i < 4; ++i) {
+    FingerSpec f;
+    f.gateNet = gateNet;
+    f.gateExtendDown = scaled(t, 4.8);
+    fa.fingers.push_back(f);
+  }
+  fa.rowNets = {spec.outNet, spec.sourceNet, spec.inNet, spec.sourceNet, spec.outNet};
+  fa.rowExtendDown[spec.sourceNet] = scaled(t, 2);
+  fa.rowExtendUp[spec.outNet] = scaled(t, 2);
+  fa.rowExtendUp[spec.inNet] = scaled(t, 2);
+  fa.rails = {
+      RailSpec{spec.sourceNet, "metal1", Dir::South, scaled(t, 2)},
+      RailSpec{spec.outNet, "metal1", Dir::North, scaled(t, 2)},
+      RailSpec{gateNet, "poly", Dir::South, std::nullopt},
+  };
+  db::Module m = fingerArray(t, fa);
+
+  // Diode connection: mirror input row down to the gate rail on metal2
+  // (crossing the source rail without touching it), landing on a poly
+  // contact pad on the gate rail.
+  const db::NetId in = *m.findNet(spec.inNet);
+  const db::NetId gate = *m.findNet(gateNet);
+  m.moveNet(gate, in);  // the gate node IS the mirror input
+
+  // Find the middle input row's metal and the gate rail poly strap.
+  db::ShapeId rowId = db::kNoShape;
+  for (db::ShapeId id : m.shapesOn(t.layer("metal1")))
+    if (m.shape(id).net == in &&
+        (rowId == db::kNoShape ||
+         m.shape(id).box.height() > m.shape(rowId).box.height()))
+      rowId = id;
+  db::ShapeId railId = db::kNoShape;
+  for (db::ShapeId id : m.shapesOn(t.layer("poly")))
+    if (m.shape(id).net == in &&
+        (railId == db::kNoShape || m.shape(id).box.width() > m.shape(railId).box.width()))
+      railId = id;
+  if (rowId == db::kNoShape || railId == db::kNoShape)
+    throw DesignRuleError("currentMirror: diode wiring targets not found");
+
+  const Coord cx = m.shape(rowId).box.center().x;
+  const Coord yRow = m.shape(rowId).box.y1 + scaled(t, 2);
+  const Coord yRail = m.shape(railId).box.center().y;
+  route::viaStack(m, Point{cx, yRow}, t.layer("metal1"), t.layer("metal2"), in);
+  route::wireStraight(m, t.layer("metal2"), Point{cx, yRow}, Point{cx, yRail},
+                      std::nullopt, in);
+  route::viaStack(m, Point{cx, yRail}, t.layer("metal2"), t.layer("metal1"), in);
+  route::viaStack(m, Point{cx, yRail}, t.layer("metal1"), t.layer("poly"), in);
+  return m;
+}
+
+db::Module crossCoupledPair(const Technology& t, const CrossCoupledSpec& spec) {
+  FingerArraySpec fa;
+  fa.w = spec.w;
+  fa.l = spec.l;
+  fa.diffLayer = spec.diffLayer;
+  fa.name = spec.name;
+
+  auto addGroup = [&](bool flipped) {
+    // One A B B A group (B A A B when flipped).
+    for (int k = 0; k < 4; ++k) {
+      const bool isA = (k == 0 || k == 3) != flipped;
+      FingerSpec f;
+      f.gateNet = isA ? spec.gateANet : spec.gateBNet;
+      if (isA)
+        f.gateExtendDown = scaled(t, 4.8);
+      else
+        f.gateExtendUp = scaled(t, 4.8);
+      fa.fingers.push_back(f);
+    }
+  };
+  for (int p = 0; p < spec.pairsPerDevice; ++p) addGroup(false);
+
+  // Rows: [DA, S, DB, S] per group plus the closing DA.
+  for (int p = 0; p < spec.pairsPerDevice; ++p) {
+    fa.rowNets.push_back(spec.drainANet);
+    fa.rowNets.push_back(spec.sourceNet);
+    fa.rowNets.push_back(spec.drainBNet);
+    fa.rowNets.push_back(spec.sourceNet);
+  }
+  fa.rowNets.push_back(spec.drainANet);
+
+  fa.rowExtendDown[spec.sourceNet] = scaled(t, 2);
+  fa.rowExtendUp[spec.drainANet] = scaled(t, 2);
+  fa.rowExtendUp[spec.drainBNet] = scaled(t, 2);
+  fa.rails = {
+      RailSpec{spec.sourceNet, "metal1", Dir::South, scaled(t, 2)},
+      // The metal2 drain-B rail goes first: its via pads sit at the row
+      // tops and the drain-A rail then lands above it (autoConnect closes
+      // the gap to the drain-A rows).
+      RailSpec{spec.drainBNet, "metal2", Dir::North, scaled(t, 2)},
+      RailSpec{spec.drainANet, "metal1", Dir::North, scaled(t, 2)},
+      RailSpec{spec.gateANet, "poly", Dir::South, std::nullopt},
+      RailSpec{spec.gateBNet, "poly", Dir::North, std::nullopt},
+  };
+  return fingerArray(t, fa);
+}
+
+db::Module cascodePair(const Technology& t, const CascodeSpec& spec) {
+  InterdigSpec low;
+  low.w = spec.w;
+  low.l = spec.l;
+  low.fingers = spec.fingers;
+  low.diffLayer = spec.diffLayer;
+  low.gateNet = spec.gateLowNet;
+  low.sourceNet = spec.sourceNet;
+  low.drainNet = spec.midNet;
+  low.name = spec.name + "_low";
+
+  InterdigSpec high = low;
+  high.gateNet = spec.gateHighNet;
+  high.sourceNet = spec.midNet;
+  high.drainNet = spec.outNet;
+  high.name = spec.name + "_high";
+
+  db::Module m(t, spec.name);
+  compact::compact(m, interdigitatedMos(t, low), Dir::West);
+  // The upper device arrives from the north; its source rail merges with
+  // the lower device's drain rail on the shared mid potential.
+  compact::compact(m, interdigitatedMos(t, high), Dir::South);
+  m.setName(spec.name);
+  return m;
+}
+
+}  // namespace amg::modules

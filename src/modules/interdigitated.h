@@ -1,0 +1,134 @@
+// Inter-digital (multi-finger) module generators and the generic finger
+// array they share.
+//
+// The BiCMOS amplifier of §3 uses these styles: "two inter-digital MOS
+// transistors" (block A), "a symmetrical layout module ... with the diode
+// transistor in the middle" (block B), and "a cross-coupled arrangement of
+// inter-digital transistors" (block C).
+//
+// Geometry convention of a finger array (see DESIGN.md): gates are
+// vertical poly stripes; diffusion contact rows alternate with gates and
+// merge with the transistor diffusion by ignored-layer compaction; rails
+// (straps) are added by wiring-by-compaction on the south/north sides.
+// Same-side same-layer rails require their gates or rows to extend past
+// inner rails, which the generators arrange automatically.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+
+namespace amg::modules {
+
+using tech::Technology;
+
+/// Technology scale factor applied to geometric idioms (rail widths, gate
+/// extensions, row overhangs): the ratio of the deck's poly minimum width
+/// to the 1 um reference deck.  Lets one generator serve every technology.
+inline Coord scaled(const Technology& t, double microns) {
+  const double k = static_cast<double>(t.minWidth(t.layer("poly"))) / 1000.0;
+  return static_cast<Coord>(microns * k * kMicron);
+}
+
+/// One transistor finger of an array.
+struct FingerSpec {
+  std::string gateNet = "g";
+  Coord gateExtendUp = 0;    ///< extra poly beyond the endcap, north
+  Coord gateExtendDown = 0;  ///< extra poly beyond the endcap, south
+};
+
+/// One wiring rail (strap) along the top or bottom of the array.
+struct RailSpec {
+  std::string net;
+  std::string layer = "metal1";  ///< "poly", "metal1" or "metal2" (with vias)
+  Dir side = Dir::North;         ///< North = along the top
+  std::optional<Coord> width;    ///< defaults to the layer minimum
+};
+
+/// The generic inter-digital array: fingers.size() gates and
+/// fingers.size()+1 diffusion contact rows, with per-net row extensions and
+/// rails.  This one function powers every multi-finger module style of the
+/// paper's amplifier.
+struct FingerArraySpec {
+  Coord w = 0;  ///< channel width (nm)
+  Coord l = 0;  ///< channel length (nm)
+  std::string diffLayer = "pdiff";
+  std::vector<FingerSpec> fingers;
+  std::vector<std::string> rowNets;  ///< size fingers.size()+1
+  /// Per-net vertical extension of contact rows (towards a rail).
+  std::map<std::string, Coord> rowExtendUp;
+  std::map<std::string, Coord> rowExtendDown;
+  std::vector<RailSpec> rails;  ///< applied in order
+  std::string name = "FingerArray";
+};
+db::Module fingerArray(const Technology& t, const FingerArraySpec& spec);
+
+/// Plain inter-digital MOS transistor: `fingers` gates on one net, source
+/// and drain rows alternating, with source rail (south), drain rail
+/// (north) and gate rail (south, poly).  Block A / D style.
+struct InterdigSpec {
+  Coord w = 0;
+  Coord l = 0;
+  int fingers = 2;
+  std::string diffLayer = "pdiff";
+  std::string gateNet = "g";
+  std::string sourceNet = "s";
+  std::string drainNet = "d";
+  std::string name = "InterdigMos";
+};
+db::Module interdigitatedMos(const Technology& t, const InterdigSpec& spec);
+
+/// Block B: symmetric current mirror with the diode transistor pair in the
+/// middle — fingers [out, diode, diode, out], rows [OUT, S, DIO, S, OUT],
+/// one common gate rail, and the diode (gate-to-drain) connection routed on
+/// metal2 over the source rail.
+struct MirrorSpec {
+  Coord w = 0;
+  Coord l = 0;
+  std::string diffLayer = "pdiff";
+  std::string inNet = "iin";    ///< diode drain (mirror input)
+  std::string outNet = "iout";  ///< output drains
+  std::string sourceNet = "vss";
+  std::string name = "CurrentMirror";
+};
+db::Module currentMirror(const Technology& t, const MirrorSpec& spec);
+
+/// Block C: cross-coupled inter-digital current sources — pattern A B B A
+/// (optionally repeated), drains DA (metal1 rail) and DB (metal2 rail with
+/// vias), common source rail, separate gate rails for A (south) and B
+/// (north).
+struct CrossCoupledSpec {
+  Coord w = 0;
+  Coord l = 0;
+  int pairsPerDevice = 1;  ///< number of ABBA groups
+  std::string diffLayer = "pdiff";
+  std::string gateANet = "ga";
+  std::string gateBNet = "gb";
+  std::string drainANet = "da";
+  std::string drainBNet = "db";
+  std::string sourceNet = "vss";
+  std::string name = "CrossCoupled";
+};
+db::Module crossCoupledPair(const Technology& t, const CrossCoupledSpec& spec);
+
+/// Block A: a cascode of two inter-digital transistors stacked vertically;
+/// the lower drain rail and the upper source rail share the `midNet`
+/// potential and merge during compaction.
+struct CascodeSpec {
+  Coord w = 0;
+  Coord l = 0;
+  int fingers = 2;
+  std::string diffLayer = "pdiff";
+  std::string gateLowNet = "g1";
+  std::string gateHighNet = "g2";
+  std::string sourceNet = "vss";
+  std::string midNet = "mid";
+  std::string outNet = "out";
+  std::string name = "CascodePair";
+};
+db::Module cascodePair(const Technology& t, const CascodeSpec& spec);
+
+}  // namespace amg::modules

@@ -1,0 +1,79 @@
+#include "modules/resistor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "route/router.h"
+
+namespace amg::modules {
+namespace {
+
+/// Serpentine accounting (the usual hand rule): squares = centreline
+/// length / width − 0.5 per corner.
+double squaresFor(Coord legH, Coord w, Coord pitch, int legs) {
+  const double centreline = static_cast<double>(legs) * legH +
+                            static_cast<double>(legs - 1) * pitch;
+  return centreline / static_cast<double>(w) - (legs - 1);  // 2 corners * 0.5
+}
+
+}  // namespace
+
+db::Module polyResistor(const Technology& t, const ResistorSpec& spec) {
+  const tech::LayerId poly = t.layer("poly");
+  const Coord w = spec.width > 0 ? spec.width : t.minWidth(poly);
+  if (w < t.minWidth(poly))
+    throw DesignRuleError("polyResistor: width below the poly minimum");
+  if (spec.legs < 1) throw DesignRuleError("polyResistor: need at least one leg");
+  const Coord pitch = w + t.minSpacing(poly, poly).value_or(w);
+
+  // Solve the leg height for the requested square count.
+  const double hNeeded =
+      (static_cast<double>(w) * (spec.squares + (spec.legs - 1)) -
+       static_cast<double>(spec.legs - 1) * pitch) /
+      spec.legs;
+  const Coord h = static_cast<Coord>(std::llround(hNeeded));
+  if (h < 2 * w)
+    throw DesignRuleError(
+        "polyResistor: " + std::to_string(spec.squares) +
+        " squares are too few for " + std::to_string(spec.legs) +
+        " legs at this width; reduce legs");
+
+  db::Module m(t, spec.name);
+  const db::NetId body = m.net(spec.netA);
+
+  // Vertical legs on centrelines x = i * pitch, y in [0, h].
+  for (int i = 0; i < spec.legs; ++i)
+    route::wireStraight(m, poly, Point{i * pitch, 0}, Point{i * pitch, h}, w, body);
+  // Jogs alternate top/bottom.
+  for (int i = 0; i + 1 < spec.legs; ++i) {
+    const Coord y = i % 2 == 0 ? h : 0;
+    route::wireStraight(m, poly, Point{i * pitch, y}, Point{(i + 1) * pitch, y}, w,
+                        body);
+  }
+
+  // Terminal pads: contact stacks at the two free ends.  The far pad gets
+  // the second terminal net; the abutment keeps them one electrical node
+  // (a resistor is one node to the geometric extractor).
+  route::viaStack(m, Point{0, 0}, poly, t.layer("metal1"), body);
+  const Coord lastX = (spec.legs - 1) * pitch;
+  const Coord lastY = (spec.legs - 1) % 2 == 0 ? h : 0;
+  route::viaStack(m, Point{lastX, lastY}, poly, t.layer("metal1"), m.net(spec.netB));
+
+  m.addPort(spec.netA, Point{0, 0}, t.layer("metal1"), body);
+  m.addPort(spec.netB, Point{lastX, lastY}, t.layer("metal1"), m.net(spec.netB));
+  return m;
+}
+
+double resistorSquares(const db::Module& m, const ResistorSpec& spec) {
+  const tech::Technology& t = m.technology();
+  const Coord w = spec.width > 0 ? spec.width : t.minWidth(t.layer("poly"));
+  const Coord pitch = w + t.minSpacing(t.layer("poly"), t.layer("poly")).value_or(w);
+  // Tallest poly wire = a leg; recover its centreline height.
+  Coord h = 0;
+  for (db::ShapeId id : m.shapesOn(t.layer("poly")))
+    h = std::max(h, m.shape(id).box.height());
+  h -= w;  // wire boxes extend half a width past each centreline end
+  return squaresFor(h, w, pitch, spec.legs);
+}
+
+}  // namespace amg::modules

@@ -1,0 +1,35 @@
+// Poly resistors — the remaining passive the module library needs for
+// complete analog cells (the paper's §3 explicitly tracks "poly-wire
+// resistance" as a layout property).
+//
+// A resistor is a poly serpentine of a requested number of squares; the
+// matched pair generator produces two inter-digitated serpentines with a
+// shared centroid, the resistor counterpart of the paper's matched
+// transistor styles.
+#pragma once
+
+#include "db/module.h"
+
+namespace amg::modules {
+
+using tech::Technology;
+
+struct ResistorSpec {
+  double squares = 20.0;     ///< resistance in sheet squares (R = squares * Rs)
+  Coord width = 0;           ///< poly width; 0 = layer minimum
+  int legs = 4;              ///< serpentine legs (vertical runs)
+  std::string netA = "r1";   ///< first terminal
+  std::string netB = "r2";   ///< second terminal
+  std::string name = "PolyResistor";
+};
+
+/// A poly serpentine with metal1 contact pads at both ends.  The generated
+/// geometry's square count matches the request to within one square
+/// (corners counted as half squares, the usual hand rule).
+db::Module polyResistor(const Technology& t, const ResistorSpec& spec);
+
+/// The drawn square count of a generated resistor (for tests and the
+/// matching report): trunk squares + half-square corners.
+double resistorSquares(const db::Module& m, const ResistorSpec& spec);
+
+}  // namespace amg::modules

@@ -1,0 +1,180 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <optional>
+
+namespace amg::opt {
+
+db::Module execute(const BuildPlan& plan, const std::vector<std::size_t>& order) {
+  db::Module target(plan.seed.technology(), plan.name);
+  compact::compact(target, plan.seed, Dir::West);  // seed copies in unmoved
+  if (order.empty()) {
+    for (const Step& s : plan.steps) compact::compact(target, s.object, s.dir, s.options);
+  } else {
+    for (const std::size_t i : order) {
+      const Step& s = plan.steps.at(i);
+      compact::compact(target, s.object, s.dir, s.options);
+    }
+  }
+  return target;
+}
+
+namespace {
+
+struct SearchState {
+  const BuildPlan* plan;
+  const RatingWeights* weights;
+  const OptimizeOptions* options;
+
+  std::vector<std::size_t> current;
+  std::vector<bool> used;
+
+  std::optional<db::Module> best;
+  std::vector<std::size_t> bestOrder;
+  double bestScore = std::numeric_limits<double>::infinity();
+  std::size_t evaluated = 0;
+  std::size_t pruned = 0;
+};
+
+void search(SearchState& st, const db::Module& partial) {
+  if (st.evaluated >= st.options->maxOrders) return;
+
+  if (st.current.size() == st.plan->steps.size()) {
+    const double score = rate(partial, *st.weights);
+    ++st.evaluated;
+    if (!st.best || score < st.bestScore) {
+      st.bestScore = score;
+      st.best = partial;
+      st.bestOrder = st.current;
+    }
+    return;
+  }
+
+  // Admissible lower bound: the area term of the partial build never
+  // decreases when further objects are compacted in, and every other
+  // rating term is non-negative.
+  if (st.options->branchAndBound && st.best &&
+      st.weights->areaWeight * static_cast<double>(partial.area()) >= st.bestScore) {
+    ++st.pruned;
+    return;
+  }
+
+  for (std::size_t i = 0; i < st.plan->steps.size(); ++i) {
+    if (st.used[i]) continue;
+    st.used[i] = true;
+    st.current.push_back(i);
+    db::Module next = partial;
+    const Step& s = st.plan->steps[i];
+    compact::compact(next, s.object, s.dir, s.options);
+    search(st, next);
+    st.current.pop_back();
+    st.used[i] = false;
+    if (st.evaluated >= st.options->maxOrders) return;
+  }
+}
+
+}  // namespace
+
+OptimizeResult optimizeOrder(const BuildPlan& plan, const RatingWeights& weights,
+                             const OptimizeOptions& options) {
+  SearchState st;
+  st.plan = &plan;
+  st.weights = &weights;
+  st.options = &options;
+  st.used.assign(plan.steps.size(), false);
+
+  db::Module start(plan.seed.technology(), plan.name);
+  compact::compact(start, plan.seed, Dir::West);
+  search(st, start);
+
+  if (!st.best)
+    throw Error("optimizeOrder: no complete order evaluated (budget too small?)");
+  return OptimizeResult{std::move(*st.best), std::move(st.bestOrder), st.bestScore,
+                        st.evaluated, st.pruned};
+}
+
+OptimizeResult optimizeOrderStochastic(const BuildPlan& plan,
+                                       const RatingWeights& weights,
+                                       const StochasticOptions& options) {
+  std::mt19937 rng(options.seed);
+  const std::size_t n = plan.steps.size();
+
+  std::optional<db::Module> best;
+  std::vector<std::size_t> bestOrder;
+  double bestScore = std::numeric_limits<double>::infinity();
+  std::size_t evaluated = 0;
+
+  auto build = [&](const std::vector<std::size_t>& order) {
+    db::Module m = execute(plan, order);
+    ++evaluated;
+    return m;
+  };
+
+  for (std::size_t r = 0; r < std::max<std::size_t>(options.restarts, 1); ++r) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    if (r > 0) std::shuffle(order.begin(), order.end(), rng);
+
+    db::Module cur = build(order);
+    double curScore = rate(cur, weights);
+    if (curScore < bestScore) {
+      bestScore = curScore;
+      best = cur;
+      bestOrder = order;
+    }
+
+    for (std::size_t it = 0; it < options.iterations && n >= 2; ++it) {
+      const std::size_t a = rng() % n;
+      std::size_t b = rng() % n;
+      if (a == b) b = (b + 1) % n;
+      std::swap(order[a], order[b]);
+      db::Module cand = build(order);
+      const double score = rate(cand, weights);
+      if (score <= curScore) {
+        curScore = score;  // accept (plateau moves allowed)
+        if (score < bestScore) {
+          bestScore = score;
+          best = std::move(cand);
+          bestOrder = order;
+        }
+      } else {
+        std::swap(order[a], order[b]);  // reject
+      }
+    }
+  }
+
+  if (!best) throw Error("optimizeOrderStochastic: empty plan");
+  return OptimizeResult{std::move(*best), std::move(bestOrder), bestScore, evaluated,
+                        0};
+}
+
+VariantResult chooseVariant(const std::vector<VariantFn>& variants,
+                            const RatingWeights& weights) {
+  std::optional<db::Module> winner;
+  std::size_t winIndex = 0;
+  double bestScore = std::numeric_limits<double>::infinity();
+  std::vector<std::string> infeasible;
+
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    try {
+      db::Module m = variants[i]();
+      const double score = rate(m, weights);
+      if (!winner || score < bestScore) {
+        bestScore = score;
+        winner = std::move(m);
+        winIndex = i;
+      }
+    } catch (const DesignRuleError& e) {
+      // Backtracking (§2.1): an infeasible variant is skipped, not fatal.
+      infeasible.emplace_back(e.what());
+    }
+  }
+  if (!winner)
+    throw DesignRuleError("chooseVariant: all " + std::to_string(variants.size()) +
+                          " topology variants are infeasible");
+  return VariantResult{std::move(*winner), winIndex, bestScore, std::move(infeasible)};
+}
+
+}  // namespace amg::opt

@@ -1,0 +1,73 @@
+#include "opt/rating.h"
+
+#include <cmath>
+
+namespace amg::opt {
+namespace {
+
+// Unit parasitic capacitances per layer kind, representative of a 1 um
+// process: {area aF/um^2, fringe aF/um}.  Only the relative magnitudes
+// matter for the optimizer's choices.
+struct UnitCaps {
+  double area;
+  double fringe;
+};
+
+UnitCaps unitCaps(tech::LayerKind k) {
+  switch (k) {
+    case tech::LayerKind::Diffusion: return {350.0, 250.0};  // junction caps dominate
+    case tech::LayerKind::Poly: return {60.0, 45.0};
+    case tech::LayerKind::Metal: return {28.0, 38.0};
+    case tech::LayerKind::Implant: return {300.0, 200.0};
+    default: return {0.0, 0.0};
+  }
+}
+
+}  // namespace
+
+double netCapacitance(const db::Module& m, db::NetId net) {
+  const tech::Technology& t = m.technology();
+  double cap = 0.0;
+  for (db::ShapeId id : m.shapeIds()) {
+    const db::Shape& s = m.shape(id);
+    if (s.net != net) continue;
+    const auto& info = t.info(s.layer);
+    if (!info.conducting) continue;
+    const UnitCaps uc = unitCaps(info.kind);
+    const double w = static_cast<double>(s.box.width()) / kMicron;
+    const double h = static_cast<double>(s.box.height()) / kMicron;
+    cap += uc.area * w * h + uc.fringe * 2.0 * (w + h);
+  }
+  return cap;
+}
+
+double totalCapacitance(const db::Module& m) {
+  double cap = 0.0;
+  for (db::NetId n = 1; n < m.netCount(); ++n) cap += netCapacitance(m, n);
+  return cap;
+}
+
+double rate(const db::Module& m, const RatingWeights& w) {
+  double score = w.areaWeight * static_cast<double>(m.area());
+
+  if (w.capWeight != 0.0) {
+    for (db::NetId n = 1; n < m.netCount(); ++n) {
+      const auto it = w.netWeights.find(m.netName(n));
+      const double mult = it == w.netWeights.end() ? 1.0 : it->second;
+      score += w.capWeight * mult * netCapacitance(m, n);
+    }
+  }
+
+  if (w.symmetryWeight != 0.0) {
+    for (const auto& [a, b] : w.symmetricNetPairs) {
+      const auto na = m.findNet(a);
+      const auto nb = m.findNet(b);
+      const double ca = na ? netCapacitance(m, *na) : 0.0;
+      const double cb = nb ? netCapacitance(m, *nb) : 0.0;
+      score += w.symmetryWeight * std::abs(ca - cb);
+    }
+  }
+  return score;
+}
+
+}  // namespace amg::opt

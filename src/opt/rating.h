@@ -1,0 +1,45 @@
+// The rating function of §2.4.
+//
+// "Each solution is evaluated by a rating function which considers the area
+// and electrical conditions."  The electrical term is a parasitic-
+// capacitance estimate per net (area + fringe components with per-layer-kind
+// unit capacitances), optionally weighted per net so that nodes in the
+// signal path count more, plus a symmetry penalty for declared symmetric
+// net pairs (matching requirements).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+
+namespace amg::opt {
+
+/// Weights of the rating terms.  The default rates by area only.
+struct RatingWeights {
+  /// Weight of the bounding-box area term (score per nm²).
+  double areaWeight = 1.0;
+  /// Weight of the parasitic capacitance term (score per aF).
+  double capWeight = 0.0;
+  /// Per-net multipliers on the capacitance term ("parasitic capacitances
+  /// of nodes in the signal paths", §3); nets not listed use 1.0.
+  std::map<std::string, double> netWeights;
+  /// Penalty weight on capacitance mismatch between declared symmetric net
+  /// pairs (score per aF of |C(a) − C(b)|).
+  double symmetryWeight = 0.0;
+  std::vector<std::pair<std::string, std::string>> symmetricNetPairs;
+};
+
+/// Parasitic capacitance estimate of one net in attofarads: for every shape
+/// of the net on a conducting layer, area·C_area(kind) + perimeter·C_fringe
+/// (unit capacitances per layer kind; see rating.cpp).
+double netCapacitance(const db::Module& m, db::NetId net);
+
+/// Total parasitic estimate across all named nets.
+double totalCapacitance(const db::Module& m);
+
+/// The rating of a solution; lower is better.
+double rate(const db::Module& m, const RatingWeights& w = {});
+
+}  // namespace amg::opt

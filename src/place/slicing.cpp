@@ -1,0 +1,170 @@
+#include "place/slicing.h"
+
+#include <algorithm>
+#include <map>
+
+namespace amg::place {
+
+std::unique_ptr<SliceNode> SliceNode::leaf(std::size_t block) {
+  auto n = std::make_unique<SliceNode>();
+  n->kind = Kind::Leaf;
+  n->block = block;
+  return n;
+}
+
+std::unique_ptr<SliceNode> SliceNode::beside(std::unique_ptr<SliceNode> l,
+                                             std::unique_ptr<SliceNode> r) {
+  auto n = std::make_unique<SliceNode>();
+  n->kind = Kind::VerticalCut;
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+
+std::unique_ptr<SliceNode> SliceNode::stacked(std::unique_ptr<SliceNode> bottom,
+                                              std::unique_ptr<SliceNode> top) {
+  auto n = std::make_unique<SliceNode>();
+  n->kind = Kind::HorizontalCut;
+  n->left = std::move(bottom);
+  n->right = std::move(top);
+  return n;
+}
+
+namespace {
+
+/// Recursive realization: returns the subtree's extent and merges blocks,
+/// translated so the subtree occupies [at.x, at.x+w) x [at.y, at.y+h).
+Point realizeNode(db::Module& top, const std::vector<db::Module>& blocks,
+                  const SliceNode& node, Coord street, Point at) {
+  switch (node.kind) {
+    case SliceNode::Kind::Leaf: {
+      db::Module b = blocks.at(node.block);
+      const Box bb = b.bboxAll();
+      b.translate(at.x - bb.x1, at.y - bb.y1);
+      top.merge(b, geom::Transform{});
+      return Point{bb.width(), bb.height()};
+    }
+    case SliceNode::Kind::VerticalCut: {
+      const Point l = realizeNode(top, blocks, *node.left, street, at);
+      const Point r = realizeNode(top, blocks, *node.right, street,
+                                  Point{at.x + l.x + street, at.y});
+      return Point{l.x + street + r.x, std::max(l.y, r.y)};
+    }
+    case SliceNode::Kind::HorizontalCut: {
+      const Point b = realizeNode(top, blocks, *node.left, street, at);
+      const Point u = realizeNode(top, blocks, *node.right, street,
+                                  Point{at.x, at.y + b.y + street});
+      return Point{std::max(b.x, u.x), b.y + street + u.y};
+    }
+  }
+  return Point{};
+}
+
+}  // namespace
+
+db::Module realize(const tech::Technology& t, const std::vector<db::Module>& blocks,
+                   const SliceNode& tree, Coord street, const std::string& name) {
+  db::Module top(t, name);
+  realizeNode(top, blocks, tree, street, Point{0, 0});
+  return top;
+}
+
+namespace {
+
+/// One pareto-optimal shape of a subset, with the choice that produced it.
+struct Option {
+  Coord w = 0, h = 0;
+  unsigned leftMask = 0;            // 0 for a leaf
+  SliceNode::Kind kind = SliceNode::Kind::Leaf;
+  std::size_t leftIdx = 0, rightIdx = 0;  // option indices of the children
+  std::size_t block = 0;                  // leaf block
+};
+
+void paretoInsert(std::vector<Option>& opts, Option o) {
+  for (const Option& e : opts)
+    if (e.w <= o.w && e.h <= o.h) return;  // dominated
+  opts.erase(std::remove_if(opts.begin(), opts.end(),
+                            [&](const Option& e) { return o.w <= e.w && o.h <= e.h; }),
+             opts.end());
+  opts.push_back(o);
+}
+
+std::unique_ptr<SliceNode> rebuild(const std::vector<std::vector<Option>>& table,
+                                   unsigned mask, std::size_t idx) {
+  const Option& o = table[mask][idx];
+  if (o.kind == SliceNode::Kind::Leaf) return SliceNode::leaf(o.block);
+  auto l = rebuild(table, o.leftMask, o.leftIdx);
+  auto r = rebuild(table, mask & ~o.leftMask, o.rightIdx);
+  auto n = std::make_unique<SliceNode>();
+  n->kind = o.kind;
+  n->left = std::move(l);
+  n->right = std::move(r);
+  return n;
+}
+
+}  // namespace
+
+SlicingResult bestSlicing(const tech::Technology& t,
+                          const std::vector<db::Module>& blocks, Coord street,
+                          const std::string& name) {
+  const std::size_t n = blocks.size();
+  if (n == 0) throw Error("bestSlicing: no blocks");
+  if (n > 12) throw Error("bestSlicing: subset DP is practical up to 12 blocks");
+  const unsigned full = (1u << n) - 1u;
+
+  std::vector<std::vector<Option>> table(full + 1);
+  std::size_t considered = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Option o;
+    o.w = blocks[i].bboxAll().width();
+    o.h = blocks[i].bboxAll().height();
+    o.kind = SliceNode::Kind::Leaf;
+    o.block = i;
+    table[1u << i].push_back(o);
+  }
+
+  // Enumerate subsets in increasing popcount (mask order suffices since a
+  // proper sub-mask is numerically smaller).
+  for (unsigned mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // single block: leaf
+    // All proper sub-splits; visiting each unordered pair once.
+    for (unsigned lm = (mask - 1) & mask; lm; lm = (lm - 1) & mask) {
+      const unsigned rm = mask & ~lm;
+      if (lm < rm) continue;  // unordered: combines below try both layouts
+      for (std::size_t li = 0; li < table[lm].size(); ++li) {
+        for (std::size_t ri = 0; ri < table[rm].size(); ++ri) {
+          const Option& L = table[lm][li];
+          const Option& R = table[rm][ri];
+          ++considered;
+          Option beside;
+          beside.w = L.w + street + R.w;
+          beside.h = std::max(L.h, R.h);
+          beside.kind = SliceNode::Kind::VerticalCut;
+          beside.leftMask = lm;
+          beside.leftIdx = li;
+          beside.rightIdx = ri;
+          paretoInsert(table[mask], beside);
+          Option stacked = beside;
+          stacked.w = std::max(L.w, R.w);
+          stacked.h = L.h + street + R.h;
+          stacked.kind = SliceNode::Kind::HorizontalCut;
+          paretoInsert(table[mask], stacked);
+        }
+      }
+    }
+  }
+
+  // Pick the minimum-area option of the full set.
+  const auto& opts = table[full];
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < opts.size(); ++i)
+    if (opts[i].w * opts[i].h < opts[best].w * opts[best].h) best = i;
+
+  const auto tree = rebuild(table, full, best);
+  SlicingResult res{realize(t, blocks, *tree, street, name), opts[best].w,
+                    opts[best].h, considered};
+  return res;
+}
+
+}  // namespace amg::place

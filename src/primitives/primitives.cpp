@@ -1,0 +1,300 @@
+#include "primitives/primitives.h"
+
+#include <algorithm>
+
+namespace amg::prim {
+namespace {
+
+using tech::LayerKind;
+using tech::Technology;
+
+// Cut and marker shapes never act as enclosing rectangles.
+bool canEnclose(const Technology& t, LayerId l) {
+  const LayerKind k = t.info(l).kind;
+  return k != LayerKind::Cut && k != LayerKind::Marker;
+}
+
+std::vector<ShapeId> resolveOuters(const Module& m, std::vector<ShapeId> given) {
+  if (!given.empty()) return given;
+  std::vector<ShapeId> out;
+  for (ShapeId id : m.shapeIds())
+    if (canEnclose(m.technology(), m.shape(id).layer)) out.push_back(id);
+  return out;
+}
+
+// Minimum legal dimensions of a rectangle on `layer`.
+std::pair<Coord, Coord> minDims(const Technology& t, LayerId layer) {
+  if (t.info(layer).kind == LayerKind::Cut) return t.cutSize(layer);
+  const Coord w = t.minWidth(layer);
+  return {w, w};
+}
+
+void checkRequestedDim(const Technology& t, LayerId layer, const char* what,
+                       std::optional<Coord> req, Coord min) {
+  if (req && *req < min)
+    throw DesignRuleError(std::string("layer '") + t.info(layer).name + "': requested " +
+                          what + " " + std::to_string(*req) +
+                          " is below the minimum of " + std::to_string(min));
+}
+
+// Equidistant 1-D placement of `n` elements of size `sz` over [lo, hi]
+// with at least `minGap` between elements: even spreading when possible,
+// otherwise minimum pitch centred ("placed equidistantly to minimize the
+// contact resistance", §2.2).
+std::vector<Coord> spread(Coord lo, Coord hi, int n, Coord sz, Coord minGap) {
+  std::vector<Coord> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  const Coord w = hi - lo;
+  const Coord free = w - n * sz;
+  if (free / (n + 1) >= minGap) {
+    // Even spread: element i starts after (i+1) equal gaps and i elements.
+    for (int i = 0; i < n; ++i)
+      pos.push_back(lo + (static_cast<Coord>(i) + 1) * free / (n + 1) + i * sz);
+  } else {
+    // Pack at minimum pitch, centre the block.
+    const Coord block = n * sz + (n - 1) * minGap;
+    const Coord start = lo + (w - block) / 2;
+    for (int i = 0; i < n; ++i) pos.push_back(start + i * (sz + minGap));
+  }
+  return pos;
+}
+
+}  // namespace
+
+Box interiorOf(const Module& m, const std::vector<ShapeId>& containers,
+               LayerId innerLayer) {
+  const Technology& t = m.technology();
+  Box region;
+  bool first = true;
+  for (ShapeId id : containers) {
+    const db::Shape& s = m.shape(id);
+    const Coord margin = t.enclosure(s.layer, innerLayer).value_or(0);
+    const Box inner = s.box.expanded(-margin);
+    if (inner.empty()) return Box{};
+    region = first ? inner : region.intersect(inner);
+    first = false;
+    if (region.empty()) return Box{};
+  }
+  return region;
+}
+
+void expandOuters(Module& m, const std::vector<ShapeId>& outers, LayerId innerLayer,
+                  const Box& needed) {
+  const Technology& t = m.technology();
+  for (ShapeId id : outers) {
+    db::Shape& s = m.shape(id);
+    if (t.info(s.layer).kind == LayerKind::Cut)
+      throw DesignRuleError("cannot expand fixed-size cut rectangle on layer '" +
+                            t.info(s.layer).name + "'");
+    const Coord margin = t.enclosure(s.layer, innerLayer).value_or(0);
+    s.box = s.box.unite(needed.expanded(margin));
+  }
+}
+
+ShapeId inbox(Module& m, LayerId layer, std::optional<Coord> w, std::optional<Coord> h,
+              NetId net, std::vector<ShapeId> outers) {
+  const Technology& t = m.technology();
+  outers = resolveOuters(m, std::move(outers));
+  const auto [minW, minH] = minDims(t, layer);
+  checkRequestedDim(t, layer, "width", w, minW);
+  checkRequestedDim(t, layer, "height", h, minH);
+
+  if (outers.empty()) {
+    // Free-standing: omitted dimensions take the minimum possible value.
+    const Coord dw = w.value_or(minW);
+    const Coord dh = h.value_or(minH);
+    return m.addShape(db::makeShape(Box::fromSize(0, 0, dw, dh), layer, net));
+  }
+
+  const Coord needW = std::max(w.value_or(minW), minW);
+  const Coord needH = std::max(h.value_or(minH), minH);
+  Box region = interiorOf(m, outers, layer);
+  if (region.empty() || region.width() < needW || region.height() < needH) {
+    // "If the new rectangle cannot be placed inside the other rectangles,
+    // all outer rectangles are expanded."
+    Box anchor;
+    for (ShapeId id : outers) anchor = anchor.unite(m.shape(id).box);
+    const Point c = region.empty() ? anchor.center() : region.center();
+    expandOuters(m, outers, layer, Box::centredOn(c, needW, needH));
+    region = interiorOf(m, outers, layer);
+  }
+
+  const Coord dw = w.value_or(region.width());
+  const Coord dh = h.value_or(region.height());
+  const Coord x = region.x1 + (region.width() - dw) / 2;
+  const Coord y = region.y1 + (region.height() - dh) / 2;
+  const ShapeId id = m.addShape(db::makeShape(Box::fromSize(x, y, dw, dh), layer, net));
+  m.addEncloseRecord(db::EncloseRecord{outers, id});
+  return id;
+}
+
+ShapeId around(Module& m, LayerId layer, std::vector<ShapeId> targets, Coord extraMargin,
+               NetId net) {
+  const Technology& t = m.technology();
+  if (targets.empty()) targets = m.shapeIds();
+  if (targets.empty())
+    throw DesignRuleError("AROUND on layer '" + t.info(layer).name +
+                          "': no structure to surround");
+  Box b;
+  for (ShapeId id : targets) {
+    const db::Shape& s = m.shape(id);
+    const Coord margin =
+        std::max(t.enclosure(layer, s.layer).value_or(0), extraMargin);
+    b = b.unite(s.box.expanded(margin));
+  }
+  // Respect the layer's own minimum width.
+  const auto [minW, minH] = minDims(t, layer);
+  if (b.width() < minW) b = b.expanded((minW - b.width() + 1) / 2, 0);
+  if (b.height() < minH) b = b.expanded(0, (minH - b.height() + 1) / 2);
+  const ShapeId id = m.addShape(db::makeShape(b, layer, net));
+  m.addEncloseRecord(db::EncloseRecord{{id}, targets.front()});
+  return id;
+}
+
+std::vector<ShapeId> array(Module& m, LayerId cutLayer, std::vector<ShapeId> containers,
+                           NetId net) {
+  const Technology& t = m.technology();
+  if (t.info(cutLayer).kind != LayerKind::Cut)
+    throw DesignRuleError("ARRAY: layer '" + t.info(cutLayer).name +
+                          "' is not a cut layer");
+  containers = resolveOuters(m, std::move(containers));
+  if (containers.empty())
+    throw DesignRuleError("ARRAY on layer '" + t.info(cutLayer).name +
+                          "': no containing rectangles");
+
+  const auto [cw, ch] = t.cutSize(cutLayer);
+  const Coord gap = t.minSpacing(cutLayer, cutLayer).value_or(0);
+
+  Box region = interiorOf(m, containers, cutLayer);
+  if (region.empty() || region.width() < cw || region.height() < ch) {
+    // "If no rectangle can be placed, the outer geometries are expanded so
+    // that at least one rectangle can be generated."
+    Box anchor;
+    for (ShapeId id : containers) anchor = anchor.unite(m.shape(id).box);
+    const Point c = region.empty() ? anchor.center() : region.center();
+    expandOuters(m, containers, cutLayer, Box::centredOn(c, cw, ch));
+    region = interiorOf(m, containers, cutLayer);
+  }
+
+  const int nx = static_cast<int>((region.width() + gap) / (cw + gap));
+  const int ny = static_cast<int>((region.height() + gap) / (ch + gap));
+  const auto xs = spread(region.x1, region.x2, std::max(nx, 1), cw, gap);
+  const auto ys = spread(region.y1, region.y2, std::max(ny, 1), ch, gap);
+
+  std::vector<ShapeId> elems;
+  elems.reserve(xs.size() * ys.size());
+  for (const Coord y : ys)
+    for (const Coord x : xs)
+      elems.push_back(m.addShape(db::makeShape(Box::fromSize(x, y, cw, ch), cutLayer, net)));
+  m.addArrayRecord(db::ArrayRecord{containers, cutLayer, net, elems});
+  return elems;
+}
+
+std::vector<ShapeId> polygon(Module& m, LayerId layer, const geom::Polygon& poly,
+                             NetId net) {
+  std::vector<ShapeId> out;
+  for (const Box& b : geom::decompose(poly))
+    out.push_back(m.addShape(db::makeShape(b, layer, net)));
+  if (out.empty())
+    throw DesignRuleError("POLYGON: empty decomposition on layer '" +
+                          m.technology().info(layer).name + "'");
+  return out;
+}
+
+void rebuildArray(Module& m, db::ArrayRecord& rec) {
+  const Technology& t = m.technology();
+  const auto [cw, ch] = t.cutSize(rec.elemLayer);
+  const Coord gap = t.minSpacing(rec.elemLayer, rec.elemLayer).value_or(0);
+
+  Box region = interiorOf(m, rec.containers, rec.elemLayer);
+  if (region.empty() || region.width() < cw || region.height() < ch) {
+    Box anchor;
+    for (ShapeId id : rec.containers) anchor = anchor.unite(m.shape(id).box);
+    const Point c = region.empty() ? anchor.center() : region.center();
+    expandOuters(m, rec.containers, rec.elemLayer, Box::centredOn(c, cw, ch));
+    region = interiorOf(m, rec.containers, rec.elemLayer);
+  }
+
+  for (ShapeId id : rec.elems) m.removeShape(id);
+  rec.elems.clear();
+
+  const int nx = static_cast<int>((region.width() + gap) / (cw + gap));
+  const int ny = static_cast<int>((region.height() + gap) / (ch + gap));
+  const auto xs = spread(region.x1, region.x2, std::max(nx, 1), cw, gap);
+  const auto ys = spread(region.y1, region.y2, std::max(ny, 1), ch, gap);
+  for (const Coord y : ys)
+    for (const Coord x : xs)
+      rec.elems.push_back(
+          m.addShape(db::makeShape(Box::fromSize(x, y, cw, ch), rec.elemLayer, rec.net)));
+}
+
+std::vector<ShapeId> ring(Module& m, LayerId layer, std::optional<Coord> width,
+                          std::optional<Coord> gap, std::vector<ShapeId> targets,
+                          NetId net) {
+  const Technology& t = m.technology();
+  if (targets.empty()) targets = m.shapeIds();
+  if (targets.empty())
+    throw DesignRuleError("RING on layer '" + t.info(layer).name +
+                          "': no structure to surround");
+  const Coord wd = width.value_or(minDims(t, layer).first);
+  checkRequestedDim(t, layer, "ring width", width, minDims(t, layer).first);
+
+  Coord g = 0;
+  Box bb;
+  for (ShapeId id : targets) {
+    const db::Shape& s = m.shape(id);
+    bb = bb.unite(s.box);
+    g = std::max(g, t.minSpacing(layer, s.layer).value_or(0));
+  }
+  if (gap) g = std::max(g, *gap);
+
+  const Box inner = bb.expanded(g);
+  const Box outer = inner.expanded(wd);
+  std::vector<ShapeId> out;
+  out.push_back(m.addShape(db::makeShape(Box{outer.x1, outer.y1, inner.x1, outer.y2}, layer, net)));
+  out.push_back(m.addShape(db::makeShape(Box{inner.x1, outer.y1, inner.x2, inner.y1}, layer, net)));
+  out.push_back(m.addShape(db::makeShape(Box{inner.x2, outer.y1, outer.x2, outer.y2}, layer, net)));
+  out.push_back(m.addShape(db::makeShape(Box{inner.x1, inner.y2, inner.x2, outer.y2}, layer, net)));
+  return out;
+}
+
+std::pair<ShapeId, ShapeId> tworects(Module& m, LayerId layerA, LayerId layerB,
+                                     Coord chanW, Coord chanL, NetId netA, NetId netB) {
+  const Technology& t = m.technology();
+  if (chanL < t.minWidth(layerA))
+    throw DesignRuleError("TWORECTS: channel length " + std::to_string(chanL) +
+                          " below minimum width of '" + t.info(layerA).name + "'");
+  if (chanW < t.minWidth(layerB))
+    throw DesignRuleError("TWORECTS: channel width " + std::to_string(chanW) +
+                          " below minimum width of '" + t.info(layerB).name + "'");
+  const Coord endcap = t.extension(layerA, layerB).value_or(0);
+  const Coord overhang = t.extension(layerB, layerA).value_or(0);
+  // Channel occupies [0, chanL] x [0, chanW]; gate is the vertical stripe.
+  const ShapeId gate = m.addShape(
+      db::makeShape(Box{0, -endcap, chanL, chanW + endcap}, layerA, netA));
+  const ShapeId diff = m.addShape(
+      db::makeShape(Box{-overhang, 0, chanL + overhang, chanW}, layerB, netB));
+  return {gate, diff};
+}
+
+std::pair<ShapeId, ShapeId> angleAdaptor(Module& m, LayerId layer, Point corner,
+                                         Coord lenH, Coord lenV,
+                                         std::optional<Coord> width, NetId net) {
+  const Technology& t = m.technology();
+  const Coord wd = width.value_or(t.minWidth(layer));
+  checkRequestedDim(t, layer, "wire width", width, t.minWidth(layer));
+  if (lenH == 0 || lenV == 0)
+    throw DesignRuleError("angle adaptor: both arm lengths must be non-zero");
+
+  const Coord hx2 = corner.x + lenH + (lenH > 0 ? wd / 2 : -wd / 2);
+  const Box harm = Box::fromCorners(corner.x - (lenH > 0 ? wd / 2 : -wd / 2), corner.y - wd / 2,
+                                    hx2, corner.y + wd - wd / 2);
+  const Coord vy2 = corner.y + lenV + (lenV > 0 ? wd / 2 : -wd / 2);
+  const Box varm = Box::fromCorners(corner.x - wd / 2, corner.y - (lenV > 0 ? wd / 2 : -wd / 2),
+                                    corner.x + wd - wd / 2, vy2);
+  const ShapeId h = m.addShape(db::makeShape(harm, layer, net));
+  const ShapeId v = m.addShape(db::makeShape(varm, layer, net));
+  return {h, v};
+}
+
+}  // namespace amg::prim

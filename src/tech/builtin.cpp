@@ -1,0 +1,127 @@
+#include "tech/builtin.h"
+
+namespace amg::tech {
+namespace {
+
+// Helper that scales every rule value of the deck description; lets the
+// 2 µm deck share the table below.
+struct DeckBuilder {
+  Technology t;
+  double scale;
+
+  Coord s(Coord nm) const { return static_cast<Coord>(nm * scale); }
+
+  LayerId add(const char* name, LayerKind kind, int cif, const char* color,
+              const char* pattern, bool conducting) {
+    return t.addLayer(LayerInfo{name, kind, cif, color, pattern, conducting});
+  }
+};
+
+Technology buildDeck(std::string name, double scale, bool withBipolar) {
+  DeckBuilder b{Technology(std::move(name)), scale};
+
+  const LayerId nwell = b.add("nwell", LayerKind::Well, 1, "#d8c690", "diag", false);
+  const LayerId pdiff = b.add("pdiff", LayerKind::Diffusion, 3, "#7fbf7f", "solid", true);
+  const LayerId ndiff = b.add("ndiff", LayerKind::Diffusion, 4, "#5faf9f", "solid", true);
+  const LayerId ptie = b.add("ptie", LayerKind::Diffusion, 5, "#9f9f6f", "dots", true);
+  const LayerId poly = b.add("poly", LayerKind::Poly, 10, "#cc4444", "solid", true);
+  const LayerId contact = b.add("contact", LayerKind::Cut, 12, "#202020", "solid", false);
+  const LayerId metal1 = b.add("metal1", LayerKind::Metal, 13, "#4f6fcf", "solid", true);
+  const LayerId via = b.add("via", LayerKind::Cut, 14, "#303030", "cross", false);
+  const LayerId metal2 = b.add("metal2", LayerKind::Metal, 15, "#9f5fbf", "diag", true);
+  const LayerId guard = b.add("guard", LayerKind::Marker, 0, "#bbbbbb", "dots", false);
+
+  // --- widths ----------------------------------------------------------
+  b.t.setMinWidth(nwell, b.s(4000));
+  b.t.setMinWidth(pdiff, b.s(1600));
+  b.t.setMinWidth(ndiff, b.s(1600));
+  b.t.setMinWidth(ptie, b.s(1600));
+  b.t.setMinWidth(poly, b.s(1000));
+  b.t.setMinWidth(metal1, b.s(1600));
+  b.t.setMinWidth(metal2, b.s(2000));
+  b.t.setCutSize(contact, b.s(1000), b.s(1000));
+  b.t.setCutSize(via, b.s(1200), b.s(1200));
+
+  // --- same-layer spacings ----------------------------------------------
+  b.t.setMinSpacing(nwell, nwell, b.s(6000));
+  b.t.setMinSpacing(pdiff, pdiff, b.s(2400));
+  b.t.setMinSpacing(ndiff, ndiff, b.s(2400));
+  b.t.setMinSpacing(ptie, ptie, b.s(2400));
+  b.t.setMinSpacing(poly, poly, b.s(1200));
+  b.t.setMinSpacing(metal1, metal1, b.s(1200));
+  b.t.setMinSpacing(metal2, metal2, b.s(1600));
+  b.t.setMinSpacing(contact, contact, b.s(1200));
+  b.t.setMinSpacing(via, via, b.s(1600));
+
+  // --- cross-layer spacings ---------------------------------------------
+  // NOTE: poly and diffusion intentionally have no spacing rule between
+  // them: their overlap forms the MOS gate.  Keeping unrelated poly off
+  // diffusion is handled by the compactor's avoid-overlap shape property.
+  b.t.setMinSpacing(pdiff, ndiff, b.s(2800));
+  b.t.setMinSpacing(ptie, pdiff, b.s(2400));
+  b.t.setMinSpacing(ptie, ndiff, b.s(2400));
+
+  // --- enclosures --------------------------------------------------------
+  b.t.setEnclosure(poly, contact, b.s(600));
+  b.t.setEnclosure(pdiff, contact, b.s(800));
+  b.t.setEnclosure(ndiff, contact, b.s(800));
+  b.t.setEnclosure(ptie, contact, b.s(800));
+  b.t.setEnclosure(metal1, contact, b.s(600));
+  b.t.setEnclosure(metal1, via, b.s(600));
+  b.t.setEnclosure(metal2, via, b.s(800));
+  b.t.setEnclosure(nwell, pdiff, b.s(1200));
+
+  // --- crossing extensions (transistor formation) ------------------------
+  b.t.setExtension(poly, pdiff, b.s(1200));   // gate endcap
+  b.t.setExtension(pdiff, poly, b.s(2400));   // source/drain overhang
+  b.t.setExtension(poly, ndiff, b.s(1200));
+  b.t.setExtension(ndiff, poly, b.s(2400));
+
+  // --- connectivity -------------------------------------------------------
+  b.t.addCutConnection(contact, poly, metal1);
+  b.t.addCutConnection(contact, pdiff, metal1);
+  b.t.addCutConnection(contact, ndiff, metal1);
+  b.t.addCutConnection(contact, ptie, metal1);
+  b.t.addCutConnection(via, metal1, metal2);
+
+  // --- latch-up ------------------------------------------------------------
+  b.t.setLatchUpRadius(b.s(50000));
+  b.t.setGuardLayer(guard);
+  b.t.setSubstrateTieLayer(ptie);
+
+  if (withBipolar) {
+    const LayerId pbase = b.t.addLayer(
+        LayerInfo{"pbase", LayerKind::Implant, 20, "#bf9f5f", "hatch", true});
+    const LayerId nplus = b.t.addLayer(
+        LayerInfo{"nplus", LayerKind::Implant, 21, "#dfbf7f", "cross", true});
+    b.t.setMinWidth(pbase, b.s(3000));
+    b.t.setMinWidth(nplus, b.s(2000));
+    b.t.setMinSpacing(pbase, pbase, b.s(4000));
+    b.t.setMinSpacing(nplus, nplus, b.s(2000));
+    b.t.setMinSpacing(pbase, pdiff, b.s(2400));
+    b.t.setMinSpacing(pbase, ndiff, b.s(2400));
+    b.t.setEnclosure(pbase, contact, b.s(800));
+    b.t.setEnclosure(nplus, contact, b.s(800));
+    b.t.setEnclosure(pbase, nplus, b.s(1000));  // emitter inside base
+    b.t.setEnclosure(nwell, pbase, b.s(2000));  // collector well around base
+    b.t.setEnclosure(nwell, nplus, b.s(1200));
+    b.t.addCutConnection(contact, pbase, metal1);
+    b.t.addCutConnection(contact, nplus, metal1);
+  }
+
+  return std::move(b.t);
+}
+
+}  // namespace
+
+const Technology& bicmos1u() {
+  static const Technology t = buildDeck("bicmos1u", 1.0, /*withBipolar=*/true);
+  return t;
+}
+
+const Technology& cmos2u() {
+  static const Technology t = buildDeck("cmos2u", 2.0, /*withBipolar=*/false);
+  return t;
+}
+
+}  // namespace amg::tech

@@ -1,0 +1,23 @@
+// Built-in technology decks.
+//
+// The paper demonstrates the environment in a 1 µm Siemens BiCMOS process
+// whose rule deck is proprietary; bicmos1u() is a plausible substitute with
+// the same *kinds* of rules (see DESIGN.md §2).  cmos2u() is a coarser
+// CMOS-only deck used by tests to prove technology independence of the
+// module generators.
+#pragma once
+
+#include "tech/tech.h"
+
+namespace amg::tech {
+
+/// 1 µm two-metal BiCMOS deck (MOS + vertical npn layers).  Layer names
+/// used by the module library: nwell, pdiff, ndiff, ptie, poly, contact,
+/// metal1, via, metal2, pbase, nplus, guard.
+const Technology& bicmos1u();
+
+/// 2 µm single-poly two-metal pure-CMOS deck with the same layer names
+/// minus the bipolar layers; all rule values roughly doubled.
+const Technology& cmos2u();
+
+}  // namespace amg::tech

@@ -1,0 +1,153 @@
+// Technology description: layers and design rules.
+//
+// "The design rules are stored in a technology description file" (§1) —
+// module code never contains a rule value; every geometric decision asks
+// this class.  A Technology is immutable once built; decks are either
+// built-in (builtin.h) or parsed from the text format (techfile.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/coord.h"
+
+namespace amg::tech {
+
+/// Index into the technology's layer table.
+using LayerId = std::uint16_t;
+
+/// Sentinel for "no layer".
+inline constexpr LayerId kNoLayer = 0xFFFF;
+
+/// Broad physical role of a layer; drives defaults (e.g. cut layers have a
+/// fixed size) and the DRC checks that apply.
+enum class LayerKind : std::uint8_t {
+  Well,       ///< n-well / p-well
+  Diffusion,  ///< active (LOCOS) areas: source/drain, substrate ties
+  Poly,       ///< polysilicon gates and wires
+  Metal,      ///< interconnect metals
+  Cut,        ///< contacts and vias: fixed-size, connect two layers
+  Implant,    ///< base/emitter implants of the bipolar devices
+  Marker,     ///< non-mask helper layers (e.g. latch-up guard regions)
+};
+
+/// Static per-layer data, including the display attributes of Fig. 4.
+struct LayerInfo {
+  std::string name;        ///< DSL-visible name, e.g. "metal1"
+  LayerKind kind = LayerKind::Marker;
+  int cifId = 0;           ///< numeric mask id used by the CIF writer
+  std::string color;       ///< SVG fill colour ("#rrggbb")
+  std::string pattern;     ///< fill pattern name: solid|diag|cross|dots|hatch
+  bool conducting = false; ///< participates in connectivity / potentials
+};
+
+/// An immutable set of layers and design rules.
+///
+/// Rule queries follow the conventions:
+///  * minSpacing(a, b): minimum separation between shapes on a and b that
+///    are NOT on the same potential; std::nullopt means the layers may
+///    overlap freely (no rule).
+///  * enclosure(outer, inner): when a shape on `inner` must lie inside a
+///    shape on `outer` (e.g. contact in metal1), the required margin.
+///  * extension(a, b): where shapes on `a` and `b` cross (transistor
+///    gates), `a` must extend past `b` by this much on both sides.
+class Technology {
+ public:
+  /// --- construction (used by deck builders and the tech-file parser) ---
+  explicit Technology(std::string name) : name_(std::move(name)) {}
+
+  LayerId addLayer(LayerInfo info);
+  void setMinWidth(LayerId l, Coord w);
+  void setMinSpacing(LayerId a, LayerId b, Coord s);
+  void setEnclosure(LayerId outer, LayerId inner, Coord e);
+  void setExtension(LayerId a, LayerId b, Coord e);
+  /// Cuts have a technology-fixed footprint.
+  void setCutSize(LayerId cut, Coord w, Coord h);
+  /// Declare that `cut` electrically connects `a` and `b` when overlapping
+  /// both.
+  void addCutConnection(LayerId cut, LayerId a, LayerId b);
+  /// Latch-up rule: every LOCOS area must be within `r` of a substrate
+  /// contact (modelled as the guard rectangle of Fig. 1).
+  void setLatchUpRadius(Coord r) { latchUpRadius_ = r; }
+  /// The marker layer drawn around substrate contacts for the latch-up
+  /// check.
+  void setGuardLayer(LayerId l) { guardLayer_ = l; }
+  /// The layer substrate contacts are made of (tie diffusion).
+  void setSubstrateTieLayer(LayerId l) { tieLayer_ = l; }
+
+  /// --- queries ---------------------------------------------------------
+  const std::string& name() const { return name_; }
+  std::size_t layerCount() const { return layers_.size(); }
+  const LayerInfo& info(LayerId l) const { return layers_.at(l); }
+
+  /// Resolve a layer by name; throws DesignRuleError on unknown names so a
+  /// typo in module code produces the paper's "error message".
+  LayerId layer(std::string_view name) const;
+  std::optional<LayerId> findLayer(std::string_view name) const;
+
+  /// Minimum legal width/height of a shape on `l` (cut layers: exact size).
+  Coord minWidth(LayerId l) const;
+  /// Like minWidth() but nullopt instead of throwing when no width rule
+  /// exists (marker layers); used by the serializer and the DRC checker.
+  std::optional<Coord> findMinWidth(LayerId l) const;
+  /// Minimum spacing between different-potential shapes, nullopt = layers
+  /// may overlap (no rule between them).
+  std::optional<Coord> minSpacing(LayerId a, LayerId b) const;
+  /// Required margin of `outer` around `inner`; nullopt if no enclosure
+  /// relation exists between the layers.
+  std::optional<Coord> enclosure(LayerId outer, LayerId inner) const;
+  /// Required crossing extension (gate endcap / source-drain overhang);
+  /// nullopt if the layers have no crossing rule.
+  std::optional<Coord> extension(LayerId a, LayerId b) const;
+  /// Exact cut footprint (w, h); throws for non-cut layers.
+  std::pair<Coord, Coord> cutSize(LayerId cut) const;
+  /// True when `cut` connects `a` and `b` (order-insensitive).
+  bool cutConnects(LayerId cut, LayerId a, LayerId b) const;
+  /// All (a, b) pairs connected by `cut`.
+  std::vector<std::pair<LayerId, LayerId>> cutConnections(LayerId cut) const;
+  /// All cut layers that can connect `a` and `b` directly.
+  std::vector<LayerId> cutsBetween(LayerId a, LayerId b) const;
+
+  Coord latchUpRadius() const { return latchUpRadius_; }
+  LayerId guardLayer() const { return guardLayer_; }
+  LayerId substrateTieLayer() const { return tieLayer_; }
+  /// All diffusion-kind layers (the LOCOS areas of the latch-up rule).
+  std::vector<LayerId> activeLayers() const;
+  /// All conducting layers.
+  std::vector<LayerId> conductingLayers() const;
+
+  /// True when two shapes on layers a and b that touch/overlap are on the
+  /// same electrical node *by construction* (same conducting layer).
+  bool sameConductor(LayerId a, LayerId b) const { return a == b; }
+
+ private:
+  static std::uint32_t pairKey(LayerId a, LayerId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint32_t>(a) << 16) | b;
+  }
+  static std::uint32_t orderedKey(LayerId a, LayerId b) {
+    return (static_cast<std::uint32_t>(a) << 16) | b;
+  }
+
+  std::string name_;
+  std::vector<LayerInfo> layers_;
+  std::unordered_map<std::string, LayerId> byName_;
+  std::unordered_map<LayerId, Coord> minWidth_;
+  std::unordered_map<std::uint32_t, Coord> spacing_;     // pairKey
+  std::unordered_map<std::uint32_t, Coord> enclosure_;   // orderedKey
+  std::unordered_map<std::uint32_t, Coord> extension_;   // orderedKey
+  std::unordered_map<LayerId, std::pair<Coord, Coord>> cutSize_;
+  struct CutConn {
+    LayerId cut, a, b;
+  };
+  std::vector<CutConn> cutConns_;
+  Coord latchUpRadius_ = 0;
+  LayerId guardLayer_ = kNoLayer;
+  LayerId tieLayer_ = kNoLayer;
+};
+
+}  // namespace amg::tech

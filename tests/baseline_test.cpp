@@ -1,0 +1,96 @@
+// Tests for the baseline constraint-graph compactor.
+#include <gtest/gtest.h>
+
+#include "baseline/graph_compactor.h"
+#include "compact/compactor.h"
+#include "drc/drc.h"
+#include "tech/builtin.h"
+
+namespace amg::baseline {
+namespace {
+
+using db::Module;
+using db::makeShape;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+drc::CheckOptions noLatchUp() {
+  drc::CheckOptions o;
+  o.latchUp = false;
+  return o;
+}
+
+TEST(GraphCompact, PacksRowToRuleSpacing) {
+  Module m(T());
+  for (int i = 0; i < 5; ++i)
+    m.addShape(makeShape(Box::fromSize(i * 20000, 0, 2000, 2000), T().layer("metal1"),
+                         m.net("n" + std::to_string(i))));
+  const auto stats = graphCompact(m, Dir::West);
+  EXPECT_EQ(stats.nodes, 5u);
+  EXPECT_GE(stats.edges, 4u);
+  // 5 shapes of 2000 with 4 gaps of 1200.
+  EXPECT_EQ(m.bbox().width(), 5 * 2000 + 4 * 1200);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+}
+
+TEST(GraphCompact, KeepsElectricalNodesRigid) {
+  Module m(T());
+  // A contact inside its metal pad, far from a second metal.
+  const auto pad =
+      m.addShape(makeShape(Box{20000, 0, 22200, 2200}, T().layer("metal1"), m.net("a")));
+  const auto cut =
+      m.addShape(makeShape(Box{20600, 600, 21600, 1600}, T().layer("contact"), m.net("a")));
+  const auto poly =
+      m.addShape(makeShape(Box{20000, 0, 22200, 2200}, T().layer("poly"), m.net("a")));
+  m.addShape(makeShape(Box{0, 0, 2000, 2200}, T().layer("metal1"), m.net("b")));
+
+  graphCompact(m, Dir::West);
+  // The cut is still centred in its pad.
+  const Box pb = m.shape(pad).box;
+  const Box cb = m.shape(cut).box;
+  EXPECT_EQ(cb.x1 - pb.x1, 600);
+  EXPECT_EQ(pb.x2 - cb.x2, 600);
+  EXPECT_EQ(m.shape(poly).box, pb);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+}
+
+TEST(GraphCompact, AllDirections) {
+  for (Dir d : {Dir::West, Dir::East, Dir::South, Dir::North}) {
+    Module m(T());
+    m.addShape(makeShape(Box{0, 0, 2000, 2000}, T().layer("metal1"), m.net("a")));
+    m.addShape(makeShape(Box{30000, 30000, 32000, 32000}, T().layer("metal1"), m.net("b")));
+    graphCompact(m, d);
+    // Diagonal shapes do not conflict: each slides to the wall.
+    EXPECT_NO_THROW(drc::expectClean(m, noLatchUp())) << dirName(d);
+    const Box bb = m.bbox();
+    if (isHorizontal(d))
+      EXPECT_EQ(bb.width(), 2000) << dirName(d);
+    else
+      EXPECT_EQ(bb.height(), 2000) << dirName(d);
+  }
+}
+
+TEST(GraphCompact, EmptyModule) {
+  Module m(T());
+  const auto stats = graphCompact(m, Dir::West);
+  EXPECT_EQ(stats.nodes, 0u);
+}
+
+TEST(GraphCompactStep, MatchesSuccessiveAreaOnSimpleRow) {
+  // Building a row of unrelated rects: both engines reach the same packing.
+  Module succ(T());
+  Module base(T());
+  for (int i = 0; i < 6; ++i) {
+    Module obj(T());
+    obj.addShape(makeShape(Box{0, 0, 2000, 2000}, T().layer("metal1"),
+                           obj.net("n" + std::to_string(i))));
+    compact::compact(succ, obj, Dir::West);
+    graphCompactStep(base, obj, Dir::West);
+  }
+  EXPECT_EQ(succ.bbox().width(), base.bbox().width());
+  EXPECT_NO_THROW(drc::expectClean(base, noLatchUp()));
+}
+
+}  // namespace
+}  // namespace amg::baseline

@@ -1,0 +1,179 @@
+// Tests for the layout database: Module, nets, merge, connectivity.
+#include <gtest/gtest.h>
+
+#include "db/connectivity.h"
+#include "db/module.h"
+#include "tech/builtin.h"
+
+namespace amg::db {
+namespace {
+
+using tech::bicmos1u;
+
+Module makeModule(const std::string& name = "m") { return Module(bicmos1u(), name); }
+
+TEST(Module, NetsAreInterned) {
+  Module m = makeModule();
+  const NetId a = m.net("vdd");
+  const NetId b = m.net("gnd");
+  const NetId a2 = m.net("vdd");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.net(""), kNoNet);
+  EXPECT_EQ(m.netName(a), "vdd");
+  EXPECT_EQ(m.findNet("gnd"), b);
+  EXPECT_FALSE(m.findNet("zzz").has_value());
+}
+
+TEST(Module, AddRemoveShapes) {
+  Module m = makeModule();
+  const LayerId poly = bicmos1u().layer("poly");
+  const ShapeId s = m.addShape(makeShape(Box{0, 0, 10, 10}, poly));
+  EXPECT_EQ(m.shapeCount(), 1u);
+  EXPECT_TRUE(m.isAlive(s));
+  m.removeShape(s);
+  EXPECT_EQ(m.shapeCount(), 0u);
+  EXPECT_FALSE(m.isAlive(s));
+  EXPECT_TRUE(m.shapeIds().empty());
+}
+
+TEST(Module, EmptyRectRejected) {
+  Module m = makeModule();
+  EXPECT_THROW(m.addShape(makeShape(Box{0, 0, 0, 10}, 0)), DesignRuleError);
+}
+
+TEST(Module, BboxSkipsMarkers) {
+  Module m = makeModule();
+  const auto& t = bicmos1u();
+  m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("poly")));
+  m.addShape(makeShape(Box{-100, -100, 100, 100}, t.layer("guard")));
+  EXPECT_EQ(m.bbox(), (Box{0, 0, 10, 10}));
+  EXPECT_EQ(m.bboxAll(), (Box{-100, -100, 100, 100}));
+  EXPECT_EQ(m.area(), 100);
+}
+
+TEST(Module, TranslateAndTransformFlags) {
+  Module m = makeModule();
+  Shape s = makeShape(Box{0, 0, 10, 20}, bicmos1u().layer("metal1"));
+  s.varEdges.setVariable(Side::Right, true);
+  const ShapeId id = m.addShape(s);
+  m.translate(5, 7);
+  EXPECT_EQ(m.shape(id).box, (Box{5, 7, 15, 27}));
+
+  m.transform(geom::Transform::mirrorX(0));
+  EXPECT_EQ(m.shape(id).box, (Box{-15, 7, -5, 27}));
+  // The variable right edge is now the left edge.
+  EXPECT_TRUE(m.shape(id).varEdges.variable(Side::Left));
+  EXPECT_FALSE(m.shape(id).varEdges.variable(Side::Right));
+}
+
+TEST(Module, MergeMapsNetsByName) {
+  Module a = makeModule("a");
+  Module b = makeModule("b");
+  const auto& t = bicmos1u();
+  const ShapeId sa = a.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("metal1"), a.net("x")));
+  (void)sa;
+  b.addShape(makeShape(Box{0, 0, 5, 5}, t.layer("metal1"), b.net("x")));
+  b.addShape(makeShape(Box{0, 10, 5, 15}, t.layer("metal1"), b.net("y")));
+
+  const auto map = a.merge(b, geom::Transform::translate(100, 0));
+  ASSERT_EQ(map.size(), 2u);
+  const Shape& m0 = a.shape(map[0]);
+  EXPECT_EQ(m0.box, (Box{100, 0, 105, 5}));
+  EXPECT_EQ(a.netName(m0.net), "x");
+  EXPECT_EQ(a.netName(a.shape(map[1]).net), "y");
+  EXPECT_EQ(a.shapeCount(), 3u);
+}
+
+TEST(Module, MergeCarriesRecords) {
+  Module b = makeModule("b");
+  const auto& t = bicmos1u();
+  const ShapeId outer = b.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("poly")));
+  const ShapeId inner = b.addShape(makeShape(Box{2, 2, 8, 8}, t.layer("metal1")));
+  b.addEncloseRecord(EncloseRecord{{outer}, inner});
+  const ShapeId cut = b.addShape(makeShape(Box{4, 4, 5, 5}, t.layer("contact")));
+  b.addArrayRecord(ArrayRecord{{outer, inner}, t.layer("contact"), kNoNet, {cut}});
+
+  Module a = makeModule("a");
+  const auto map = a.merge(b, geom::Transform{});
+  ASSERT_EQ(a.encloseRecords().size(), 1u);
+  EXPECT_EQ(a.encloseRecords()[0].inner, map[inner]);
+  ASSERT_EQ(a.arrayRecords().size(), 1u);
+  EXPECT_EQ(a.arrayRecords()[0].containers.size(), 2u);
+  EXPECT_EQ(a.arrayRecords()[0].elems[0], map[cut]);
+}
+
+TEST(Module, CopySemantics) {
+  Module a = makeModule("a");
+  const auto& t = bicmos1u();
+  const ShapeId s = a.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("poly")));
+  Module b = a;  // the DSL's `trans2 = trans1`
+  b.shape(s).box = Box{0, 0, 99, 99};
+  EXPECT_EQ(a.shape(s).box, (Box{0, 0, 10, 10}));
+}
+
+// ---------------------------------------------------------------------------
+// Connectivity extraction
+// ---------------------------------------------------------------------------
+
+TEST(Connectivity, TouchingSameLayerConnects) {
+  Module m = makeModule();
+  const auto& t = bicmos1u();
+  const ShapeId a = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("metal1")));
+  const ShapeId b = m.addShape(makeShape(Box{10, 0, 20, 10}, t.layer("metal1")));  // abuts
+  const ShapeId c = m.addShape(makeShape(Box{30, 0, 40, 10}, t.layer("metal1")));  // apart
+  const Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(a, b));
+  EXPECT_FALSE(conn.connected(a, c));
+  EXPECT_EQ(conn.componentCount(), 2);
+}
+
+TEST(Connectivity, CornerTouchDoesNotConnect) {
+  Module m = makeModule();
+  const auto& t = bicmos1u();
+  const ShapeId a = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("metal1")));
+  const ShapeId b = m.addShape(makeShape(Box{10, 10, 20, 20}, t.layer("metal1")));
+  const Connectivity conn(m);
+  EXPECT_FALSE(conn.connected(a, b));
+}
+
+TEST(Connectivity, CutConnectsDeclaredLayers) {
+  Module m = makeModule();
+  const auto& t = bicmos1u();
+  const ShapeId poly = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("poly")));
+  const ShapeId met = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("metal1")));
+  const ShapeId met2 = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("metal2")));
+  const ShapeId cut = m.addShape(makeShape(Box{4, 4, 5, 5}, t.layer("contact")));
+  const Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(poly, met));
+  EXPECT_TRUE(conn.connected(poly, cut));
+  // contact does not connect metal2.
+  EXPECT_FALSE(conn.connected(met2, poly));
+}
+
+TEST(Connectivity, OverlapWithoutCutDoesNotConnectAcrossLayers) {
+  Module m = makeModule();
+  const auto& t = bicmos1u();
+  const ShapeId poly = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("poly")));
+  const ShapeId met = m.addShape(makeShape(Box{0, 0, 10, 10}, t.layer("metal1")));
+  const Connectivity conn(m);
+  EXPECT_FALSE(conn.connected(poly, met));
+  EXPECT_EQ(conn.componentCount(), 2);
+}
+
+TEST(Connectivity, NonConductingIgnored) {
+  Module m = makeModule();
+  const auto& t = bicmos1u();
+  const ShapeId g = m.addShape(makeShape(Box{0, 0, 100, 100}, t.layer("guard")));
+  EXPECT_EQ(Connectivity(m).componentOf(g), -1);
+}
+
+TEST(Connectivity, ElectricallyTouchingEdgeCases) {
+  EXPECT_TRUE(electricallyTouching(Box{0, 0, 10, 10}, Box{5, 5, 15, 15}));
+  EXPECT_TRUE(electricallyTouching(Box{0, 0, 10, 10}, Box{10, 2, 20, 8}));
+  EXPECT_FALSE(electricallyTouching(Box{0, 0, 10, 10}, Box{10, 10, 20, 20}));
+  EXPECT_FALSE(electricallyTouching(Box{0, 0, 10, 10}, Box{11, 0, 20, 10}));
+}
+
+}  // namespace
+}  // namespace amg::db

@@ -1,0 +1,153 @@
+// Tests for device extraction and the LVS comparison.
+#include <gtest/gtest.h>
+
+#include "amp/amplifier.h"
+#include "drc/extract.h"
+#include "modules/basic.h"
+#include "modules/centroid.h"
+#include "modules/interdigitated.h"
+#include "opt/optimizer.h"
+#include "tech/builtin.h"
+
+namespace amg::drc {
+namespace {
+
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+TEST(Extract, SingleTransistor) {
+  modules::MosSpec spec;
+  spec.w = um(10);
+  spec.l = um(2);
+  const db::Module m = modules::mosTransistor(T(), spec);
+  const auto devs = extractMos(m);
+  ASSERT_EQ(devs.size(), 1u);
+  EXPECT_EQ(devs[0].gateNet, "g");
+  EXPECT_EQ(devs[0].sourceNet, "d");  // canonical order: d < s
+  EXPECT_EQ(devs[0].drainNet, "s");
+  EXPECT_EQ(devs[0].w, um(10));
+  EXPECT_EQ(devs[0].l, um(2));
+  EXPECT_EQ(devs[0].diffLayer, "pdiff");
+}
+
+TEST(Extract, DiffPairTwoDevices) {
+  modules::DiffPairSpec spec;
+  spec.w = um(10);
+  spec.l = um(2);
+  const db::Module m = modules::diffPair(T(), spec);
+  const auto devs = extractMos(m);
+  ASSERT_EQ(devs.size(), 2u);
+
+  const auto res = lvs(m, {{"inp", "outa", "tail"}, {"inn", "tail", "outb"}});
+  EXPECT_TRUE(res.matched) << (res.messages.empty() ? "" : res.messages[0]);
+  EXPECT_EQ(res.layoutDevices, 2);
+}
+
+TEST(Extract, LvsSourceDrainSymmetric) {
+  modules::DiffPairSpec spec;
+  spec.w = um(10);
+  spec.l = um(2);
+  const db::Module m = modules::diffPair(T(), spec);
+  // Swapped source/drain must still match.
+  EXPECT_TRUE(lvs(m, {{"inp", "tail", "outa"}, {"inn", "outb", "tail"}}).matched);
+}
+
+TEST(Extract, LvsDetectsWrongNetlist) {
+  modules::DiffPairSpec spec;
+  spec.w = um(10);
+  spec.l = um(2);
+  const db::Module m = modules::diffPair(T(), spec);
+  const auto res = lvs(m, {{"inp", "outa", "tail"}, {"inn", "tail", "WRONG"}});
+  EXPECT_FALSE(res.matched);
+  ASSERT_EQ(res.messages.size(), 2u);  // one missing, one extra
+  EXPECT_NE(res.messages[0].find("missing"), std::string::npos);
+}
+
+TEST(Extract, LvsDetectsMissingDevice) {
+  modules::MosSpec spec;
+  spec.w = um(10);
+  spec.l = um(2);
+  const db::Module m = modules::mosTransistor(T(), spec);
+  const auto res = lvs(m, {{"g", "s", "d"}, {"g2", "x", "y"}});
+  EXPECT_FALSE(res.matched);
+  EXPECT_EQ(res.layoutDevices, 1);
+  EXPECT_EQ(res.netlistDevices, 2);
+}
+
+TEST(Extract, InterdigitatedCountsFingers) {
+  modules::InterdigSpec spec;
+  spec.w = um(12);
+  spec.l = um(1);
+  spec.fingers = 4;
+  const db::Module m = modules::interdigitatedMos(T(), spec);
+  const auto devs = extractMos(m);
+  ASSERT_EQ(devs.size(), 4u);
+  std::vector<NetlistMos> wanted(4, NetlistMos{"g", "s", "d"});
+  EXPECT_TRUE(lvs(m, wanted).matched);
+}
+
+TEST(Extract, CurrentMirrorTopology) {
+  modules::MirrorSpec spec;
+  spec.w = um(15);
+  spec.l = um(2);
+  const db::Module m = modules::currentMirror(T(), spec);
+  // Fingers [out, diode, diode, out]: two output devices, two diode
+  // devices whose gate equals the input net.
+  const auto res = lvs(m, {{"iin", "vss", "iout"},
+                           {"iin", "vss", "iin"},
+                           {"iin", "vss", "iin"},
+                           {"iin", "vss", "iout"}});
+  EXPECT_TRUE(res.matched) << (res.messages.empty() ? "" : res.messages[0]);
+}
+
+TEST(Extract, CentroidPairDevices) {
+  modules::CentroidSpec spec;
+  spec.w = um(12);
+  spec.l = um(1);
+  const db::Module m = modules::centroidDiffPair(T(), spec);
+  const auto devs = extractMos(m);
+  // 8 active fingers + 16 dummies.
+  EXPECT_EQ(devs.size(), 24u);
+
+  std::vector<NetlistMos> wanted;
+  for (int i = 0; i < 4; ++i) wanted.push_back({"inp", "tail", "outa"});
+  for (int i = 0; i < 4; ++i) wanted.push_back({"inn", "tail", "outb"});
+  // Dummy gates are tied to the source net; exclude them from the match.
+  const auto res = lvs(m, wanted, {"tail"});
+  EXPECT_TRUE(res.matched) << (res.messages.empty() ? "" : res.messages[0]);
+}
+
+TEST(Extract, ModuleEOfAmplifier) {
+  const db::Module e = amp::buildModuleE(T());
+  std::vector<NetlistMos> wanted;
+  for (int i = 0; i < 4; ++i) wanted.push_back({"inp", "e_tail", "e_outa"});
+  for (int i = 0; i < 4; ++i) wanted.push_back({"inn", "e_tail", "e_outb"});
+  const auto res = lvs(e, wanted, {"e_tail"});
+  EXPECT_TRUE(res.matched) << (res.messages.empty() ? "" : res.messages[0]);
+}
+
+TEST(Extract, OptimizedModuleKeepsTopology) {
+  // The optimizer permutes compaction orders; the electrical topology must
+  // survive every order (LVS as the invariant).
+  opt::BuildPlan plan(modules::mosTransistor(T(), [] {
+    modules::MosSpec s;
+    s.w = um(10);
+    s.l = um(2);
+    return s;
+  }()));
+  modules::ContactRowSpec rc;
+  rc.layer = "pdiff";
+  rc.l = um(10);
+  rc.net = "d2";
+  plan.steps.emplace_back(modules::contactRow(T(), rc), Dir::West,
+                          compact::Options{{T().layer("pdiff")}, true, true, 0});
+
+  const auto res = opt::optimizeOrder(plan);
+  const auto devs = extractMos(res.best);
+  ASSERT_EQ(devs.size(), 1u);
+  EXPECT_EQ(devs[0].gateNet, "g");
+}
+
+}  // namespace
+}  // namespace amg::drc

@@ -1,0 +1,136 @@
+// Tests for the SVG and CIF writers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "io/cif.h"
+#include "io/gds.h"
+#include "io/svg.h"
+#include "modules/basic.h"
+#include "tech/builtin.h"
+
+namespace amg::io {
+namespace {
+
+using tech::bicmos1u;
+
+db::Module sample() {
+  modules::ContactRowSpec spec;
+  spec.layer = "poly";
+  spec.w = um(8);
+  spec.net = "n";
+  return modules::contactRow(bicmos1u(), spec);
+}
+
+TEST(Svg, ContainsShapesAndCaption) {
+  const db::Module m = sample();
+  const std::string svg = toSvg(m);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One positioned <rect per shape (pattern-definition and background
+  // rects have no x= attribute).
+  std::size_t rects = 0;
+  for (std::size_t p = svg.find("<rect x="); p != std::string::npos;
+       p = svg.find("<rect x=", p + 1))
+    ++rects;
+  EXPECT_EQ(rects, m.shapeCount());
+  EXPECT_NE(svg.find("ContactRow"), std::string::npos);
+}
+
+TEST(Svg, NetLabelsOptional) {
+  const db::Module m = sample();
+  SvgOptions opt;
+  opt.labelNets = true;
+  EXPECT_NE(toSvg(m, opt).find(">n</text>"), std::string::npos);
+  opt.labelNets = false;
+  EXPECT_EQ(toSvg(m, opt).find(">n</text>"), std::string::npos);
+}
+
+TEST(Svg, PatternsDefinedForNonSolidLayers) {
+  db::Module m(bicmos1u(), "x");
+  m.addShape(db::makeShape(Box{0, 0, um(5), um(5)}, bicmos1u().layer("nwell")));
+  const std::string svg = toSvg(m);
+  EXPECT_NE(svg.find("<pattern"), std::string::npos);
+  EXPECT_NE(svg.find("url(#p"), std::string::npos);
+}
+
+TEST(Svg, WriteFile) {
+  const db::Module m = sample();
+  writeSvg(m, "/tmp/amg_test.svg");
+  std::ifstream f("/tmp/amg_test.svg");
+  EXPECT_TRUE(f.good());
+  EXPECT_THROW(writeSvg(m, "/nonexistent-dir/x.svg"), Error);
+}
+
+TEST(Cif, StructureAndUnits) {
+  const db::Module m = sample();
+  const std::string cif = toCif(m);
+  EXPECT_NE(cif.find("DS 1 1 1;"), std::string::npos);
+  EXPECT_NE(cif.find("DF;"), std::string::npos);
+  EXPECT_NE(cif.find("E\n"), std::string::npos);
+  // Poly layer id 10, metal1 13, contact 12 from the deck.
+  EXPECT_NE(cif.find("L L10;"), std::string::npos);
+  EXPECT_NE(cif.find("L L13;"), std::string::npos);
+  EXPECT_NE(cif.find("L L12;"), std::string::npos);
+  // Box lines count matches mask shapes (markers excluded).
+  std::size_t boxes = 0;
+  for (std::size_t p = cif.find("\nB "); p != std::string::npos;
+       p = cif.find("\nB ", p + 1))
+    ++boxes;
+  EXPECT_EQ(boxes, m.shapeCount());
+}
+
+TEST(Cif, MarkersExcluded) {
+  db::Module m(bicmos1u(), "x");
+  m.addShape(db::makeShape(Box{0, 0, um(5), um(5)}, bicmos1u().layer("poly")));
+  m.addShape(db::makeShape(Box{0, 0, um(90), um(90)}, bicmos1u().layer("guard")));
+  const std::string cif = toCif(m);
+  std::size_t boxes = 0;
+  for (std::size_t p = cif.find("\nB "); p != std::string::npos;
+       p = cif.find("\nB ", p + 1))
+    ++boxes;
+  EXPECT_EQ(boxes, 1u);
+}
+
+TEST(Gds, RoundTrip) {
+  const db::Module m = sample();
+  const auto bytes = toGds(m);
+  EXPECT_GT(bytes.size(), 50u);
+  const GdsLib lib = parseGds(bytes);
+  EXPECT_EQ(lib.name, "AMGEN");
+  EXPECT_EQ(lib.structure, "ContactRow");
+  EXPECT_EQ(lib.boundaries.size(), m.shapeCount());
+
+  // Boundaries carry the right layer ids and geometry.
+  const auto& t = bicmos1u();
+  std::size_t polyCount = 0;
+  for (const auto& b : lib.boundaries) {
+    ASSERT_EQ(b.xy.size(), 5u);
+    EXPECT_EQ(b.xy.front(), b.xy.back());  // closed loop
+    if (b.layer == t.info(t.layer("poly")).cifId) {
+      ++polyCount;
+      const Box box = Box::fromCorners(b.xy[0].x, b.xy[0].y, b.xy[2].x, b.xy[2].y);
+      EXPECT_EQ(box, m.shape(m.shapesOn(t.layer("poly"))[0]).box);
+    }
+  }
+  EXPECT_EQ(polyCount, 1u);
+}
+
+TEST(Gds, MarkersExcluded) {
+  db::Module m(bicmos1u(), "x");
+  m.addShape(db::makeShape(Box{0, 0, um(5), um(5)}, bicmos1u().layer("poly")));
+  m.addShape(db::makeShape(Box{0, 0, um(90), um(90)}, bicmos1u().layer("guard")));
+  EXPECT_EQ(parseGds(toGds(m)).boundaries.size(), 1u);
+}
+
+TEST(Gds, WriteFileAndErrors) {
+  writeGds(sample(), "/tmp/amg_test.gds");
+  std::ifstream f("/tmp/amg_test.gds", std::ios::binary);
+  EXPECT_TRUE(f.good());
+  EXPECT_THROW(writeGds(sample(), "/nonexistent-dir/x.gds"), Error);
+  EXPECT_THROW(parseGds({0x00, 0x01}), Error);          // truncated
+  EXPECT_THROW(parseGds(std::vector<std::uint8_t>(8, 0)), Error);  // no ENDLIB
+}
+
+}  // namespace
+}  // namespace amg::io

@@ -1,0 +1,594 @@
+// Tests for the procedural layout description language: lexer, parser and
+// interpreter, including the paper's own listings (Figs. 2 and 7).
+#include <gtest/gtest.h>
+
+#include "db/connectivity.h"
+#include "drc/drc.h"
+#include "lang/interp.h"
+#include "tech/builtin.h"
+
+namespace amg::lang {
+namespace {
+
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+// --------------------------------------------------------------------------
+// Lexer
+// --------------------------------------------------------------------------
+
+TEST(Lexer, TokenKinds) {
+  const auto toks = lex("x = Foo(layer = \"poly\", W = 1.5) // comment\n");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, Tok::Assign);
+  EXPECT_EQ(toks[2].kind, Tok::Ident);
+  EXPECT_EQ(toks[3].kind, Tok::LParen);
+  EXPECT_EQ(toks[4].text, "layer");
+  EXPECT_EQ(toks[6].kind, Tok::String);
+  EXPECT_EQ(toks[6].text, "poly");
+  const auto num = std::find_if(toks.begin(), toks.end(),
+                                [](const Token& t) { return t.kind == Tok::Number; });
+  ASSERT_NE(num, toks.end());
+  EXPECT_DOUBLE_EQ(num->number, 1.5);
+}
+
+TEST(Lexer, KeywordsAndDirections) {
+  const auto toks = lex("ENT IF SOUTH WEST ENDVARIANT");
+  EXPECT_EQ(toks[0].kind, Tok::KwEnt);
+  EXPECT_EQ(toks[1].kind, Tok::KwIf);
+  EXPECT_EQ(toks[2].kind, Tok::KwSouth);
+  EXPECT_EQ(toks[3].kind, Tok::KwWest);
+  EXPECT_EQ(toks[4].kind, Tok::KwEndvariant);
+}
+
+TEST(Lexer, LineNumbersAndErrors) {
+  const auto toks = lex("a = 1\nb = 2\n");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[4].line, 2);
+  try {
+    lex("x = \"unterminated\n");
+    FAIL();
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.line(), 1);
+  }
+  EXPECT_THROW(lex("a = @"), LangError);
+  EXPECT_THROW(lex("a = 1.2.3"), LangError);
+  EXPECT_THROW(lex("a = 5."), LangError);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto toks = lex("a <= b >= c == d != e");
+  EXPECT_EQ(toks[1].kind, Tok::Le);
+  EXPECT_EQ(toks[3].kind, Tok::Ge);
+  EXPECT_EQ(toks[5].kind, Tok::EqEq);
+  EXPECT_EQ(toks[7].kind, Tok::Ne);
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+TEST(Parser, EntityWithOptionalParams) {
+  const Program p = parseSource(R"(
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+)");
+  ASSERT_EQ(p.entities.size(), 1u);
+  const EntityDecl& e = p.entities[0];
+  EXPECT_EQ(e.name, "ContactRow");
+  ASSERT_EQ(e.params.size(), 3u);
+  EXPECT_FALSE(e.params[0].optional);
+  EXPECT_TRUE(e.params[1].optional);
+  EXPECT_TRUE(e.params[2].optional);
+  EXPECT_EQ(e.body.size(), 1u);
+}
+
+TEST(Parser, EntityEndsAtNextEnt) {
+  const Program p = parseSource(R"(
+ENT A()
+  x = 1
+ENT B()
+  y = 2
+)");
+  ASSERT_EQ(p.entities.size(), 2u);
+  EXPECT_EQ(p.entities[0].body.size(), 1u);
+  EXPECT_EQ(p.entities[1].body.size(), 1u);
+  EXPECT_NE(p.find("A"), nullptr);
+  EXPECT_EQ(p.find("C"), nullptr);
+}
+
+TEST(Parser, TopLevelBeforeEntities) {
+  const Program p = parseSource("m = Foo(1)\nENT Foo(a)\n x = a\n");
+  EXPECT_EQ(p.top.size(), 1u);
+  EXPECT_EQ(p.top[0].kind, Stmt::Kind::Assign);
+}
+
+TEST(Parser, IfForVariant) {
+  const Program p = parseSource(R"(
+ENT A(n)
+  IF n > 2 THEN
+    x = 1
+  ELSE
+    x = 2
+  ENDIF
+  FOR i = 1 TO n DO
+    y = i
+  ENDFOR
+  VARIANT
+    z = 1
+  OR
+    z = 2
+  ENDVARIANT
+  BEST VARIANT
+    w = 1
+  ENDVARIANT
+)");
+  const Body& b = p.entities[0].body;
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0].kind, Stmt::Kind::If);
+  EXPECT_EQ(b[0].body.size(), 1u);
+  EXPECT_EQ(b[0].elseBody.size(), 1u);
+  EXPECT_EQ(b[1].kind, Stmt::Kind::For);
+  EXPECT_EQ(b[2].kind, Stmt::Kind::Variant);
+  EXPECT_EQ(b[2].branches.size(), 2u);
+  EXPECT_FALSE(b[2].rated);
+  EXPECT_TRUE(b[3].rated);
+}
+
+TEST(Parser, SyntaxErrorsHaveLines) {
+  try {
+    parseSource("ENT A(\n");
+    FAIL();
+  } catch (const LangError& e) {
+    EXPECT_GE(e.line(), 1);
+  }
+  EXPECT_THROW(parseSource("IF 1 THEN\nx=1\n"), LangError);      // no ENDIF
+  EXPECT_THROW(parseSource("FOR i = 1 TO 2 DO\n"), LangError);   // no ENDFOR
+  EXPECT_THROW(parseSource("VARIANT\nx=1\n"), LangError);        // no ENDVARIANT
+}
+
+// --------------------------------------------------------------------------
+// Interpreter: the paper's contact row (Fig. 2)
+// --------------------------------------------------------------------------
+
+const char* kContactRow = R"(
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+)";
+
+TEST(Interp, ContactRowAllVariants) {
+  // Fig. 3: both omitted / only L omitted / both given.
+  Interpreter in(T());
+  in.run(R"(
+a = ContactRow(layer = "poly")
+b = ContactRow(layer = "poly", W = 8)
+c = ContactRow(layer = "poly", W = 8, L = 3)
+)" + std::string(kContactRow));
+  const db::Module& a = in.globalObject("a");
+  const db::Module& b = in.globalObject("b");
+  const db::Module& c = in.globalObject("c");
+
+  // Both omitted: minimum poly expanded to hold exactly one contact.
+  EXPECT_EQ(a.shapesOn(T().layer("contact")).size(), 1u);
+  // W=8um row: more contacts fit horizontally.
+  EXPECT_GT(b.shapesOn(T().layer("contact")).size(), 1u);
+  // Explicit length too.
+  const Box cb = c.shape(c.shapesOn(T().layer("poly"))[0]).box;
+  EXPECT_EQ(cb.width(), um(8));
+  EXPECT_EQ(cb.height(), um(3));
+
+  drc::CheckOptions o;
+  o.latchUp = false;
+  for (const db::Module* m : {&a, &b, &c}) EXPECT_NO_THROW(drc::expectClean(*m, o));
+}
+
+TEST(Interp, ContactRowFromPaperCallingSequence) {
+  // Verbatim first line of Fig. 2 (1 um wide row).
+  const db::Module m =
+      runScript(T(), "gatecon = ContactRow(layer = \"poly\", W = 1)\n" + std::string(kContactRow),
+                "gatecon");
+  // W below the metal minimum: inbox(metal1) expands the poly outward, so
+  // the result is still rule-correct.
+  drc::CheckOptions o;
+  o.latchUp = false;
+  EXPECT_NO_THROW(drc::expectClean(m, o));
+  EXPECT_GE(m.shapesOn(T().layer("contact")).size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Interpreter: the paper's MOS differential pair (Fig. 7)
+// --------------------------------------------------------------------------
+
+const char* kDiffPair = R"(
+diff = DiffPair(W = 10, L = 2)
+
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  polycon = ContactRow(layer = "poly", W = L)
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(polycon, SOUTH, "poly")     // step 1
+  compact(diffcon, WEST, "pdiff")     // step 2
+
+ENT DiffPair(<W>, <L>)
+  trans1 = Trans(W = W, L = L)
+  trans2 = trans1                     // copy of trans1
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(trans1, WEST, "pdiff")      // step 3
+  compact(trans2, WEST, "pdiff")      // step 4
+  compact(diffcon, WEST, "pdiff")     // step 5
+)";
+
+TEST(Interp, DiffPairBuilds) {
+  Interpreter in(T());
+  in.run(kDiffPair);
+  const db::Module& m = in.globalObject("diff");
+  // Two gates, three diffusion contact rows worth of geometry.
+  EXPECT_EQ(m.shapesOn(T().layer("poly")).size(), 4u);  // 2 gates + 2 contact polys
+  EXPECT_GE(m.shapesOn(T().layer("contact")).size(), 6u);
+  EXPECT_EQ(in.stats().compactions, 2u + 3u);  // 2 in Trans (run once) + 3 in DiffPair
+  EXPECT_GT(in.stats().entityCalls, 0u);
+
+  drc::CheckOptions o;
+  o.latchUp = false;
+  EXPECT_NO_THROW(drc::expectClean(m, o));
+}
+
+TEST(Interp, DiffPairAreaGrowsWithW) {
+  Interpreter in(T());
+  in.load(R"(
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(diffcon, WEST, "pdiff")
+)");
+  const db::Module small =
+      in.instantiate("Trans", {{"W", Value::number(5)}, {"L", Value::number(2)}});
+  const db::Module big =
+      in.instantiate("Trans", {{"W", Value::number(40)}, {"L", Value::number(2)}});
+  EXPECT_GT(big.area(), small.area());
+}
+
+// --------------------------------------------------------------------------
+// Interpreter: control flow, errors, values
+// --------------------------------------------------------------------------
+
+TEST(Interp, OptionalParamDefaultsByRules) {
+  Interpreter in(T());
+  in.run(R"(
+s = Strip()
+ENT Strip(<W>)
+  INBOX("metal1", W)
+)");
+  const db::Module& m = in.globalObject("s");
+  EXPECT_EQ(m.shape(m.shapeIds()[0]).box.width(), T().minWidth(T().layer("metal1")));
+}
+
+TEST(Interp, ExplicitDefaultParams) {
+  Interpreter in(T());
+  in.run(R"(
+a = Pad()
+b = Pad(W = 9)
+c = Pad(W = 4, ratio = 3)
+
+ENT Pad(W = 6, ratio = W / 3)
+  INBOX("metal1", W, ratio)
+)");
+  EXPECT_EQ(in.globalObject("a").bbox().width(), um(6));
+  EXPECT_EQ(in.globalObject("a").bbox().height(), um(2));
+  EXPECT_EQ(in.globalObject("b").bbox().height(), um(3));  // ratio follows W
+  EXPECT_EQ(in.globalObject("c").bbox().height(), um(3));  // explicit override
+}
+
+TEST(Interp, MissingRequiredParam) {
+  Interpreter in(T());
+  EXPECT_THROW(in.run("m = A()\nENT A(x)\n INBOX(\"poly\")\n"), LangError);
+}
+
+TEST(Interp, UnknownEntityOrLayer) {
+  Interpreter in(T());
+  EXPECT_THROW(in.run("m = NoSuch()\n"), LangError);
+  EXPECT_THROW(in.run("m = A()\nENT A()\n INBOX(\"nosuchlayer\")\n"), LangError);
+}
+
+TEST(Interp, RuleViolationIsAnError) {
+  // "If a rule cannot be fulfilled an error message occurs."  Rule errors
+  // stay DesignRuleError (not LangError) so VARIANT can backtrack on them.
+  Interpreter in(T());
+  EXPECT_THROW(in.run("m = A()\nENT A()\n INBOX(\"poly\", 0.5)\n"), DesignRuleError);
+}
+
+TEST(Interp, ForLoopBuildsArrayOfWires) {
+  Interpreter in(T());
+  in.run(R"(
+c = Comb(4, 10)
+ENT Comb(n, pitch)
+  FOR i = 0 TO n - 1 DO
+    WIRE("metal1", i * pitch, 0, i * pitch, 20, 2)
+  ENDFOR
+)");
+  EXPECT_EQ(in.globalObject("c").shapesOn(T().layer("metal1")).size(), 4u);
+}
+
+TEST(Interp, IfSelectsBranch) {
+  Interpreter in(T());
+  in.run(R"(
+big = A(5)
+small = A(2)
+ENT A(n)
+  IF n > 3 THEN
+    INBOX("metal1", 10, 10)
+  ELSE
+    INBOX("metal1", 2, 2)
+  ENDIF
+)");
+  EXPECT_GT(in.globalObject("big").area(), in.globalObject("small").area());
+}
+
+TEST(Interp, VariantBacktracksOnRuleError) {
+  Interpreter in(T());
+  in.run(R"(
+wide = A(8)
+tall = A(3)
+ENT A(w)
+  VARIANT
+    IF w < 5 THEN
+      ERROR("too narrow for variant 1")
+    ENDIF
+    INBOX("metal1", w, 2)
+  OR
+    INBOX("metal1", 2, w)
+  ENDVARIANT
+)");
+  EXPECT_GT(in.globalObject("wide").bbox().width(),
+            in.globalObject("wide").bbox().height());
+  EXPECT_GT(in.globalObject("tall").bbox().height(),
+            in.globalObject("tall").bbox().width());
+  EXPECT_EQ(in.stats().variantRollbacks, 1u);
+}
+
+TEST(Interp, VariantAllFailRethrows) {
+  Interpreter in(T());
+  EXPECT_THROW(in.run(R"(
+m = A()
+ENT A()
+  VARIANT
+    ERROR("no 1")
+  OR
+    ERROR("no 2")
+  ENDVARIANT
+)"),
+               DesignRuleError);
+}
+
+TEST(Interp, BestVariantPicksSmallerArea) {
+  Interpreter in(T());
+  in.run(R"(
+m = A()
+ENT A()
+  BEST VARIANT
+    INBOX("metal1", 20, 20)
+  OR
+    INBOX("metal1", 4, 4)
+  ENDVARIANT
+)");
+  EXPECT_EQ(in.globalObject("m").bbox().width(), um(4));
+}
+
+TEST(Interp, VariantRollsBackVariables) {
+  Interpreter in(T());
+  in.run(R"(
+m = A()
+ENT A()
+  x = 1
+  VARIANT
+    x = 99
+    ERROR("fail")
+  OR
+    INBOX("metal1", x + 1, 2)
+  ENDVARIANT
+)");
+  // x was rolled back to 1, so the box is 2um wide, not 100.
+  EXPECT_EQ(in.globalObject("m").bbox().width(), um(2));
+}
+
+TEST(Interp, AssignmentCopiesObjects) {
+  Interpreter in(T());
+  in.run(R"(
+p = Pair()
+ENT Box1()
+  INBOX("metal1", 4, 4)
+ENT Pair()
+  a = Box1()
+  b = a
+  compact(a, WEST)
+  compact(b, WEST)
+)");
+  EXPECT_EQ(in.globalObject("p").shapeCount(), 2u);
+}
+
+TEST(Interp, ExpressionsAndBuiltins) {
+  Interpreter in(T());
+  in.run(R"(
+m = A(3)
+x = area(m)
+y = width(m)
+z = minwidth("poly")
+ENT A(w)
+  INBOX("metal1", w * 2 + 1, w)
+)");
+  EXPECT_DOUBLE_EQ(in.global("x")->asNumber(), 21.0);
+  EXPECT_DOUBLE_EQ(in.global("y")->asNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(in.global("z")->asNumber(), 1.0);
+}
+
+TEST(Interp, PrintAndIsset) {
+  Interpreter in(T());
+  in.run(R"(
+a = A(4)
+b = A()
+ENT A(<W>)
+  IF isset(W) THEN
+    print("have W =", W)
+    INBOX("metal1", W, W)
+  ELSE
+    print("no W")
+    INBOX("metal1")
+  ENDIF
+)");
+  ASSERT_EQ(in.output().size(), 2u);
+  EXPECT_EQ(in.output()[0], "have W = 4");
+  EXPECT_EQ(in.output()[1], "no W");
+}
+
+TEST(Interp, MirrorBuildsSymmetricObject) {
+  Interpreter in(T());
+  in.run(R"(
+f = Full()
+ENT Half()
+  WIRE("metal1", 0, 0, 10, 0, 2, "a")
+ENT Full()
+  h = Half()
+  hm = mirrorx(h, 12)
+  compact(h, WEST)
+  compact(hm, WEST)
+)");
+  const db::Module& f = in.globalObject("f");
+  EXPECT_EQ(f.shapeCount(), 2u);
+}
+
+TEST(Interp, SetnetAndVaredge) {
+  Interpreter in(T());
+  in.run(R"(
+m = A()
+ENT A()
+  INBOX("metal1", 10, 2)
+  setnet("metal1", "sig")
+  varedge("metal1", "right")
+)");
+  const db::Module& m = in.globalObject("m");
+  const auto id = m.shapeIds()[0];
+  EXPECT_EQ(m.netName(m.shape(id).net), "sig");
+  EXPECT_TRUE(m.shape(id).varEdges.variable(Side::Right));
+  EXPECT_FALSE(m.shape(id).varEdges.variable(Side::Left));
+}
+
+TEST(Interp, GeometryOutsideEntityRejected) {
+  Interpreter in(T());
+  EXPECT_THROW(in.run("INBOX(\"poly\")\n"), LangError);
+}
+
+TEST(Interp, LoadRejectsTopLevel) {
+  Interpreter in(T());
+  EXPECT_THROW(in.load("x = 1\n"), LangError);
+  EXPECT_NO_THROW(in.load("ENT A()\n INBOX(\"poly\")\n"));
+}
+
+TEST(Interp, PinBuiltinAddsPorts) {
+  Interpreter in(T());
+  in.run(R"(
+m = Cell()
+ENT Cell()
+  INBOX("metal1", 10, 2, "sig")
+  PIN("west", 0, 1, "metal1", "sig")
+  PIN("east", 10, 1, "metal1", "sig")
+)");
+  const db::Module& m = in.globalObject("m");
+  ASSERT_EQ(m.ports().size(), 2u);
+  EXPECT_EQ(m.port("west").at, (Point{0, um(1)}));
+  EXPECT_EQ(m.port("east").at, (Point{um(10), um(1)}));
+  EXPECT_EQ(m.netName(m.port("east").net), "sig");
+}
+
+TEST(Interp, OperatorPrecedence) {
+  Interpreter in(T());
+  in.run(R"(
+a = 2 + 3 * 4
+b = (2 + 3) * 4
+c = 10 - 4 - 3
+d = 12 / 2 / 3
+e = 1 + 2 < 4
+f = -3 * -2
+g = max(min(5, 9), floor(3.7))
+)");
+  EXPECT_DOUBLE_EQ(in.global("a")->asNumber(), 14.0);
+  EXPECT_DOUBLE_EQ(in.global("b")->asNumber(), 20.0);
+  EXPECT_DOUBLE_EQ(in.global("c")->asNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(in.global("d")->asNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(in.global("e")->asNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(in.global("f")->asNumber(), 6.0);
+  EXPECT_DOUBLE_EQ(in.global("g")->asNumber(), 5.0);
+}
+
+TEST(Interp, StringConcatAndErrors) {
+  Interpreter in(T());
+  in.run(R"(s = "foo" + "bar")");
+  EXPECT_EQ(in.global("s")->asString(), "foobar");
+  EXPECT_THROW(in.run("x = 1 / 0"), LangError);
+  EXPECT_THROW(in.run(R"(x = "a" * 2)"), LangError);
+}
+
+TEST(Interp, ForLoopEdgeCases) {
+  Interpreter in(T());
+  in.run(R"(
+n = 0
+FOR i = 1 TO 0 DO
+  n = n + 1
+ENDFOR
+m = 0
+FOR i = 3 TO 3 DO
+  m = m + 1
+ENDFOR
+)");
+  EXPECT_DOUBLE_EQ(in.global("n")->asNumber(), 0.0);  // empty range
+  EXPECT_DOUBLE_EQ(in.global("m")->asNumber(), 1.0);  // single iteration
+}
+
+TEST(Interp, EndKeywordTerminatesEntity) {
+  Interpreter in(T());
+  in.run(R"(
+ENT A()
+  INBOX("metal1", 4, 4)
+END
+a = A()
+)");
+  EXPECT_EQ(in.globalObject("a").shapeCount(), 1u);
+}
+
+TEST(Interp, NestedEntityCallsAndArithmetic) {
+  Interpreter in(T());
+  in.run(R"(
+m = Outer(3)
+ENT Inner(w)
+  INBOX("metal1", w, 2)
+ENT Outer(k)
+  a = Inner(w = k * 2)
+  b = Inner(w = k + 1)
+  compact(a, WEST)
+  compact(b, WEST)
+)");
+  EXPECT_EQ(in.globalObject("m").shapeCount(), 2u);
+}
+
+TEST(Interp, StatsCountStatements) {
+  Interpreter in(T());
+  in.run("x = 1\ny = 2\n");
+  EXPECT_EQ(in.stats().statementsExecuted, 2u);
+}
+
+}  // namespace
+}  // namespace amg::lang

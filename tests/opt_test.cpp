@@ -1,0 +1,246 @@
+// Tests for the rating function and the compaction-order optimizer (§2.4)
+// plus the variant backtracking (§2.1).
+#include <gtest/gtest.h>
+
+#include "opt/optimizer.h"
+#include "primitives/primitives.h"
+#include "tech/builtin.h"
+
+namespace amg::opt {
+namespace {
+
+using db::Module;
+using db::makeShape;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+Module rect(const char* layer, Box b, const char* net = "") {
+  Module m(T());
+  m.addShape(makeShape(b, T().layer(layer), m.net(net)));
+  return m;
+}
+
+TEST(Rating, AreaOnlyByDefault) {
+  Module m = rect("metal1", Box{0, 0, 10000, 10000}, "a");
+  EXPECT_DOUBLE_EQ(rate(m), 1e8);
+}
+
+TEST(Rating, NetCapacitanceScalesWithArea) {
+  Module small = rect("metal1", Box{0, 0, um(1), um(1)}, "a");
+  Module big = rect("metal1", Box{0, 0, um(4), um(4)}, "a");
+  const double cs = netCapacitance(small, *small.findNet("a"));
+  const double cb = netCapacitance(big, *big.findNet("a"));
+  EXPECT_GT(cb, cs);
+  // 16x area + 4x perimeter: strictly between 4x and 16x.
+  EXPECT_GT(cb, 4 * cs);
+  EXPECT_LT(cb, 16 * cs);
+}
+
+TEST(Rating, DiffusionCostsMoreThanMetal) {
+  Module dm = rect("pdiff", Box{0, 0, um(2), um(2)}, "a");
+  Module mm = rect("metal1", Box{0, 0, um(2), um(2)}, "a");
+  EXPECT_GT(netCapacitance(dm, *dm.findNet("a")), netCapacitance(mm, *mm.findNet("a")));
+}
+
+TEST(Rating, NonConductingIgnored) {
+  Module m = rect("guard", Box{0, 0, um(10), um(10)}, "a");
+  EXPECT_DOUBLE_EQ(netCapacitance(m, *m.findNet("a")), 0.0);
+}
+
+TEST(Rating, SymmetryPenalty) {
+  Module m(T());
+  m.addShape(makeShape(Box{0, 0, um(2), um(2)}, T().layer("metal1"), m.net("inp")));
+  m.addShape(makeShape(Box{0, um(4), um(5), um(6)}, T().layer("metal1"), m.net("inn")));
+  RatingWeights w;
+  w.areaWeight = 0.0;
+  w.symmetryWeight = 1.0;
+  w.symmetricNetPairs = {{"inp", "inn"}};
+  const double asym = rate(m, w);
+  EXPECT_GT(asym, 0.0);
+
+  // A balanced version scores zero.
+  Module b(T());
+  b.addShape(makeShape(Box{0, 0, um(2), um(2)}, T().layer("metal1"), b.net("inp")));
+  b.addShape(makeShape(Box{0, um(4), um(2), um(6)}, T().layer("metal1"), b.net("inn")));
+  EXPECT_DOUBLE_EQ(rate(b, w), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Order optimization
+// ---------------------------------------------------------------------------
+
+/// A plan whose result depends on the compaction order: a wide flat object
+/// and a tall thin one compacted from different directions onto a seed.
+BuildPlan orderSensitivePlan() {
+  BuildPlan plan(rect("metal1", Box{0, 0, 4000, 4000}, "seed"));
+  plan.steps.emplace_back(rect("metal1", Box{0, 0, 12000, 1600}, "w"), Dir::South);
+  plan.steps.emplace_back(rect("metal1", Box{0, 0, 1600, 6000}, "t"), Dir::West);
+  return plan;
+}
+
+TEST(Optimizer, ExecuteNaturalOrder) {
+  const BuildPlan plan = orderSensitivePlan();
+  Module m = execute(plan);
+  EXPECT_EQ(m.shapeCount(), 3u);
+}
+
+TEST(Optimizer, OrderChangesArea) {
+  const BuildPlan plan = orderSensitivePlan();
+  const Module a = execute(plan, {0, 1});
+  const Module b = execute(plan, {1, 0});
+  EXPECT_NE(a.area(), b.area());
+}
+
+TEST(Optimizer, FindsBestOrder) {
+  const BuildPlan plan = orderSensitivePlan();
+  const auto res = optimizeOrder(plan);
+  // The optimum is no worse than either explicit order.
+  EXPECT_LE(res.score, static_cast<double>(execute(plan, {0, 1}).area()));
+  EXPECT_LE(res.score, static_cast<double>(execute(plan, {1, 0}).area()));
+  EXPECT_EQ(res.evaluated + res.pruned >= 2, true);
+  EXPECT_EQ(res.best.area(), static_cast<Coord>(res.score));
+}
+
+TEST(Optimizer, ExhaustiveSmallPlanEvaluatesAllOrFewer) {
+  BuildPlan plan(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  for (int i = 0; i < 3; ++i) {
+    plan.steps.emplace_back(
+        rect("metal1", Box{0, 0, 2000 + 500 * i, 2000}, ("n" + std::to_string(i)).c_str()),
+        Dir::West);
+  }
+  OptimizeOptions opts;
+  opts.branchAndBound = false;
+  const auto res = optimizeOrder(plan, {}, opts);
+  EXPECT_EQ(res.evaluated, 6u);  // 3!
+}
+
+TEST(Optimizer, BranchAndBoundPrunes) {
+  BuildPlan plan(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  for (int i = 0; i < 4; ++i) {
+    plan.steps.emplace_back(rect("metal1", Box{0, 0, 4000, 2000},
+                                 ("n" + std::to_string(i)).c_str()),
+                            i % 2 ? Dir::West : Dir::South);
+  }
+  OptimizeOptions noBB;
+  noBB.branchAndBound = false;
+  const auto full = optimizeOrder(plan, {}, noBB);
+  const auto bb = optimizeOrder(plan);
+  EXPECT_DOUBLE_EQ(full.score, bb.score);  // pruning never loses the optimum
+  EXPECT_LE(bb.evaluated, full.evaluated);
+}
+
+TEST(Optimizer, BudgetRespected) {
+  BuildPlan plan(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  for (int i = 0; i < 5; ++i) {
+    plan.steps.emplace_back(
+        rect("metal1", Box{0, 0, 2000, 2000}, ("n" + std::to_string(i)).c_str()),
+        Dir::West);
+  }
+  OptimizeOptions opts;
+  opts.maxOrders = 10;
+  opts.branchAndBound = false;
+  const auto res = optimizeOrder(plan, {}, opts);
+  EXPECT_LE(res.evaluated, 10u);
+  EXPECT_GE(res.evaluated, 1u);
+}
+
+TEST(Stochastic, MatchesExhaustiveOnSmallPlan) {
+  const BuildPlan plan = orderSensitivePlan();
+  const auto exact = optimizeOrder(plan);
+  StochasticOptions opts;
+  opts.restarts = 3;
+  opts.iterations = 30;
+  const auto approx = optimizeOrderStochastic(plan, {}, opts);
+  EXPECT_DOUBLE_EQ(approx.score, exact.score);  // 2 steps: trivially found
+}
+
+TEST(Stochastic, NeverWorseThanNaturalOrder) {
+  BuildPlan plan(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  for (int i = 0; i < 9; ++i) {  // 9! is out of exhaustive reach
+    const bool wide = i % 2 == 0;
+    plan.steps.emplace_back(
+        rect("metal1",
+             wide ? Box{0, 0, 10000 + 1000 * i, 1600} : Box{0, 0, 1600, 6000 + 1000 * i},
+             ("n" + std::to_string(i)).c_str()),
+        wide ? Dir::South : Dir::West);
+  }
+  const double natural = static_cast<double>(execute(plan).area());
+  StochasticOptions opts;
+  opts.restarts = 2;
+  opts.iterations = 40;
+  const auto res = optimizeOrderStochastic(plan, {}, opts);
+  EXPECT_LE(res.score, natural);
+  EXPECT_GT(res.evaluated, 2u);
+  EXPECT_EQ(res.best.shapeCount(), 10u);
+}
+
+TEST(Stochastic, DeterministicForSeed) {
+  const BuildPlan plan = orderSensitivePlan();
+  StochasticOptions opts;
+  opts.seed = 42;
+  const auto a = optimizeOrderStochastic(plan, {}, opts);
+  const auto b = optimizeOrderStochastic(plan, {}, opts);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_DOUBLE_EQ(a.score, b.score);
+}
+
+TEST(Stochastic, EmptyPlanThrows) {
+  BuildPlan plan(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  // A plan with zero steps still evaluates the seed-only layout.
+  const auto res = optimizeOrderStochastic(plan);
+  EXPECT_EQ(res.best.shapeCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Variant backtracking
+// ---------------------------------------------------------------------------
+
+TEST(Variants, PicksBestFeasible) {
+  const auto res = chooseVariant({
+      [] { return rect("metal1", Box{0, 0, 10000, 10000}, "a"); },
+      [] { return rect("metal1", Box{0, 0, 4000, 4000}, "a"); },
+      [] { return rect("metal1", Box{0, 0, 6000, 6000}, "a"); },
+  });
+  EXPECT_EQ(res.index, 1u);
+  EXPECT_TRUE(res.infeasible.empty());
+}
+
+TEST(Variants, SkipsInfeasible) {
+  const auto res = chooseVariant({
+      []() -> Module { throw DesignRuleError("variant 0 impossible"); },
+      [] { return rect("metal1", Box{0, 0, 4000, 4000}, "a"); },
+  });
+  EXPECT_EQ(res.index, 1u);
+  ASSERT_EQ(res.infeasible.size(), 1u);
+  EXPECT_NE(res.infeasible[0].find("variant 0"), std::string::npos);
+}
+
+TEST(Variants, AllInfeasibleThrows) {
+  EXPECT_THROW(chooseVariant({
+                   []() -> Module { throw DesignRuleError("no"); },
+                   []() -> Module { throw DesignRuleError("also no"); },
+               }),
+               DesignRuleError);
+}
+
+TEST(Variants, ElectricalWeightsCanFlipChoice) {
+  // Same area, different diffusion exposure on a weighted net.
+  auto lowCap = [] {
+    Module m = rect("metal1", Box{0, 0, 4000, 4000}, "sig");
+    return m;
+  };
+  auto highCap = [] {
+    Module m = rect("pdiff", Box{0, 0, 4000, 4000}, "sig");
+    return m;
+  };
+  RatingWeights w;
+  w.areaWeight = 0.0;
+  w.capWeight = 1.0;
+  w.netWeights["sig"] = 10.0;
+  const auto res = chooseVariant({highCap, lowCap}, w);
+  EXPECT_EQ(res.index, 1u);
+}
+
+}  // namespace
+}  // namespace amg::opt

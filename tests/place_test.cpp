@@ -1,0 +1,116 @@
+// Tests for the slicing-tree placer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "drc/drc.h"
+#include "modules/basic.h"
+#include "place/slicing.h"
+#include "tech/builtin.h"
+
+namespace amg::place {
+namespace {
+
+using db::Module;
+using db::makeShape;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+Module rect(Coord w, Coord h, const std::string& net) {
+  Module m(T(), "b");
+  m.addShape(makeShape(Box{0, 0, w, h}, T().layer("metal1"), m.net(net)));
+  return m;
+}
+
+TEST(Slicing, ExplicitTreeRealization) {
+  const std::vector<Module> blocks = {rect(um(10), um(4), "a"), rect(um(6), um(8), "b"),
+                                      rect(um(4), um(4), "c")};
+  // (a beside b) stacked under c.
+  auto tree = SliceNode::stacked(
+      SliceNode::beside(SliceNode::leaf(0), SliceNode::leaf(1)), SliceNode::leaf(2));
+  const Module m = realize(T(), blocks, *tree, um(2));
+  // Width = 10 + 2 + 6, height = max(4,8) + 2 + 4.
+  EXPECT_EQ(m.bbox().width(), um(18));
+  EXPECT_EQ(m.bbox().height(), um(14));
+  EXPECT_EQ(m.shapeCount(), 3u);
+  drc::CheckOptions o;
+  o.latchUp = false;
+  EXPECT_NO_THROW(drc::expectClean(m, o));
+}
+
+TEST(Slicing, BestFindsCompactArrangement) {
+  // Two tall and two flat blocks: pairing tall-beside-tall and
+  // flat-on-flat beats any naive row.
+  const std::vector<Module> blocks = {rect(um(4), um(20), "a"), rect(um(4), um(20), "b"),
+                                      rect(um(20), um(4), "c"), rect(um(20), um(4), "d")};
+  const auto res = bestSlicing(T(), blocks, um(2));
+  EXPECT_EQ(res.layout.shapeCount(), 4u);
+  // Naive single row: width 4+4+20+20+3*2 = 54, height 20 -> 1080 um^2.
+  const double naiveRow = 54.0 * 20.0;
+  EXPECT_LT(static_cast<double>(res.width) / kMicron *
+                static_cast<double>(res.height) / kMicron,
+            naiveRow);
+  EXPECT_GT(res.candidatesConsidered, 10u);
+}
+
+TEST(Slicing, ResultMatchesReportedExtent) {
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<Coord> d(2000, 30000);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Module> blocks;
+    const int n = 2 + trial % 5;
+    for (int i = 0; i < n; ++i)
+      blocks.push_back(rect(d(rng), d(rng), "n" + std::to_string(i)));
+    const auto res = bestSlicing(T(), blocks, um(3));
+    EXPECT_EQ(res.layout.bbox().width(), res.width) << trial;
+    EXPECT_EQ(res.layout.bbox().height(), res.height) << trial;
+    EXPECT_EQ(res.layout.shapeCount(), static_cast<std::size_t>(n));
+    // No two blocks overlap.
+    const auto ids = res.layout.shapeIds();
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      for (std::size_t j = i + 1; j < ids.size(); ++j)
+        EXPECT_FALSE(res.layout.shape(ids[i]).box.overlaps(res.layout.shape(ids[j]).box));
+  }
+}
+
+TEST(Slicing, OptimalNeverWorseThanAnyExplicitTree) {
+  const std::vector<Module> blocks = {rect(um(10), um(5), "a"), rect(um(7), um(9), "b"),
+                                      rect(um(3), um(12), "c")};
+  const auto best = bestSlicing(T(), blocks, um(2));
+
+  auto row = SliceNode::beside(
+      SliceNode::beside(SliceNode::leaf(0), SliceNode::leaf(1)), SliceNode::leaf(2));
+  auto col = SliceNode::stacked(
+      SliceNode::stacked(SliceNode::leaf(0), SliceNode::leaf(1)), SliceNode::leaf(2));
+  for (const SliceNode* t : {row.get(), col.get()}) {
+    const Module m = realize(T(), blocks, *t, um(2));
+    EXPECT_LE(best.width * best.height, m.bbox().width() * m.bbox().height());
+  }
+}
+
+TEST(Slicing, RealModulesPlaceCleanly) {
+  modules::DiffPairSpec dp;
+  dp.w = um(10);
+  dp.l = um(2);
+  modules::ContactRowSpec cr;
+  cr.layer = "pdiff";
+  cr.w = um(8);
+  cr.net = "x";
+  std::vector<Module> blocks = {modules::diffPair(T(), dp), modules::contactRow(T(), cr),
+                                modules::contactRow(T(), cr)};
+  const auto res = bestSlicing(T(), blocks, um(4));
+  drc::CheckOptions o;
+  o.latchUp = false;
+  EXPECT_NO_THROW(drc::expectClean(res.layout, o));
+}
+
+TEST(Slicing, ErrorsOnBadInput) {
+  EXPECT_THROW(bestSlicing(T(), {}, um(2)), Error);
+  std::vector<Module> many;
+  for (int i = 0; i < 13; ++i) many.push_back(rect(um(2), um(2), "n"));
+  EXPECT_THROW(bestSlicing(T(), many, um(2)), Error);
+}
+
+}  // namespace
+}  // namespace amg::place

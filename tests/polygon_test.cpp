@@ -1,0 +1,120 @@
+// Tests for rectilinear polygon decomposition (§2.1: "polygons are
+// converted into simple rectangular structures").
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/polygon.h"
+#include "lang/interp.h"
+#include "primitives/primitives.h"
+#include "tech/builtin.h"
+
+namespace amg::geom {
+namespace {
+
+TEST(Polygon, RectangleIsOnePiece) {
+  const Polygon p = {{0, 0}, {10, 0}, {10, 5}, {0, 5}};
+  const auto r = decompose(p);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], (Box{0, 0, 10, 5}));
+  EXPECT_EQ(polygonArea(p), 50);
+}
+
+TEST(Polygon, LShape) {
+  const Polygon p = {{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10}};
+  const auto r = decompose(p);
+  Coord area = 0;
+  for (const Box& b : r) area += b.area();
+  EXPECT_EQ(area, 10 * 4 + 4 * 6);
+  // Pieces are disjoint.
+  for (std::size_t i = 0; i < r.size(); ++i)
+    for (std::size_t j = i + 1; j < r.size(); ++j)
+      EXPECT_FALSE(r[i].overlaps(r[j]));
+  EXPECT_LE(r.size(), 2u);  // the coalescer keeps it minimal
+}
+
+TEST(Polygon, TShapeAndWinding) {
+  const Polygon t = {{0, 0}, {12, 0}, {12, 3}, {8, 3}, {8, 9}, {4, 9}, {4, 3}, {0, 3}};
+  EXPECT_EQ(polygonArea(t), 12 * 3 + 4 * 6);
+  // Reverse winding gives the same decomposition area.
+  Polygon rev(t.rbegin(), t.rend());
+  EXPECT_EQ(polygonArea(rev), polygonArea(t));
+}
+
+TEST(Polygon, UShapeHasHole) {
+  // U: two towers on a base; the gap between towers is outside.
+  const Polygon u = {{0, 0},  {12, 0}, {12, 8}, {9, 8},
+                     {9, 3},  {3, 3},  {3, 8},  {0, 8}};
+  EXPECT_EQ(polygonArea(u), 12 * 3 + 2 * (3 * 5));
+  for (const Box& b : decompose(u))
+    EXPECT_FALSE(b.overlaps(Box{3, 3, 9, 8})) << b.str();  // the notch stays empty
+}
+
+TEST(Polygon, InvalidInputsRejected) {
+  EXPECT_FALSE(isRectilinear({{0, 0}, {10, 10}, {0, 20}}));       // diagonal
+  EXPECT_FALSE(isRectilinear({{0, 0}, {10, 0}, {20, 0}, {20, 5}}));  // collinear
+  EXPECT_FALSE(isRectilinear({{0, 0}, {1, 0}}));                  // too short
+  EXPECT_THROW(decompose({{0, 0}, {10, 10}, {0, 20}}), DesignRuleError);
+}
+
+TEST(Polygon, RandomStaircasesAreaMatchesShoelace) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<Coord> step(1, 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Monotone staircase polygon: up-right steps, then close along the axes.
+    Polygon p;
+    Coord x = 0, y = 0;
+    p.push_back({0, 0});
+    const int steps = 3 + trial % 5;
+    for (int i = 0; i < steps; ++i) {
+      x += step(rng);
+      p.push_back({x, y});
+      y += step(rng);
+      p.push_back({x, y});
+    }
+    p.push_back({0, y});
+
+    // Shoelace area for the rectilinear loop.
+    long long shoelace = 0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const Point& a = p[i];
+      const Point& b = p[(i + 1) % p.size()];
+      shoelace += static_cast<long long>(a.x) * b.y - static_cast<long long>(b.x) * a.y;
+    }
+    shoelace = std::abs(shoelace) / 2;
+    EXPECT_EQ(polygonArea(p), shoelace) << "trial " << trial;
+  }
+}
+
+TEST(PolygonPrim, AddsNettedPieces) {
+  db::Module m(tech::bicmos1u(), "p");
+  const Polygon l = {{0, 0}, {um(10), 0},     {um(10), um(4)}, {um(4), um(4)},
+                     {um(4), um(10)}, {0, um(10)}};
+  const auto ids = prim::polygon(m, tech::bicmos1u().layer("metal1"), l, m.net("w"));
+  EXPECT_GE(ids.size(), 2u);
+  for (const auto id : ids)
+    EXPECT_EQ(m.netName(m.shape(id).net), "w");
+  EXPECT_EQ(m.bbox(), (Box{0, 0, um(10), um(10)}));
+}
+
+TEST(PolygonDsl, PolyBuiltin) {
+  lang::Interpreter in(tech::bicmos1u());
+  in.run(R"(
+m = LWire()
+ENT LWire()
+  POLY("metal1", 0, 0, 10, 0, 10, 4, 4, 4, 4, 10, 0, 10, net = "w")
+)");
+  const db::Module& m = in.globalObject("m");
+  EXPECT_GE(m.shapeCount(), 2u);
+  EXPECT_TRUE(m.findNet("w").has_value());
+  EXPECT_EQ(m.bbox().width(), um(10));
+}
+
+TEST(PolygonDsl, OddCoordinatesRejected) {
+  lang::Interpreter in(tech::bicmos1u());
+  EXPECT_THROW(in.run("m = X()\nENT X()\n POLY(\"metal1\", 0, 0, 10, 0, 10)\n"),
+               lang::LangError);
+}
+
+}  // namespace
+}  // namespace amg::geom

@@ -1,0 +1,271 @@
+// Tests for the primitive shape functions of §2.2.
+#include <gtest/gtest.h>
+
+#include "db/connectivity.h"
+#include "primitives/primitives.h"
+#include "tech/builtin.h"
+
+namespace amg::prim {
+namespace {
+
+using db::Module;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+TEST(Inbox, FreeStandingUsesMinimum) {
+  Module m(T());
+  const auto id = inbox(m, T().layer("poly"));
+  EXPECT_EQ(m.shape(id).box.width(), T().minWidth(T().layer("poly")));
+  EXPECT_EQ(m.shape(id).box.height(), T().minWidth(T().layer("poly")));
+}
+
+TEST(Inbox, FreeStandingExplicitDims) {
+  Module m(T());
+  const auto id = inbox(m, T().layer("poly"), 5000, 2000);
+  EXPECT_EQ(m.shape(id).box.width(), 5000);
+  EXPECT_EQ(m.shape(id).box.height(), 2000);
+}
+
+TEST(Inbox, BelowMinimumIsARuleError) {
+  Module m(T());
+  EXPECT_THROW(inbox(m, T().layer("poly"), 500), DesignRuleError);
+}
+
+TEST(Inbox, FillsInteriorOfOuter) {
+  Module m(T());
+  const auto outer = inbox(m, T().layer("poly"), 10000, 10000);
+  const auto innerId = inbox(m, T().layer("metal1"));
+  // No poly->metal1 enclosure rule: margin 0, metal fills poly.
+  EXPECT_EQ(m.shape(innerId).box, m.shape(outer).box);
+  ASSERT_EQ(m.encloseRecords().size(), 1u);
+  EXPECT_EQ(m.encloseRecords()[0].inner, innerId);
+}
+
+TEST(Inbox, ExpandsOutersWhenTooSmall) {
+  // A poly rect at its minimum cannot hold a contact (1000 + 2*600 needed);
+  // inbox(contact) must expand it, exactly as the paper's error-free flow.
+  Module m(T());
+  const auto outer = inbox(m, T().layer("poly"));  // 1000 x 1000
+  const auto cut = inbox(m, T().layer("contact"));
+  const Box ob = m.shape(outer).box;
+  const Box cb = m.shape(cut).box;
+  EXPECT_EQ(cb.width(), 1000);
+  EXPECT_GE(ob.width(), 2200);
+  EXPECT_GE(cb.x1 - ob.x1, 600);
+  EXPECT_GE(ob.x2 - cb.x2, 600);
+  EXPECT_GE(cb.y1 - ob.y1, 600);
+}
+
+TEST(Inbox, CenteredInInterior) {
+  Module m(T());
+  (void)inbox(m, T().layer("poly"), 10000, 10000);
+  const auto cut = inbox(m, T().layer("contact"));
+  const Box cb = m.shape(cut).box;
+  EXPECT_EQ(cb.center().x, 5000);
+  EXPECT_EQ(cb.center().y, 5000);
+}
+
+TEST(Around, UsesEnclosureRule) {
+  Module m(T());
+  const auto d = inbox(m, T().layer("pdiff"), 4000, 4000);
+  const auto w = around(m, T().layer("nwell"), {d});
+  // nwell encloses pdiff by 1200.
+  EXPECT_EQ(m.shape(w).box, m.shape(d).box.expanded(1200));
+}
+
+TEST(Around, ExtraMarginWins) {
+  Module m(T());
+  const auto d = inbox(m, T().layer("pdiff"), 4000, 4000);
+  const auto w = around(m, T().layer("nwell"), {d}, 5000);
+  EXPECT_EQ(m.shape(w).box, m.shape(d).box.expanded(5000));
+}
+
+TEST(Around, NothingToSurroundThrows) {
+  Module m(T());
+  EXPECT_THROW(around(m, T().layer("nwell")), DesignRuleError);
+}
+
+// ---------------------------------------------------------------------------
+// ARRAY — the contact row driver (Figs. 2 and 3)
+// ---------------------------------------------------------------------------
+
+TEST(Array, MaxCountEquidistant) {
+  Module m(T());
+  // poly 12000 wide: interior for contacts = 12000 - 2*800(diff? no: poly
+  // enclosure 600) = 10800; contacts 1000 at spacing 1200 -> n = 5.
+  (void)inbox(m, T().layer("poly"), 12000, 2200);
+  (void)inbox(m, T().layer("metal1"));
+  const auto cuts = array(m, T().layer("contact"));
+  ASSERT_EQ(cuts.size(), 5u);
+  // All inside with margins, equal pitch.
+  const Box pb = m.shape(m.shapesOn(T().layer("poly"))[0]).box;
+  Coord prev = std::numeric_limits<Coord>::min();
+  Coord pitch = 0;
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    const Box cb = m.shape(cuts[i]).box;
+    EXPECT_GE(cb.x1 - pb.x1, 600);
+    EXPECT_GE(pb.x2 - cb.x2, 600);
+    if (i == 1) pitch = cb.x1 - prev;
+    if (i >= 1) {
+      EXPECT_NEAR(static_cast<double>(cb.x1 - prev), static_cast<double>(pitch), 1.0);
+      EXPECT_GE(cb.x1 - prev - 1000, 1200);  // spacing respected
+    }
+    prev = cb.x1;
+  }
+}
+
+TEST(Array, ExpandsForAtLeastOne) {
+  // "If no rectangle can be placed, the outer geometries are expanded so
+  // that at least one rectangle can be generated."
+  Module m(T());
+  const auto p = inbox(m, T().layer("poly"));  // 1000x1000, too small
+  const auto cuts = array(m, T().layer("contact"));
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_GE(m.shape(p).box.width(), 2200);
+  EXPECT_GE(m.shape(p).box.height(), 2200);
+  ASSERT_EQ(m.arrayRecords().size(), 1u);
+  EXPECT_EQ(m.arrayRecords()[0].elems.size(), 1u);
+}
+
+TEST(Array, TwoDimensional) {
+  Module m(T());
+  (void)inbox(m, T().layer("metal1"), 10000, 10000);
+  const auto cuts = array(m, T().layer("via"));
+  // interior 10000-2*600 = 8800; via 1200 pitch 2800 -> n = (8800+1600)/2800 = 3
+  EXPECT_EQ(cuts.size(), 9u);
+}
+
+TEST(Array, NonCutLayerRejected) {
+  Module m(T());
+  (void)inbox(m, T().layer("poly"), 10000, 10000);
+  EXPECT_THROW(array(m, T().layer("metal1")), DesignRuleError);
+}
+
+TEST(Array, RespectsAllContainers) {
+  Module m(T());
+  const auto a = inbox(m, T().layer("pdiff"), 8000, 8000);
+  const auto b = inbox(m, T().layer("metal1"), 4000, 4000);
+  const auto cuts = array(m, T().layer("contact"), {a, b});
+  for (const auto id : cuts) {
+    const Box cb = m.shape(id).box;
+    EXPECT_GE(cb.x1 - m.shape(a).box.x1, 800);  // pdiff enclosure
+    EXPECT_GE(cb.x1 - m.shape(b).box.x1, 600);  // metal1 enclosure
+  }
+}
+
+TEST(Array, RebuildAfterContainerShrink) {
+  Module m(T());
+  const auto p = inbox(m, T().layer("poly"), 12000, 2200);
+  (void)inbox(m, T().layer("metal1"));
+  const auto cuts = array(m, T().layer("contact"));
+  ASSERT_EQ(cuts.size(), 5u);
+
+  // Shrink the poly container and rebuild: fewer contacts, all inside.
+  m.shape(p).box.x2 -= 6000;
+  auto& rec = m.arrayRecords()[0];
+  // Metal no longer matters for the new extent; shrink it too.
+  m.shape(m.shapesOn(T().layer("metal1"))[0]).box.x2 -= 6000;
+  rebuildArray(m, rec);
+  EXPECT_EQ(rec.elems.size(), 2u);
+  for (const auto id : rec.elems) {
+    EXPECT_TRUE(m.isAlive(id));
+    EXPECT_GE(m.shape(id).box.x1 - m.shape(p).box.x1, 600);
+    EXPECT_GE(m.shape(p).box.x2 - m.shape(id).box.x2, 600);
+  }
+  // Old cuts are gone.
+  for (const auto id : cuts) EXPECT_FALSE(m.isAlive(id));
+}
+
+// ---------------------------------------------------------------------------
+// RING, TWORECTS, angle adaptor
+// ---------------------------------------------------------------------------
+
+TEST(Ring, SurroundsWithSpacing) {
+  Module m(T());
+  const auto d = inbox(m, T().layer("pdiff"), 4000, 4000);
+  const auto r = ring(m, T().layer("ptie"), std::nullopt, std::nullopt, {d},
+                      m.net("gnd"));
+  ASSERT_EQ(r.size(), 4u);
+  const Box db = m.shape(d).box;
+  for (const auto id : r) {
+    const Box rb = m.shape(id).box;
+    EXPECT_FALSE(rb.overlaps(db));
+    EXPECT_GE(boxGap(rb, db), 2400);  // ptie-pdiff spacing
+    EXPECT_GE(std::min(rb.width(), rb.height()), T().minWidth(T().layer("ptie")));
+  }
+  // The four pieces form a closed ring: they connect pairwise in sequence.
+  db::Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(r[0], r[1]));
+  EXPECT_TRUE(conn.connected(r[1], r[2]));
+  EXPECT_TRUE(conn.connected(r[2], r[3]));
+  EXPECT_TRUE(conn.connected(r[3], r[0]));
+}
+
+TEST(TwoRects, GateGeometry) {
+  Module m(T());
+  const auto [gate, diff] =
+      tworects(m, T().layer("poly"), T().layer("pdiff"), um(10), um(2));
+  const Box gb = m.shape(gate).box;
+  const Box db = m.shape(diff).box;
+  // Channel width 10um vertically, length 2um horizontally.
+  EXPECT_EQ(gb.width(), um(2));
+  EXPECT_EQ(gb.height(), um(10) + 2 * 1200);  // endcap both sides
+  EXPECT_EQ(db.height(), um(10));
+  EXPECT_EQ(db.width(), um(2) + 2 * 2400);  // source/drain overhang
+  EXPECT_TRUE(gb.overlaps(db));
+}
+
+TEST(TwoRects, BelowMinimumRejected) {
+  Module m(T());
+  EXPECT_THROW(tworects(m, T().layer("poly"), T().layer("pdiff"), um(10), 500),
+               DesignRuleError);
+  EXPECT_THROW(tworects(m, T().layer("poly"), T().layer("pdiff"), 500, um(2)),
+               DesignRuleError);
+}
+
+TEST(AngleAdaptor, FormsConnectedL) {
+  Module m(T());
+  const auto [h, v] = angleAdaptor(m, T().layer("metal1"), Point{0, 0}, um(10),
+                                   um(5), um(2), m.net("w"));
+  EXPECT_TRUE(m.shape(h).box.overlaps(m.shape(v).box));
+  db::Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(h, v));
+  // Arms reach their full lengths.
+  EXPECT_GE(m.shape(h).box.x2, um(10));
+  EXPECT_GE(m.shape(v).box.y2, um(5));
+}
+
+TEST(AngleAdaptor, NegativeArms) {
+  Module m(T());
+  const auto [h, v] =
+      angleAdaptor(m, T().layer("metal1"), Point{0, 0}, -um(10), -um(5), um(2));
+  EXPECT_LE(m.shape(h).box.x1, -um(9));
+  EXPECT_LE(m.shape(v).box.y1, -um(4));
+  EXPECT_TRUE(m.shape(h).box.overlaps(m.shape(v).box));
+}
+
+TEST(AngleAdaptor, ZeroArmRejected) {
+  Module m(T());
+  EXPECT_THROW(angleAdaptor(m, T().layer("metal1"), Point{0, 0}, 0, um(5)),
+               DesignRuleError);
+}
+
+TEST(ExpandOuters, CutsCannotExpand) {
+  Module m(T());
+  (void)inbox(m, T().layer("poly"), 3000, 3000);
+  const auto cut = inbox(m, T().layer("contact"));
+  EXPECT_THROW(expandOuters(m, {cut}, T().layer("metal1"), Box{0, 0, 9000, 9000}),
+               DesignRuleError);
+}
+
+TEST(InteriorOf, IntersectionWithMargins) {
+  Module m(T());
+  const auto a = inbox(m, T().layer("pdiff"), 8000, 8000);  // margin 800 for contact
+  const auto b = inbox(m, T().layer("metal1"), 8000, 8000); // margin 600
+  const Box r = interiorOf(m, {a, b}, T().layer("contact"));
+  EXPECT_EQ(r, (Box{800, 800, 7200, 7200}));
+}
+
+}  // namespace
+}  // namespace amg::prim

@@ -1,0 +1,297 @@
+// Tests for the routing routines.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/connectivity.h"
+#include "drc/drc.h"
+#include "route/router.h"
+#include "tech/builtin.h"
+
+namespace amg::route {
+namespace {
+
+using db::Module;
+using db::makeShape;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+drc::CheckOptions noLatchUp() {
+  drc::CheckOptions o;
+  o.latchUp = false;
+  return o;
+}
+
+TEST(WireStraight, HorizontalAndVertical) {
+  Module m(T());
+  const auto h = wireStraight(m, T().layer("metal1"), {0, 0}, {10000, 0}, 2000,
+                              m.net("a"));
+  EXPECT_EQ(m.shape(h).box, (Box{-1000, -1000, 11000, 1000}));
+  const auto v = wireStraight(m, T().layer("metal1"), {20000, 0}, {20000, 8000});
+  EXPECT_EQ(m.shape(v).box.width(), T().minWidth(T().layer("metal1")));
+  EXPECT_GE(m.shape(v).box.y2, 8000);
+}
+
+TEST(WireStraight, DiagonalRejected) {
+  Module m(T());
+  EXPECT_THROW(wireStraight(m, T().layer("metal1"), {0, 0}, {10, 10}), DesignRuleError);
+}
+
+TEST(WireStraight, TooThinRejected) {
+  Module m(T());
+  EXPECT_THROW(wireStraight(m, T().layer("metal1"), {0, 0}, {10000, 0}, 100),
+               DesignRuleError);
+}
+
+TEST(WireL, ConnectsEndpoints) {
+  Module m(T());
+  const auto [a, b] = wireL(m, T().layer("metal1"), {0, 0}, {10000, 8000}, true,
+                            std::nullopt, m.net("w"));
+  EXPECT_TRUE(m.shape(a).box.contains(Point{0, 0}));
+  EXPECT_TRUE(m.shape(b).box.contains(Point{10000, 8000}));
+  db::Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(a, b));
+}
+
+TEST(WireL, DegeneratesToStraight) {
+  Module m(T());
+  const auto [a, b] = wireL(m, T().layer("metal1"), {0, 0}, {10000, 0});
+  EXPECT_EQ(a, b);
+}
+
+TEST(WireZ, ThreeSegmentsConnected) {
+  Module m(T());
+  const auto segs =
+      wireZ(m, T().layer("metal1"), {0, 0}, {20000, 9000}, 10000, true, 2000, m.net("z"));
+  ASSERT_EQ(segs.size(), 3u);
+  db::Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(segs[0], segs[1]));
+  EXPECT_TRUE(conn.connected(segs[1], segs[2]));
+  EXPECT_TRUE(m.shape(segs[0]).box.contains(Point{0, 0}));
+  EXPECT_TRUE(m.shape(segs[2]).box.contains(Point{20000, 9000}));
+}
+
+TEST(ViaStack, PadsSatisfyEnclosure) {
+  Module m(T());
+  const auto v = viaStack(m, {0, 0}, T().layer("metal1"), T().layer("metal2"), m.net("n"));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+  db::Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(v[0], v[2]));
+}
+
+TEST(ViaStack, PolyToMetal) {
+  Module m(T());
+  const auto v = viaStack(m, {0, 0}, T().layer("poly"), T().layer("metal1"));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+}
+
+TEST(ViaStack, NoCutBetweenLayersRejected) {
+  Module m(T());
+  EXPECT_THROW(viaStack(m, {0, 0}, T().layer("poly"), T().layer("metal2")),
+               DesignRuleError);
+}
+
+TEST(ViaStack, SameLayerIsNoop) {
+  Module m(T());
+  EXPECT_TRUE(viaStack(m, {0, 0}, T().layer("metal1"), T().layer("metal1")).empty());
+}
+
+TEST(ConnectShapes, AcrossLayersWithVias) {
+  Module m(T());
+  const auto a =
+      m.addShape(makeShape(Box{0, 0, 3000, 3000}, T().layer("poly"), m.net("n")));
+  const auto b =
+      m.addShape(makeShape(Box{20000, 12000, 23000, 15000}, T().layer("poly"), m.net("n")));
+  connectShapes(m, a, b, T().layer("metal1"));
+  db::Connectivity conn(m);
+  EXPECT_TRUE(conn.connected(a, b));
+}
+
+TEST(StrapByCompaction, ConnectsNetAcrossModule) {
+  // The Fig. 5a idiom: a same-net strap compacted from the north merges
+  // with all columns it reaches.
+  Module m(T());
+  m.addShape(makeShape(Box{0, 0, 2000, 6000}, T().layer("metal1"), m.net("s")));
+  m.addShape(makeShape(Box{8000, 0, 10000, 6000}, T().layer("metal1"), m.net("s")));
+  const auto strap = strapByCompaction(m, "s", T().layer("metal1"), Dir::South, 2000);
+  EXPECT_EQ(m.shape(strap).box.y1, 6000);
+  db::Connectivity conn(m);
+  EXPECT_EQ(conn.componentCount(), 1);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+}
+
+TEST(StrapByCompaction, UnknownNetRejected) {
+  Module m(T());
+  m.addShape(makeShape(Box{0, 0, 2000, 6000}, T().layer("metal1"), m.net("s")));
+  EXPECT_THROW(strapByCompaction(m, "zz", T().layer("metal1"), Dir::South),
+               DesignRuleError);
+}
+
+TEST(Ports, StoredTransformedAndMerged) {
+  Module half(T(), "half");
+  half.addShape(makeShape(Box{0, 0, 2000, 2000}, T().layer("metal1"), half.net("a")));
+  half.addPort("in", Point{1000, 1000}, T().layer("metal1"), half.net("a"));
+  EXPECT_TRUE(half.hasPort("in"));
+  EXPECT_THROW((void)half.port("nope"), DesignRuleError);
+
+  half.translate(100, 200);
+  EXPECT_EQ(half.port("in").at, (Point{1100, 1200}));
+
+  Module m(T(), "full");
+  m.merge(half, geom::Transform::mirrorX(5000));
+  ASSERT_EQ(m.ports().size(), 1u);
+  EXPECT_EQ(m.port("in").at, (Point{10000 - 1100, 1200}));
+  EXPECT_EQ(m.netName(m.port("in").net), "a");
+}
+
+TEST(Ports, ConnectPortsAcrossLayers) {
+  Module m(T(), "x");
+  m.addShape(makeShape(Box{0, 0, 3000, 3000}, T().layer("poly"), m.net("n")));
+  m.addPort("a", Point{1500, 1500}, T().layer("poly"), m.net("n"));
+  m.addShape(makeShape(Box{20000, 14000, 23000, 17000}, T().layer("metal2"), m.net("n")));
+  m.addPort("b", Point{21500, 15500}, T().layer("metal2"), m.net("n"));
+
+  connectPorts(m, m.port("a"), m.port("b"), T().layer("metal1"));
+  db::Connectivity conn(m);
+  const auto ids = m.shapeIds();
+  EXPECT_TRUE(conn.connected(ids.front(), ids[1]));
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+}
+
+TEST(ChannelRoute, LeftEdgePacksTracks) {
+  Module m(T(), "chan");
+  // Three nets: 1 and 3 have disjoint spans (share a track), 2 overlaps
+  // both (own track).
+  const std::vector<ChannelNet> nets = {
+      {"n1", um(2), um(10)},
+      {"n2", um(14), um(6)},
+      {"n3", um(30), um(38)},
+  };
+  const int tracks =
+      channelRoute(m, nets, 0, um(30), T().layer("metal1"), T().layer("metal2"));
+  EXPECT_EQ(tracks, 2);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+
+  // Every net is one component connecting its two pins.
+  db::Connectivity conn(m);
+  for (const auto& n : nets) {
+    const auto net = m.findNet(n.net);
+    ASSERT_TRUE(net.has_value());
+    int comp = -1;
+    for (db::ShapeId id : m.shapeIds()) {
+      if (m.shape(id).net != *net) continue;
+      const int c = conn.componentOf(id);
+      if (c < 0) continue;
+      if (comp == -1) comp = c;
+      EXPECT_EQ(c, comp) << n.net;
+    }
+  }
+}
+
+TEST(ChannelRoute, StraightNetNeedsNoTrackWire) {
+  Module m(T(), "chan");
+  channelRoute(m, {{"n", um(5), um(5)}}, 0, um(20), T().layer("metal1"),
+               T().layer("metal2"));
+  // A single aligned net: only vertical geometry, no vias needed.
+  EXPECT_TRUE(m.shapesOn(T().layer("via")).empty());
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+}
+
+TEST(ChannelRoute, TooSmallChannelRejected) {
+  Module m(T(), "chan");
+  std::vector<ChannelNet> nets;
+  for (int i = 0; i < 6; ++i)
+    nets.push_back(ChannelNet{"n" + std::to_string(i), um(1), um(40 - i)});
+  EXPECT_THROW(channelRoute(m, nets, 0, um(6), T().layer("metal1"),
+                            T().layer("metal2")),
+               DesignRuleError);
+}
+
+TEST(ChannelRoute, ConflictingPinColumnsRejected) {
+  Module m(T(), "chan");
+  EXPECT_THROW(channelRoute(m, {{"a", um(5), um(5)}, {"b", um(6), um(40)}}, 0,
+                            um(30), T().layer("metal1"), T().layer("metal2")),
+               DesignRuleError);
+}
+
+TEST(ChannelRoute, CrossSidePinsAllowedWhenTracksClear) {
+  // Two nets share a column across opposite sides, but the left net lands
+  // on the lower track while the right net's top post only reaches the
+  // upper track: no overlap, route succeeds.
+  Module m(T(), "chan");
+  const std::vector<ChannelNet> nets = {
+      {"a", um(2), um(30)},   // bottom post at 30
+      {"b", um(30), um(60)},  // top post at 30
+  };
+  const int tracks =
+      channelRoute(m, nets, 0, um(30), T().layer("metal1"), T().layer("metal2"));
+  EXPECT_EQ(tracks, 2);
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+  const db::Connectivity conn(m);
+  std::map<int, std::string> owner;
+  for (db::ShapeId id : m.shapeIds()) {
+    const auto& sh = m.shape(id);
+    if (sh.net == db::kNoNet) continue;
+    const int c = conn.componentOf(id);
+    if (c < 0) continue;
+    auto [it, fresh] = owner.emplace(c, m.netName(sh.net));
+    EXPECT_EQ(it->second, m.netName(sh.net));
+  }
+}
+
+TEST(ChannelRoute, ManyNetsDrcClean) {
+  Module m(T(), "chan");
+  // Criss-cross pattern; the bottom pins are offset by half a pitch so no
+  // two posts share a column.
+  std::vector<ChannelNet> nets;
+  for (int i = 0; i < 10; ++i)
+    nets.push_back(ChannelNet{"n" + std::to_string(i), um(8.0 * i + 2),
+                              um(8.0 * (9 - i) + 6)});
+  const int tracks = channelRoute(m, nets, 0, um(70), T().layer("metal1"),
+                                  T().layer("metal2"));
+  EXPECT_GE(tracks, 5);  // heavily overlapping spans
+  EXPECT_NO_THROW(drc::expectClean(m, noLatchUp()));
+
+  // And no unintended shorts: every net is its own component.
+  const db::Connectivity conn(m);
+  std::map<int, std::string> compNet;
+  for (db::ShapeId id : m.shapeIds()) {
+    const auto& sh = m.shape(id);
+    if (sh.net == db::kNoNet) continue;
+    const int c = conn.componentOf(id);
+    if (c < 0) continue;
+    auto [it, inserted] = compNet.emplace(c, m.netName(sh.net));
+    EXPECT_EQ(it->second, m.netName(sh.net));
+  }
+}
+
+TEST(AddMirrored, SwapsNetsAndMirrorsGeometry) {
+  Module half(T(), "half");
+  half.addShape(makeShape(Box{0, 0, 2000, 2000}, T().layer("metal1"), half.net("inp")));
+  Module m(T(), "full");
+  addMirrored(m, half, 10000, {{"inp", "inn"}});
+
+  ASSERT_EQ(m.shapeCount(), 2u);
+  const auto ids = m.shapeIds();
+  EXPECT_EQ(m.netName(m.shape(ids[0]).net), "inp");
+  EXPECT_EQ(m.netName(m.shape(ids[1]).net), "inn");
+  EXPECT_EQ(m.shape(ids[1]).box, (Box{18000, 0, 20000, 2000}));
+}
+
+TEST(AddMirrored, SymmetricSwapBothWays) {
+  Module half(T(), "half");
+  half.addShape(makeShape(Box{0, 0, 2000, 2000}, T().layer("metal1"), half.net("a")));
+  half.addShape(makeShape(Box{0, 4000, 2000, 6000}, T().layer("metal1"), half.net("b")));
+  Module m(T(), "full");
+  addMirrored(m, half, 10000, {{"a", "b"}, {"b", "a"}});
+  const auto ids = m.shapeIds();
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(m.netName(m.shape(ids[2]).net), "b");  // mirrored copy of 'a'
+  EXPECT_EQ(m.netName(m.shape(ids[3]).net), "a");  // mirrored copy of 'b'
+}
+
+}  // namespace
+}  // namespace amg::route

@@ -1,0 +1,106 @@
+// Tests over the shipped artifacts: the .amg scripts in scripts/ and the
+// technology files in tech/.  Each script must run, every object it
+// produces must be DRC-clean, and the text decks must round-trip with the
+// built-in ones.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "drc/drc.h"
+#include "lang/interp.h"
+#include "tech/builtin.h"
+#include "tech/techfile.h"
+
+#ifndef AMG_REPO_DIR
+#define AMG_REPO_DIR "."
+#endif
+
+namespace amg {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+class ScriptFile : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScriptFile, RunsAndAllObjectsAreClean) {
+  lang::Interpreter in(tech::bicmos1u());
+  in.run(slurp(std::string(AMG_REPO_DIR) + "/scripts/" + GetParam()));
+
+  drc::CheckOptions opts;
+  opts.latchUp = false;
+  int objects = 0;
+  for (const auto& [name, v] : in.globals()) {
+    if (v.kind() != lang::Value::Kind::Object) continue;
+    ++objects;
+    EXPECT_NO_THROW(drc::expectClean(v.asObject(), opts)) << name;
+    EXPECT_GT(v.asObject().shapeCount(), 0u) << name;
+  }
+  EXPECT_GT(objects, 0) << "script produced no layout objects";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScripts, ScriptFile,
+                         ::testing::Values("contact_row.amg", "diffpair.amg",
+                                           "variants.amg", "mirror.amg",
+                                           "library.amg"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           return n.substr(0, n.find('.'));
+                         });
+
+TEST(ScriptFile, LibraryEntitiesReusableFromCpp) {
+  lang::Interpreter in(tech::bicmos1u());
+  in.run(slurp(std::string(AMG_REPO_DIR) + "/scripts/library.amg"));
+  // Re-instantiate with other parameters.
+  const db::Module m = in.instantiate(
+      "Interdig", {{"W", lang::Value::number(20)},
+                   {"L", lang::Value::number(2)},
+                   {"fingers", lang::Value::number(5)}});
+  drc::CheckOptions opts;
+  opts.latchUp = false;
+  EXPECT_NO_THROW(drc::expectClean(m, opts));
+  EXPECT_EQ(m.shapesOn(tech::bicmos1u().layer("poly")).size(), 5u);
+}
+
+TEST(TechFiles, ShippedDecksMatchBuiltins) {
+  const tech::Technology fromFile =
+      tech::loadTechFile(std::string(AMG_REPO_DIR) + "/tech/bicmos1u.tech");
+  const tech::Technology& builtin = tech::bicmos1u();
+  ASSERT_EQ(fromFile.layerCount(), builtin.layerCount());
+  for (tech::LayerId l = 0; l < builtin.layerCount(); ++l) {
+    EXPECT_EQ(fromFile.info(l).name, builtin.info(l).name);
+    EXPECT_EQ(fromFile.findMinWidth(l), builtin.findMinWidth(l));
+    for (tech::LayerId k = 0; k < builtin.layerCount(); ++k)
+      EXPECT_EQ(fromFile.minSpacing(l, k), builtin.minSpacing(l, k));
+  }
+  EXPECT_EQ(fromFile.latchUpRadius(), builtin.latchUpRadius());
+
+  const tech::Technology cmos =
+      tech::loadTechFile(std::string(AMG_REPO_DIR) + "/tech/cmos2u.tech");
+  EXPECT_EQ(cmos.name(), "cmos2u");
+  EXPECT_FALSE(cmos.findLayer("pbase").has_value());
+}
+
+TEST(TechFiles, ScriptsRunOnFileLoadedDeck) {
+  // Technology independence end-to-end: the same script, a deck from disk.
+  const tech::Technology t =
+      tech::loadTechFile(std::string(AMG_REPO_DIR) + "/tech/cmos2u.tech");
+  lang::Interpreter in(t);
+  in.run(slurp(std::string(AMG_REPO_DIR) + "/scripts/diffpair.amg"));
+  drc::CheckOptions opts;
+  opts.latchUp = false;
+  EXPECT_NO_THROW(drc::expectClean(in.globalObject("diff"), opts));
+  // Scaled rules, larger layout than in the 1 um deck.
+  lang::Interpreter in1(tech::bicmos1u());
+  in1.run(slurp(std::string(AMG_REPO_DIR) + "/scripts/diffpair.amg"));
+  EXPECT_GT(in.globalObject("diff").area(), in1.globalObject("diff").area());
+}
+
+}  // namespace
+}  // namespace amg

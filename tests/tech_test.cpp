@@ -1,0 +1,159 @@
+// Tests for the technology engine: rule queries, built-in decks, and the
+// technology-file round trip.
+#include <gtest/gtest.h>
+
+#include "tech/builtin.h"
+#include "tech/techfile.h"
+
+namespace amg::tech {
+namespace {
+
+TEST(Builtin, Bicmos1uLayers) {
+  const Technology& t = bicmos1u();
+  EXPECT_EQ(t.name(), "bicmos1u");
+  for (const char* name : {"nwell", "pdiff", "ndiff", "ptie", "poly", "contact",
+                           "metal1", "via", "metal2", "pbase", "nplus", "guard"})
+    EXPECT_TRUE(t.findLayer(name).has_value()) << name;
+  EXPECT_FALSE(t.findLayer("metal9").has_value());
+  EXPECT_THROW((void)t.layer("metal9"), DesignRuleError);
+}
+
+TEST(Builtin, RuleQueries) {
+  const Technology& t = bicmos1u();
+  EXPECT_EQ(t.minWidth(t.layer("poly")), 1000);
+  EXPECT_EQ(t.minSpacing(t.layer("poly"), t.layer("poly")), 1200);
+  // Order-insensitive spacing.
+  EXPECT_EQ(t.minSpacing(t.layer("pdiff"), t.layer("ndiff")),
+            t.minSpacing(t.layer("ndiff"), t.layer("pdiff")));
+  // No rule between poly and diffusion: the MOS gate forms by overlap.
+  EXPECT_FALSE(t.minSpacing(t.layer("poly"), t.layer("pdiff")).has_value());
+  // Enclosure is directional.
+  EXPECT_EQ(t.enclosure(t.layer("metal1"), t.layer("contact")), 600);
+  EXPECT_FALSE(t.enclosure(t.layer("contact"), t.layer("metal1")).has_value());
+  // Extensions (gate formation).
+  EXPECT_EQ(t.extension(t.layer("poly"), t.layer("pdiff")), 1200);
+  EXPECT_EQ(t.extension(t.layer("pdiff"), t.layer("poly")), 2400);
+  // Cut geometry.
+  const auto [cw, ch] = t.cutSize(t.layer("contact"));
+  EXPECT_EQ(cw, 1000);
+  EXPECT_EQ(ch, 1000);
+  EXPECT_EQ(t.minWidth(t.layer("contact")), 1000);
+  EXPECT_THROW((void)t.cutSize(t.layer("poly")), DesignRuleError);
+}
+
+TEST(Builtin, Connectivity) {
+  const Technology& t = bicmos1u();
+  EXPECT_TRUE(t.cutConnects(t.layer("contact"), t.layer("poly"), t.layer("metal1")));
+  EXPECT_TRUE(t.cutConnects(t.layer("contact"), t.layer("metal1"), t.layer("poly")));
+  EXPECT_FALSE(t.cutConnects(t.layer("contact"), t.layer("metal1"), t.layer("metal2")));
+  EXPECT_TRUE(t.cutConnects(t.layer("via"), t.layer("metal1"), t.layer("metal2")));
+  const auto cuts = t.cutsBetween(t.layer("poly"), t.layer("metal1"));
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], t.layer("contact"));
+}
+
+TEST(Builtin, LatchUpConfig) {
+  const Technology& t = bicmos1u();
+  EXPECT_EQ(t.latchUpRadius(), 50000);
+  EXPECT_EQ(t.guardLayer(), t.layer("guard"));
+  EXPECT_EQ(t.substrateTieLayer(), t.layer("ptie"));
+  const auto actives = t.activeLayers();
+  EXPECT_EQ(actives.size(), 3u);  // pdiff, ndiff, ptie
+}
+
+TEST(Builtin, Cmos2uIsScaled) {
+  const Technology& c = cmos2u();
+  const Technology& b = bicmos1u();
+  EXPECT_EQ(c.minWidth(c.layer("poly")), 2 * b.minWidth(b.layer("poly")));
+  EXPECT_EQ(*c.minSpacing(c.layer("metal1"), c.layer("metal1")),
+            2 * *b.minSpacing(b.layer("metal1"), b.layer("metal1")));
+  // No bipolar layers in the CMOS deck.
+  EXPECT_FALSE(c.findLayer("pbase").has_value());
+  EXPECT_FALSE(c.findLayer("nplus").has_value());
+}
+
+TEST(Technology, DuplicateLayerRejected) {
+  Technology t("x");
+  t.addLayer(LayerInfo{"m", LayerKind::Metal, 1, "#fff", "solid", true});
+  EXPECT_THROW(t.addLayer(LayerInfo{"m", LayerKind::Metal, 2, "#fff", "solid", true}),
+               DesignRuleError);
+}
+
+TEST(Technology, MissingWidthThrows) {
+  Technology t("x");
+  const LayerId m = t.addLayer(LayerInfo{"m", LayerKind::Metal, 1, "#fff", "solid", true});
+  EXPECT_THROW((void)t.minWidth(m), DesignRuleError);
+  EXPECT_FALSE(t.findMinWidth(m).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Tech file format
+// ---------------------------------------------------------------------------
+
+TEST(TechFile, ParseMinimal) {
+  const Technology t = parseTechString(R"(
+tech mini
+unit nm
+layer metal1 metal cif=13 color=#4f6fcf pattern=solid conducting
+layer via cut cif=14
+width metal1 1600         # a comment
+space metal1 metal1 1200
+cutsize via 1200 1200
+)");
+  EXPECT_EQ(t.name(), "mini");
+  EXPECT_EQ(t.minWidth(t.layer("metal1")), 1600);
+  EXPECT_TRUE(t.info(t.layer("metal1")).conducting);
+  EXPECT_FALSE(t.info(t.layer("via")).conducting);
+  EXPECT_EQ(t.info(t.layer("metal1")).cifId, 13);
+}
+
+TEST(TechFile, RoundTripBuiltin) {
+  const Technology& orig = bicmos1u();
+  const std::string text = saveTechFile(orig);
+  const Technology back = parseTechString(text, "roundtrip");
+
+  EXPECT_EQ(back.name(), orig.name());
+  ASSERT_EQ(back.layerCount(), orig.layerCount());
+  for (LayerId l = 0; l < orig.layerCount(); ++l) {
+    EXPECT_EQ(back.info(l).name, orig.info(l).name);
+    EXPECT_EQ(back.info(l).kind, orig.info(l).kind);
+    EXPECT_EQ(back.info(l).conducting, orig.info(l).conducting);
+    EXPECT_EQ(back.findMinWidth(l), orig.findMinWidth(l));
+    for (LayerId k = 0; k < orig.layerCount(); ++k) {
+      EXPECT_EQ(back.minSpacing(l, k), orig.minSpacing(l, k));
+      EXPECT_EQ(back.enclosure(l, k), orig.enclosure(l, k));
+      EXPECT_EQ(back.extension(l, k), orig.extension(l, k));
+    }
+  }
+  EXPECT_EQ(back.latchUpRadius(), orig.latchUpRadius());
+  EXPECT_EQ(back.guardLayer(), orig.guardLayer());
+  EXPECT_EQ(back.substrateTieLayer(), orig.substrateTieLayer());
+  EXPECT_TRUE(back.cutConnects(back.layer("contact"), back.layer("poly"),
+                               back.layer("metal1")));
+}
+
+TEST(TechFile, ErrorsCarryLineNumbers) {
+  try {
+    (void)parseTechString("tech x\nbogus directive\n", "f.tech");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("f.tech:2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TechFile, TechMustComeFirst) {
+  EXPECT_THROW((void)parseTechString("width m 5\n"), Error);
+  EXPECT_THROW((void)parseTechString(""), Error);
+  EXPECT_THROW((void)parseTechString("tech a\ntech b\n"), Error);
+}
+
+TEST(TechFile, UnknownLayerInRule) {
+  EXPECT_THROW((void)parseTechString("tech x\nwidth nosuch 5\n"), Error);
+}
+
+TEST(TechFile, BadValue) {
+  EXPECT_THROW((void)parseTechString("tech x\nlayer m metal\nwidth m abc\n"), Error);
+}
+
+}  // namespace
+}  // namespace amg::tech
