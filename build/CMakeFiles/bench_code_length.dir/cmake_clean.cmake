@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code_length.dir/bench/bench_code_length.cpp.o"
+  "CMakeFiles/bench_code_length.dir/bench/bench_code_length.cpp.o.d"
+  "bench/bench_code_length"
+  "bench/bench_code_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

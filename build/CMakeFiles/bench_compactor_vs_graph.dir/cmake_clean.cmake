@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compactor_vs_graph.dir/bench/bench_compactor_vs_graph.cpp.o"
+  "CMakeFiles/bench_compactor_vs_graph.dir/bench/bench_compactor_vs_graph.cpp.o.d"
+  "bench/bench_compactor_vs_graph"
+  "bench/bench_compactor_vs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compactor_vs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

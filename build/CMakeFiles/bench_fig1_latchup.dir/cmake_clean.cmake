@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_latchup.dir/bench/bench_fig1_latchup.cpp.o"
+  "CMakeFiles/bench_fig1_latchup.dir/bench/bench_fig1_latchup.cpp.o.d"
+  "bench/bench_fig1_latchup"
+  "bench/bench_fig1_latchup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_latchup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_contactrow.dir/bench/bench_fig3_contactrow.cpp.o"
+  "CMakeFiles/bench_fig3_contactrow.dir/bench/bench_fig3_contactrow.cpp.o.d"
+  "bench/bench_fig3_contactrow"
+  "bench/bench_fig3_contactrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_contactrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_autoconnect.dir/bench/bench_fig5_autoconnect.cpp.o"
+  "CMakeFiles/bench_fig5_autoconnect.dir/bench/bench_fig5_autoconnect.cpp.o.d"
+  "bench/bench_fig5_autoconnect"
+  "bench/bench_fig5_autoconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_autoconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

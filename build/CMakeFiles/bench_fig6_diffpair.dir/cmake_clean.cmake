@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_diffpair.dir/bench/bench_fig6_diffpair.cpp.o"
+  "CMakeFiles/bench_fig6_diffpair.dir/bench/bench_fig6_diffpair.cpp.o.d"
+  "bench/bench_fig6_diffpair"
+  "bench/bench_fig6_diffpair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_diffpair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

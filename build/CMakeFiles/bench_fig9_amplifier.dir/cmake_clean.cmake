@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_amplifier.dir/bench/bench_fig9_amplifier.cpp.o"
+  "CMakeFiles/bench_fig9_amplifier.dir/bench/bench_fig9_amplifier.cpp.o.d"
+  "bench/bench_fig9_amplifier"
+  "bench/bench_fig9_amplifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_amplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

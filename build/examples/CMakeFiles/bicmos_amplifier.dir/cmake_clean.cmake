@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicmos_amplifier.dir/bicmos_amplifier.cpp.o"
+  "CMakeFiles/bicmos_amplifier.dir/bicmos_amplifier.cpp.o.d"
+  "bicmos_amplifier"
+  "bicmos_amplifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicmos_amplifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bicmos_amplifier.
+# This may be replaced when dependencies are built.

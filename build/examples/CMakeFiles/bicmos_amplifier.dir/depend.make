@@ -1,0 +1,2 @@
+# Empty dependencies file for bicmos_amplifier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffpair_steps.dir/diffpair_steps.cpp.o"
+  "CMakeFiles/diffpair_steps.dir/diffpair_steps.cpp.o.d"
+  "diffpair_steps"
+  "diffpair_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffpair_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_runner.dir/dsl_runner.cpp.o"
+  "CMakeFiles/dsl_runner.dir/dsl_runner.cpp.o.d"
+  "dsl_runner"
+  "dsl_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_gallery.dir/module_gallery.cpp.o"
+  "CMakeFiles/module_gallery.dir/module_gallery.cpp.o.d"
+  "module_gallery"
+  "module_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geom")
+subdirs("tech")
+subdirs("db")
+subdirs("primitives")
+subdirs("compact")
+subdirs("drc")
+subdirs("route")
+subdirs("opt")
+subdirs("baseline")
+subdirs("lang")
+subdirs("modules")
+subdirs("io")
+subdirs("place")
+subdirs("amp")

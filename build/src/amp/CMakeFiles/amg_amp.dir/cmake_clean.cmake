@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_amp.dir/amplifier.cpp.o"
+  "CMakeFiles/amg_amp.dir/amplifier.cpp.o.d"
+  "libamg_amp.a"
+  "libamg_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_baseline.dir/graph_compactor.cpp.o"
+  "CMakeFiles/amg_baseline.dir/graph_compactor.cpp.o.d"
+  "libamg_baseline.a"
+  "libamg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_compact.dir/compactor.cpp.o"
+  "CMakeFiles/amg_compact.dir/compactor.cpp.o.d"
+  "CMakeFiles/amg_compact.dir/fast.cpp.o"
+  "CMakeFiles/amg_compact.dir/fast.cpp.o.d"
+  "libamg_compact.a"
+  "libamg_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

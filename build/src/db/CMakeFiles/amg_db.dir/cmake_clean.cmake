@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_db.dir/connectivity.cpp.o"
+  "CMakeFiles/amg_db.dir/connectivity.cpp.o.d"
+  "CMakeFiles/amg_db.dir/module.cpp.o"
+  "CMakeFiles/amg_db.dir/module.cpp.o.d"
+  "libamg_db.a"
+  "libamg_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

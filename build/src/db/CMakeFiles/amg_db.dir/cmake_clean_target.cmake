@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamg_db.a"
+)

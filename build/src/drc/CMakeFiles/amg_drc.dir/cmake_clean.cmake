@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_drc.dir/drc.cpp.o"
+  "CMakeFiles/amg_drc.dir/drc.cpp.o.d"
+  "CMakeFiles/amg_drc.dir/extract.cpp.o"
+  "CMakeFiles/amg_drc.dir/extract.cpp.o.d"
+  "libamg_drc.a"
+  "libamg_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

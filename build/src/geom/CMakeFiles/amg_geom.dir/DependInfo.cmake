@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cpp" "src/geom/CMakeFiles/amg_geom.dir/box.cpp.o" "gcc" "src/geom/CMakeFiles/amg_geom.dir/box.cpp.o.d"
+  "/root/repo/src/geom/contour.cpp" "src/geom/CMakeFiles/amg_geom.dir/contour.cpp.o" "gcc" "src/geom/CMakeFiles/amg_geom.dir/contour.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/amg_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/amg_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/geom/subtract.cpp" "src/geom/CMakeFiles/amg_geom.dir/subtract.cpp.o" "gcc" "src/geom/CMakeFiles/amg_geom.dir/subtract.cpp.o.d"
+  "/root/repo/src/geom/transform.cpp" "src/geom/CMakeFiles/amg_geom.dir/transform.cpp.o" "gcc" "src/geom/CMakeFiles/amg_geom.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

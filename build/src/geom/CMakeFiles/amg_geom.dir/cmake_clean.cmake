@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_geom.dir/box.cpp.o"
+  "CMakeFiles/amg_geom.dir/box.cpp.o.d"
+  "CMakeFiles/amg_geom.dir/contour.cpp.o"
+  "CMakeFiles/amg_geom.dir/contour.cpp.o.d"
+  "CMakeFiles/amg_geom.dir/polygon.cpp.o"
+  "CMakeFiles/amg_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/amg_geom.dir/subtract.cpp.o"
+  "CMakeFiles/amg_geom.dir/subtract.cpp.o.d"
+  "CMakeFiles/amg_geom.dir/transform.cpp.o"
+  "CMakeFiles/amg_geom.dir/transform.cpp.o.d"
+  "libamg_geom.a"
+  "libamg_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/cif.cpp" "src/io/CMakeFiles/amg_io.dir/cif.cpp.o" "gcc" "src/io/CMakeFiles/amg_io.dir/cif.cpp.o.d"
+  "/root/repo/src/io/gds.cpp" "src/io/CMakeFiles/amg_io.dir/gds.cpp.o" "gcc" "src/io/CMakeFiles/amg_io.dir/gds.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/amg_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/amg_io.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/amg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/amg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amg_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_io.dir/cif.cpp.o"
+  "CMakeFiles/amg_io.dir/cif.cpp.o.d"
+  "CMakeFiles/amg_io.dir/gds.cpp.o"
+  "CMakeFiles/amg_io.dir/gds.cpp.o.d"
+  "CMakeFiles/amg_io.dir/svg.cpp.o"
+  "CMakeFiles/amg_io.dir/svg.cpp.o.d"
+  "libamg_io.a"
+  "libamg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

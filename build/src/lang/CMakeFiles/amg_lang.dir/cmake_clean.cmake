@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_lang.dir/interp.cpp.o"
+  "CMakeFiles/amg_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/amg_lang.dir/lexer.cpp.o"
+  "CMakeFiles/amg_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/amg_lang.dir/parser.cpp.o"
+  "CMakeFiles/amg_lang.dir/parser.cpp.o.d"
+  "libamg_lang.a"
+  "libamg_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modules/basic.cpp" "src/modules/CMakeFiles/amg_modules.dir/basic.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/basic.cpp.o.d"
+  "/root/repo/src/modules/bipolar.cpp" "src/modules/CMakeFiles/amg_modules.dir/bipolar.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/bipolar.cpp.o.d"
+  "/root/repo/src/modules/centroid.cpp" "src/modules/CMakeFiles/amg_modules.dir/centroid.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/centroid.cpp.o.d"
+  "/root/repo/src/modules/guard.cpp" "src/modules/CMakeFiles/amg_modules.dir/guard.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/guard.cpp.o.d"
+  "/root/repo/src/modules/handcrafted.cpp" "src/modules/CMakeFiles/amg_modules.dir/handcrafted.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/handcrafted.cpp.o.d"
+  "/root/repo/src/modules/interdigitated.cpp" "src/modules/CMakeFiles/amg_modules.dir/interdigitated.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/interdigitated.cpp.o.d"
+  "/root/repo/src/modules/resistor.cpp" "src/modules/CMakeFiles/amg_modules.dir/resistor.cpp.o" "gcc" "src/modules/CMakeFiles/amg_modules.dir/resistor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compact/CMakeFiles/amg_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/amg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/amg_prim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/amg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/amg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amg_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

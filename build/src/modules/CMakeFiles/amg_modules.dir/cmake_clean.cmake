@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_modules.dir/basic.cpp.o"
+  "CMakeFiles/amg_modules.dir/basic.cpp.o.d"
+  "CMakeFiles/amg_modules.dir/bipolar.cpp.o"
+  "CMakeFiles/amg_modules.dir/bipolar.cpp.o.d"
+  "CMakeFiles/amg_modules.dir/centroid.cpp.o"
+  "CMakeFiles/amg_modules.dir/centroid.cpp.o.d"
+  "CMakeFiles/amg_modules.dir/guard.cpp.o"
+  "CMakeFiles/amg_modules.dir/guard.cpp.o.d"
+  "CMakeFiles/amg_modules.dir/handcrafted.cpp.o"
+  "CMakeFiles/amg_modules.dir/handcrafted.cpp.o.d"
+  "CMakeFiles/amg_modules.dir/interdigitated.cpp.o"
+  "CMakeFiles/amg_modules.dir/interdigitated.cpp.o.d"
+  "CMakeFiles/amg_modules.dir/resistor.cpp.o"
+  "CMakeFiles/amg_modules.dir/resistor.cpp.o.d"
+  "libamg_modules.a"
+  "libamg_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

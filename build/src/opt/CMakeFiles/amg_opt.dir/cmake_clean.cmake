@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_opt.dir/optimizer.cpp.o"
+  "CMakeFiles/amg_opt.dir/optimizer.cpp.o.d"
+  "CMakeFiles/amg_opt.dir/rating.cpp.o"
+  "CMakeFiles/amg_opt.dir/rating.cpp.o.d"
+  "libamg_opt.a"
+  "libamg_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_place.dir/slicing.cpp.o"
+  "CMakeFiles/amg_place.dir/slicing.cpp.o.d"
+  "libamg_place.a"
+  "libamg_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_prim.dir/primitives.cpp.o"
+  "CMakeFiles/amg_prim.dir/primitives.cpp.o.d"
+  "libamg_prim.a"
+  "libamg_prim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

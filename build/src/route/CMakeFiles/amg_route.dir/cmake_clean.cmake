@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_route.dir/router.cpp.o"
+  "CMakeFiles/amg_route.dir/router.cpp.o.d"
+  "libamg_route.a"
+  "libamg_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_tech.dir/builtin.cpp.o"
+  "CMakeFiles/amg_tech.dir/builtin.cpp.o.d"
+  "CMakeFiles/amg_tech.dir/tech.cpp.o"
+  "CMakeFiles/amg_tech.dir/tech.cpp.o.d"
+  "CMakeFiles/amg_tech.dir/techfile.cpp.o"
+  "CMakeFiles/amg_tech.dir/techfile.cpp.o.d"
+  "libamg_tech.a"
+  "libamg_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amp_test.cpp" "tests/CMakeFiles/amp_test.dir/amp_test.cpp.o" "gcc" "tests/CMakeFiles/amp_test.dir/amp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amp/CMakeFiles/amg_amp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/amg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/modules/CMakeFiles/amg_modules.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/amg_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/amg_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/amg_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/primitives/CMakeFiles/amg_prim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/amg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/amg_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/amg_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amp_test.dir/amp_test.cpp.o"
+  "CMakeFiles/amp_test.dir/amp_test.cpp.o.d"
+  "amp_test"
+  "amp_test.pdb"
+  "amp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_test.dir/compact_test.cpp.o"
+  "CMakeFiles/compact_test.dir/compact_test.cpp.o.d"
+  "compact_test"
+  "compact_test.pdb"
+  "compact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
