@@ -4,29 +4,48 @@
 //
 //   $ ./dsl_runner ../scripts/diffpair.amg
 //   $ ./dsl_runner ../scripts/contact_row.amg out_prefix
+//   $ ./dsl_runner --jobs 4 ../scripts/amplifier.amg
+//
+// --jobs N checks the produced objects' design rules on N threads
+// (0 = all hardware threads; default 1).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "drc/drc.h"
 #include "io/svg.h"
 #include "lang/interp.h"
 #include "tech/builtin.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace amg;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <script.amg> [output-prefix]\n", argv[0]);
+  std::size_t jobs = 1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      jobs = static_cast<std::size_t>(std::atol(argv[i] + 7));
+    else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    else
+      positional.push_back(argv[i]);
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr, "usage: %s [--jobs N] <script.amg> [output-prefix]\n",
+                 argv[0]);
     return 2;
   }
-  std::ifstream f(argv[1]);
+  std::ifstream f(positional[0]);
   if (!f) {
-    std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+    std::fprintf(stderr, "cannot open '%s'\n", positional[0]);
     return 2;
   }
   std::ostringstream src;
   src << f.rdbuf();
-  const std::string prefix = argc > 2 ? argv[2] : "dsl";
+  const std::string prefix = positional.size() > 1 ? positional[1] : "dsl";
 
   const tech::Technology& t = tech::bicmos1u();
   lang::Interpreter in(t);
@@ -40,21 +59,30 @@ int main(int argc, char** argv) {
   for (const std::string& line : in.output()) std::printf("print: %s\n", line.c_str());
 
   std::printf("%-16s %-8s %-18s %s\n", "object", "rects", "size (um)", "drc");
-  // Report every global object the calling sequence produced.
-  for (const auto& [name, v] : in.globals()) {
-    if (v.kind() != lang::Value::Kind::Object) continue;
-    const db::Module& m = v.asObject();
-    drc::CheckOptions opts;
-    opts.latchUp = false;
-    const auto violations = drc::check(m, opts);
-    const Box bb = m.bbox();
+  // Collect the global objects, check them in parallel (each module is an
+  // independent read-only check), then report in name order.
+  std::vector<std::pair<std::string, const db::Module*>> objects;
+  for (const auto& [name, v] : in.globals())
+    if (v.kind() == lang::Value::Kind::Object) objects.emplace_back(name, &v.asObject());
+  std::vector<std::size_t> violationCount(objects.size());
+  util::parallelFor(
+      objects.size(),
+      [&](std::size_t i) {
+        drc::CheckOptions opts;
+        opts.latchUp = false;
+        violationCount[i] = drc::check(*objects[i].second, opts).size();
+      },
+      jobs);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto& [name, m] = objects[i];
+    const Box bb = m->bbox();
     char size[64];
     std::snprintf(size, sizeof size, "%.2f x %.2f",
                   static_cast<double>(bb.width()) / kMicron,
                   static_cast<double>(bb.height()) / kMicron);
-    std::printf("%-16s %-8zu %-18s %s\n", name.c_str(), m.shapeCount(), size,
-                violations.empty() ? "clean" : "VIOLATIONS");
-    io::writeSvg(m, prefix + "_" + name + ".svg");
+    std::printf("%-16s %-8zu %-18s %s\n", name.c_str(), m->shapeCount(), size,
+                violationCount[i] == 0 ? "clean" : "VIOLATIONS");
+    io::writeSvg(*m, prefix + "_" + name + ".svg");
   }
   std::printf("interpreter: %zu statements, %zu entity calls, %zu compactions\n",
               in.stats().statementsExecuted, in.stats().entityCalls,

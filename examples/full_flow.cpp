@@ -8,8 +8,13 @@
 //      and LVS against the intended netlist,
 //   5. export — SVG, CIF and GDSII.
 //
-//   $ ./full_flow
+//   $ ./full_flow [--jobs N]
+//
+// --jobs N runs the §2.4 compaction-order report (stage 1b) on N threads
+// (0 = all hardware threads; default 1).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "db/connectivity.h"
 #include "drc/drc.h"
@@ -20,8 +25,10 @@
 #include "modules/basic.h"
 #include "modules/interdigitated.h"
 #include "modules/resistor.h"
+#include "opt/parallel.h"
 #include "route/router.h"
 #include "tech/builtin.h"
+#include "util/thread_pool.h"
 
 using namespace amg;
 
@@ -47,10 +54,22 @@ Coord pinUp(db::Module& m, const std::string& net, Coord wantX, Coord channelEdg
   return x;
 }
 
+/// Parse `--jobs N` / `--jobs=N`; returns 1 when absent (serial report).
+std::size_t parseJobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+      return static_cast<std::size_t>(std::atol(argv[i] + 7));
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      return static_cast<std::size_t>(std::atol(argv[i + 1]));
+  }
+  return 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const tech::Technology& t = tech::bicmos1u();
+  const std::size_t jobs = parseJobs(argc, argv);
   std::printf("Full flow in %s\n", t.name().c_str());
 
   // --- 1. generation -------------------------------------------------------
@@ -79,6 +98,31 @@ int main() {
               (double)mirror.bbox().width() / kMicron,
               (double)mirror.bbox().height() / kMicron,
               (double)res.bbox().width() / kMicron, (double)res.bbox().height() / kMicron);
+
+  // --- 1b. §2.4 order report: how would these blocks best pack into one
+  // row?  Informational only — the placement below keeps the paper's
+  // stacked arrangement — but it exercises the parallel order search on the
+  // real generated blocks ("--jobs N" distributes the permutation space).
+  {
+    modules::ContactRowSpec bias;
+    bias.l = um(10);
+    bias.net = "bias";
+    opt::BuildPlan row(pair);
+    row.name = "row";
+    row.steps.emplace_back(res, Dir::West);
+    row.steps.emplace_back(mirror, Dir::West);
+    row.steps.emplace_back(modules::contactRow(t, bias), Dir::West);
+    opt::ParallelOptimizeOptions popt;
+    popt.threads = jobs;
+    const opt::OptimizeResult best = opt::optimizeOrderParallel(row, {}, popt);
+    std::string order;
+    for (const std::size_t i : best.order) order += std::to_string(i) + " ";
+    std::printf("  order search (%zu jobs): best row packing %.0f um^2, order [ %s] "
+                "(%zu orders rated, %zu pruned)\n",
+                jobs == 0 ? util::defaultThreadCount() : jobs,
+                best.score / (kMicron * kMicron), order.c_str(), best.evaluated,
+                best.pruned);
+  }
 
   // --- 2. placement: pair and resistor below, mirror above the channel -----
   db::Module top(t, "full_flow");

@@ -7,6 +7,7 @@
 #include "db/connectivity.h"
 #include "geom/contour.h"
 #include "primitives/primitives.h"
+#include "tech/rulecache.h"
 
 namespace amg::compact {
 namespace {
@@ -17,6 +18,7 @@ using db::Shape;
 using db::ShapeId;
 using tech::LayerId;
 using tech::LayerKind;
+using tech::RuleCache;
 using tech::Technology;
 
 constexpr Coord kNone = geom::Envelope::kNone;
@@ -28,20 +30,22 @@ bool layerIgnored(const Options& opt, LayerId l) {
 
 /// The clearance two shapes must keep, or nullopt when they may overlap
 /// freely.  0 means "may abut but not overlap" — used both for the
-/// same-potential merge exemption and for avoid-overlap shapes.
-std::optional<Coord> requiredGap(const Technology& t, const Shape& a, const Shape& b,
+/// same-potential merge exemption and for avoid-overlap shapes.  Queries go
+/// through the flat RuleCache — this is the innermost loop of every
+/// compaction step (shape-pair × search-tree-node in optimization mode).
+std::optional<Coord> requiredGap(const RuleCache& rc, const Shape& a, const Shape& b,
                                  bool sameNet, const Options& opt) {
   const bool ignored = layerIgnored(opt, a.layer) || layerIgnored(opt, b.layer);
   if (a.layer == b.layer) {
     // "Edges on the same potential are not considered during compaction,
     // because they can be merged": stop at abutment instead of the rule.
     if (sameNet || ignored) return 0;
-    if (auto s = t.minSpacing(a.layer, a.layer)) return *s + opt.extraGap;
+    if (auto s = rc.minSpacing(a.layer, a.layer)) return *s + opt.extraGap;
     if (a.avoidOverlap || b.avoidOverlap) return 0;
     return std::nullopt;
   }
   if (ignored) return std::nullopt;
-  if (auto s = t.minSpacing(a.layer, b.layer)) return *s + opt.extraGap;
+  if (auto s = rc.minSpacing(a.layer, b.layer)) return *s + opt.extraGap;
   if (a.avoidOverlap || b.avoidOverlap) return 0;
   return std::nullopt;
 }
@@ -99,7 +103,7 @@ std::vector<NetId> matchNets(const Module& target, const Module& obj) {
 
 std::vector<Constraint> computeConstraints(const Module& target, const Module& obj,
                                            Dir dir, const Options& opt) {
-  const Technology& t = target.technology();
+  const RuleCache& rc = target.technology().rules();
   const std::vector<NetId> netMap = matchNets(target, obj);
   std::vector<Constraint> out;
   for (ShapeId ti : target.shapeIds()) {
@@ -108,7 +112,7 @@ std::vector<Constraint> computeConstraints(const Module& target, const Module& o
       const Shape& os = obj.shape(oi);
       const bool sameNet =
           os.net != db::kNoNet && netMap[os.net] != db::kNoNet && netMap[os.net] == ts.net;
-      const auto gap = requiredGap(t, ts, os, sameNet, opt);
+      const auto gap = requiredGap(rc, ts, os, sameNet, opt);
       if (!gap) continue;
       if (crossGap(dir, ts.box, os.box) >= *gap) continue;  // clear on the cross axis
       const Coord need = stationaryFront(dir, ts.box) + *gap - leadingEdge(dir, os.box);
@@ -150,15 +154,15 @@ void rebuildArraysFor(Module& m, const std::set<ShapeId>& changed) {
 }  // namespace
 
 Coord maxShrink(const Module& m, ShapeId id, Side side) {
-  const Technology& t = m.technology();
+  const RuleCache& rc = m.technology().rules();
   const Shape& s = m.shape(id);
   const bool horizontalEdge = (side == Side::Left || side == Side::Right);
   const Coord axisLen = horizontalEdge ? s.box.width() : s.box.height();
 
   // Cuts are fixed-size; their edges never move.
-  if (t.info(s.layer).kind == LayerKind::Cut) return 0;
+  if (rc.kind(s.layer) == LayerKind::Cut) return 0;
 
-  Coord limit = axisLen - t.findMinWidth(s.layer).value_or(0);
+  Coord limit = axisLen - rc.findMinWidth(s.layer).value_or(0);
 
   // Keep enclosed inbox shapes inside with their margin.
   for (const db::EncloseRecord& enc : m.encloseRecords()) {
@@ -167,7 +171,7 @@ Coord maxShrink(const Module& m, ShapeId id, Side side) {
     // Skip self-records where this shape is the inner as well.
     if (enc.inner == id) continue;
     const Shape& inner = m.shape(enc.inner);
-    const Coord margin = t.enclosure(s.layer, inner.layer).value_or(0);
+    const Coord margin = rc.enclosure(s.layer, inner.layer).value_or(0);
     Coord room = 0;
     switch (side) {
       case Side::Left: room = inner.box.x1 - margin - s.box.x1; break;
@@ -185,8 +189,11 @@ Coord maxShrink(const Module& m, ShapeId id, Side side) {
     if (std::find(rec.containers.begin(), rec.containers.end(), id) ==
         rec.containers.end())
       continue;
-    const auto [cw, ch] = t.cutSize(rec.elemLayer);
-    const Coord margin = t.enclosure(s.layer, rec.elemLayer).value_or(0);
+    const auto cs = rc.findCutSize(rec.elemLayer);
+    // Cache miss means no cut size is registered; the Technology call keeps
+    // the original DesignRuleError diagnostics for that case.
+    const auto [cw, ch] = cs ? *cs : m.technology().cutSize(rec.elemLayer);
+    const Coord margin = rc.enclosure(s.layer, rec.elemLayer).value_or(0);
     const Coord needed = (horizontalEdge ? cw : ch) + 2 * margin;
     limit = std::min(limit, axisLen - needed);
   }
@@ -303,12 +310,12 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
     // compaction if they are on the same potential": extend a stationary
     // shape's facing edge to reach a same-net arrival across the movement
     // axis, when no rule forbids it (Fig. 5a).
-    const Technology& t = target.technology();
+    const RuleCache& rc = target.technology().rules();
     std::set<ShapeId> extended;
     for (ShapeId ni = static_cast<ShapeId>(preMergeCount); ni < target.rawSize(); ++ni) {
       if (!target.isAlive(ni)) continue;
       const Shape arrival = target.shape(ni);
-      if (!t.info(arrival.layer).conducting) continue;
+      if (!rc.conducting(arrival.layer)) continue;
       // Ignored layers were exempted from spacing because their shapes are
       // meant to merge; connect them even without declared potentials.
       const bool ignoredLayer = layerIgnored(options, arrival.layer);
@@ -340,14 +347,13 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
         for (ShapeId ci : target.shapeIds()) {
           if (ci == bi || ci == ni) continue;
           const Shape& c = target.shape(ci);
-          const bool devicePair = t.extension(cand.layer, c.layer).has_value() ||
-                                  t.extension(c.layer, cand.layer).has_value();
-          if (devicePair && cand.box.overlaps(c.box) && !b.box.overlaps(c.box)) {
+          if (rc.formsDevice(cand.layer, c.layer) && cand.box.overlaps(c.box) &&
+              !b.box.overlaps(c.box)) {
             safe = false;
             break;
           }
           const bool sameNet = c.net != db::kNoNet && c.net == cand.net;
-          const auto g = requiredGap(t, c, cand, sameNet, options);
+          const auto g = requiredGap(rc, c, cand, sameNet, options);
           if (!g) continue;
           if (gapX(c.box, cand.box) < *g && gapY(c.box, cand.box) < *g &&
               !(gapX(c.box, b.box) < *g && gapY(c.box, b.box) < *g)) {

@@ -21,6 +21,10 @@
 #include "compact/compactor.h"
 #include "geom/contour.h"
 
+namespace amg::tech {
+class RuleCache;
+}
+
 namespace amg::compact {
 
 class FastCompactor {
@@ -55,6 +59,7 @@ class FastCompactor {
   };
 
   const tech::Technology* tech_;
+  const tech::RuleCache* rules_;  ///< flat rule tables of *tech_, lock-free reads
   Dir dir_;
   std::map<Key, geom::Contour> contours_;
 

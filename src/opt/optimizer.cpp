@@ -5,6 +5,8 @@
 #include <random>
 #include <optional>
 
+#include "opt/search_core.h"
+
 namespace amg::opt {
 
 db::Module execute(const BuildPlan& plan, const std::vector<std::size_t>& order) {
@@ -21,78 +23,77 @@ db::Module execute(const BuildPlan& plan, const std::vector<std::size_t>& order)
   return target;
 }
 
-namespace {
+namespace detail {
 
-struct SearchState {
-  const BuildPlan* plan;
-  const RatingWeights* weights;
-  const OptimizeOptions* options;
+db::Module seedModule(const BuildPlan& plan) {
+  db::Module start(plan.seed.technology(), plan.name);
+  compact::compact(start, plan.seed, Dir::West);
+  return start;
+}
 
-  std::vector<std::size_t> current;
-  std::vector<bool> used;
+void searchSubtree(const BuildPlan& plan, const RatingWeights& weights,
+                   SharedSearch& shared, std::vector<std::size_t>& current,
+                   std::vector<bool>& used, const db::Module& partial,
+                   LocalBest& local) {
+  if (shared.evaluated.load(std::memory_order_relaxed) >= shared.maxOrders) return;
 
-  std::optional<db::Module> best;
-  std::vector<std::size_t> bestOrder;
-  double bestScore = std::numeric_limits<double>::infinity();
-  std::size_t evaluated = 0;
-  std::size_t pruned = 0;
-};
-
-void search(SearchState& st, const db::Module& partial) {
-  if (st.evaluated >= st.options->maxOrders) return;
-
-  if (st.current.size() == st.plan->steps.size()) {
-    const double score = rate(partial, *st.weights);
-    ++st.evaluated;
-    if (!st.best || score < st.bestScore) {
-      st.bestScore = score;
-      st.best = partial;
-      st.bestOrder = st.current;
+  if (current.size() == plan.steps.size()) {
+    // Claim one unit of the rating budget before doing the work.
+    if (shared.evaluated.fetch_add(1, std::memory_order_relaxed) >= shared.maxOrders)
+      return;
+    const double score = rate(partial, weights);
+    shared.publish(score);
+    if (local.accepts(score, current)) {
+      local.score = score;
+      local.best = partial;
+      local.order = current;
     }
     return;
   }
 
   // Admissible lower bound: the area term of the partial build never
   // decreases when further objects are compacted in, and every other
-  // rating term is non-negative.
-  if (st.options->branchAndBound && st.best &&
-      st.weights->areaWeight * static_cast<double>(partial.area()) >= st.bestScore) {
-    ++st.pruned;
+  // rating term is non-negative.  The cut is strict (>) so that orders
+  // *tying* the incumbent are still evaluated — required for the
+  // deterministic lexicographic tie-break (see header).
+  if (shared.branchAndBound &&
+      weights.areaWeight * static_cast<double>(partial.area()) >
+          shared.bestScore.load(std::memory_order_relaxed)) {
+    shared.pruned.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
-  for (std::size_t i = 0; i < st.plan->steps.size(); ++i) {
-    if (st.used[i]) continue;
-    st.used[i] = true;
-    st.current.push_back(i);
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    current.push_back(i);
     db::Module next = partial;
-    const Step& s = st.plan->steps[i];
+    const Step& s = plan.steps[i];
     compact::compact(next, s.object, s.dir, s.options);
-    search(st, next);
-    st.current.pop_back();
-    st.used[i] = false;
-    if (st.evaluated >= st.options->maxOrders) return;
+    searchSubtree(plan, weights, shared, current, used, next, local);
+    current.pop_back();
+    used[i] = false;
+    if (shared.evaluated.load(std::memory_order_relaxed) >= shared.maxOrders) return;
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 OptimizeResult optimizeOrder(const BuildPlan& plan, const RatingWeights& weights,
                              const OptimizeOptions& options) {
-  SearchState st;
-  st.plan = &plan;
-  st.weights = &weights;
-  st.options = &options;
-  st.used.assign(plan.steps.size(), false);
+  detail::SharedSearch shared(options);
+  detail::LocalBest local;
+  std::vector<std::size_t> current;
+  std::vector<bool> used(plan.steps.size(), false);
 
-  db::Module start(plan.seed.technology(), plan.name);
-  compact::compact(start, plan.seed, Dir::West);
-  search(st, start);
+  detail::searchSubtree(plan, weights, shared, current, used,
+                        detail::seedModule(plan), local);
 
-  if (!st.best)
+  if (!local.best)
     throw Error("optimizeOrder: no complete order evaluated (budget too small?)");
-  return OptimizeResult{std::move(*st.best), std::move(st.bestOrder), st.bestScore,
-                        st.evaluated, st.pruned};
+  return OptimizeResult{
+      std::move(*local.best), std::move(local.order), local.score,
+      std::min(shared.evaluated.load(), shared.maxOrders), shared.pruned.load()};
 }
 
 OptimizeResult optimizeOrderStochastic(const BuildPlan& plan,

@@ -1,0 +1,101 @@
+#include "opt/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "opt/search_core.h"
+#include "util/thread_pool.h"
+
+namespace amg::opt {
+namespace {
+
+/// Enumerate all order prefixes of length `depth` in lexicographic order.
+std::vector<std::vector<std::size_t>> prefixes(std::size_t n, std::size_t depth) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> cur;
+  std::vector<bool> used(n, false);
+  auto rec = [&](auto&& self) -> void {
+    if (cur.size() == depth) {
+      out.push_back(cur);
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+      cur.push_back(i);
+      self(self);
+      cur.pop_back();
+      used[i] = false;
+    }
+  };
+  rec(rec);
+  return out;
+}
+
+}  // namespace
+
+OptimizeResult optimizeOrderParallel(const BuildPlan& plan,
+                                     const RatingWeights& weights,
+                                     const ParallelOptimizeOptions& options) {
+  const std::size_t n = plan.steps.size();
+  const std::size_t threads =
+      options.threads == 0 ? util::defaultThreadCount() : options.threads;
+
+  // Degenerate cases: nothing to fan out, or explicitly serial.
+  if (threads <= 1 || n <= 2) return optimizeOrder(plan, weights, options.search);
+
+  // Fan-out depth: expand prefixes until there are enough subtree tasks to
+  // keep every worker busy even when pruning empties some subtrees early.
+  // Depth 2 yields n*(n-1) tasks, plenty for any sane thread count.
+  const std::size_t wantTasks = threads * std::max<std::size_t>(options.minTasksPerThread, 1);
+  const std::size_t depth = n >= wantTasks ? 1 : 2;
+  const auto tasks = prefixes(n, depth);
+
+  detail::SharedSearch shared(options.search);
+  std::vector<detail::LocalBest> results(tasks.size());
+  const db::Module start = detail::seedModule(plan);
+  // Build the rule cache before the workers race for it (the getter is
+  // thread-safe; this just keeps the build out of the measured region).
+  (void)plan.seed.technology().rules();
+
+  std::atomic<std::size_t> nextTask{0};
+  util::ThreadPool pool(std::min(threads, tasks.size()));
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    pool.run([&] {
+      // Each worker claims unstarted subtrees until none remain — the
+      // "work stealing": fast workers drain the queue for slow ones.
+      for (std::size_t t = nextTask.fetch_add(1, std::memory_order_relaxed);
+           t < tasks.size();
+           t = nextTask.fetch_add(1, std::memory_order_relaxed)) {
+        const std::vector<std::size_t>& prefix = tasks[t];
+        std::vector<std::size_t> current;
+        std::vector<bool> used(n, false);
+        db::Module partial = start;  // worker-private copy of the seed
+        for (const std::size_t i : prefix) {
+          const Step& s = plan.steps[i];
+          compact::compact(partial, s.object, s.dir, s.options);
+          current.push_back(i);
+          used[i] = true;
+        }
+        detail::searchSubtree(plan, weights, shared, current, used, partial,
+                              results[t]);
+      }
+    });
+  }
+  pool.wait();
+
+  // Deterministic merge: same (score, lexicographic order) rule as the
+  // in-subtree acceptance, over all subtree winners.
+  detail::LocalBest* win = nullptr;
+  for (detail::LocalBest& r : results) {
+    if (!r.best) continue;
+    if (!win || win->accepts(r.score, r.order)) win = &r;
+  }
+  if (!win)
+    throw Error("optimizeOrderParallel: no complete order evaluated (budget too small?)");
+  return OptimizeResult{
+      std::move(*win->best), std::move(win->order), win->score,
+      std::min(shared.evaluated.load(), shared.maxOrders), shared.pruned.load()};
+}
+
+}  // namespace amg::opt

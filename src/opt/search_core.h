@@ -1,0 +1,78 @@
+// Internal DFS core shared by the serial (optimizer.cpp) and parallel
+// (parallel.cpp) §2.4 order searches.
+//
+// Both engines must return the *same* winner — the lexicographically
+// smallest order among those achieving the minimum score — so the search
+// rules live in one place:
+//
+//  * pruning is strict (cut a partial only when its admissible lower bound
+//    is > the incumbent score, not >=): orders that tie the optimum are
+//    always evaluated, which is what makes the lexicographic tie-break
+//    well-defined under any traversal/thread interleaving;
+//  * candidate acceptance is (score, order) lexicographic: better score
+//    wins, equal score falls back to the smaller order.
+//
+// The incumbent score is a shared atomic so a bound found by one worker
+// prunes the subtrees of all others; workers keep their winning module /
+// order thread-locally and the caller merges with the same (score, order)
+// rule, so the result is deterministic even though counters and pruning
+// opportunities depend on thread timing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "opt/optimizer.h"
+
+namespace amg::opt::detail {
+
+/// Cross-worker search state: the incumbent bound and the global counters.
+/// One instance per optimizeOrder*() call, shared by every subtree task.
+struct SharedSearch {
+  explicit SharedSearch(const OptimizeOptions& o)
+      : maxOrders(o.maxOrders), branchAndBound(o.branchAndBound) {}
+
+  std::atomic<double> bestScore{std::numeric_limits<double>::infinity()};
+  std::atomic<std::size_t> evaluated{0};
+  std::atomic<std::size_t> pruned{0};
+  std::size_t maxOrders;
+  bool branchAndBound;
+
+  /// CAS-min publish of a completed order's score.
+  void publish(double score) {
+    double cur = bestScore.load(std::memory_order_relaxed);
+    while (score < cur &&
+           !bestScore.compare_exchange_weak(cur, score, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// A worker's private best-so-far (module kept out of the shared state so
+/// no lock is needed on the hot path).
+struct LocalBest {
+  std::optional<db::Module> best;
+  std::vector<std::size_t> order;
+  double score = std::numeric_limits<double>::infinity();
+
+  /// The deterministic acceptance rule: better score, or equal score and
+  /// lexicographically smaller order.
+  bool accepts(double s, const std::vector<std::size_t>& o) const {
+    return s < score || (s == score && (!best || o < order));
+  }
+};
+
+/// DFS over all completions of the partial order `current` (whose steps are
+/// flagged in `used` and already compacted into `partial`).  Results go to
+/// `local`; bound and counters through `shared`.
+void searchSubtree(const BuildPlan& plan, const RatingWeights& weights,
+                   SharedSearch& shared, std::vector<std::size_t>& current,
+                   std::vector<bool>& used, const db::Module& partial,
+                   LocalBest& local);
+
+/// The seed-only module every order starts from.
+db::Module seedModule(const BuildPlan& plan);
+
+}  // namespace amg::opt::detail

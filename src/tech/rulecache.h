@@ -1,0 +1,94 @@
+// Memoized rule-query layer over tech::Technology.
+//
+// The successive compactor asks the same layer-pair questions — "what is
+// the minimum spacing between a and b?", "is this layer conducting?" —
+// once per shape pair per compaction step, and the §2.4 optimizer repeats
+// every step under n! orders.  Technology answers from hash maps keyed by
+// packed layer pairs, which is correct but costs a hash + probe per query
+// and is needlessly slow on the innermost loop.
+//
+// RuleCache is a flat, dense, immutable snapshot of those answers: one
+// Coord per (layer, layer) cell with a sentinel for "no rule", one record
+// per layer for width/kind/conductivity/cut size.  It is built once from a
+// finished Technology (see Technology::rules()) and never mutated, so
+// concurrent readers need no synchronisation — the parallel optimizer's
+// workers all read the same cache lock-free.
+//
+// Every accessor is a drop-in for the Technology method of the same name
+// and must return byte-identical results; tests/rulecache_test.cpp checks
+// that equivalence exhaustively for both shipped decks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geom/coord.h"
+#include "tech/tech.h"
+
+namespace amg::tech {
+
+class RuleCache {
+ public:
+  /// Snapshot the rule tables of `t`.  The cache keeps no reference to the
+  /// Technology; it is valid independently of the source object's lifetime.
+  explicit RuleCache(const Technology& t);
+
+  std::size_t layerCount() const { return n_; }
+
+  /// Mirrors Technology::minSpacing (symmetric in a, b).
+  std::optional<Coord> minSpacing(LayerId a, LayerId b) const {
+    return fromCell(spacing_[cell(a, b)]);
+  }
+  /// Mirrors Technology::enclosure (ordered: outer, inner).
+  std::optional<Coord> enclosure(LayerId outer, LayerId inner) const {
+    return fromCell(enclosure_[cell(outer, inner)]);
+  }
+  /// Mirrors Technology::extension (ordered).
+  std::optional<Coord> extension(LayerId a, LayerId b) const {
+    return fromCell(extension_[cell(a, b)]);
+  }
+  /// True when either extension(a, b) or extension(b, a) exists — the
+  /// compactor's "these layers form a device when crossing" test, one load
+  /// instead of two map probes.
+  bool formsDevice(LayerId a, LayerId b) const { return devicePair_[cell(a, b)]; }
+
+  /// Mirrors Technology::findMinWidth (including the cut-size fallback).
+  std::optional<Coord> findMinWidth(LayerId l) const {
+    return fromCell(minWidth_[l]);
+  }
+  /// Mirrors Technology::cutSize for cut layers; std::nullopt otherwise
+  /// (instead of the Technology's throw, so hot paths need no try/catch).
+  std::optional<std::pair<Coord, Coord>> findCutSize(LayerId l) const {
+    if (cutW_[l] == kNoRule) return std::nullopt;
+    return std::make_pair(cutW_[l], cutH_[l]);
+  }
+
+  LayerKind kind(LayerId l) const { return kind_[l]; }
+  bool conducting(LayerId l) const { return conducting_[l]; }
+
+ private:
+  static constexpr Coord kNoRule = std::numeric_limits<Coord>::min();
+
+  std::size_t cell(LayerId a, LayerId b) const {
+    return static_cast<std::size_t>(a) * n_ + b;
+  }
+  static std::optional<Coord> fromCell(Coord c) {
+    if (c == kNoRule) return std::nullopt;
+    return c;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<Coord> spacing_;    // n*n, symmetric
+  std::vector<Coord> enclosure_;  // n*n, ordered (outer, inner)
+  std::vector<Coord> extension_;  // n*n, ordered
+  std::vector<char> devicePair_;  // n*n, extension(a,b) or extension(b,a)
+  std::vector<Coord> minWidth_;   // n
+  std::vector<Coord> cutW_, cutH_;  // n, kNoRule for non-cut layers
+  std::vector<LayerKind> kind_;   // n
+  std::vector<char> conducting_;  // n
+};
+
+}  // namespace amg::tech

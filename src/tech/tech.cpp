@@ -1,8 +1,31 @@
 #include "tech/tech.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "tech/rulecache.h"
 
 namespace amg::tech {
+
+/// One lazily-built cache per rule-table state.  A mutation replaces the
+/// whole slot (never the cache inside a published slot), so readers that
+/// fetched rules() before the mutation keep a consistent snapshot.
+struct Technology::CacheSlot {
+  std::once_flag once;
+  std::unique_ptr<const RuleCache> cache;
+};
+
+Technology::Technology(std::string name)
+    : name_(std::move(name)), cacheSlot_(std::make_shared<CacheSlot>()) {}
+
+const RuleCache& Technology::rules() const {
+  CacheSlot& slot = *cacheSlot_;
+  std::call_once(slot.once,
+                 [&] { slot.cache = std::make_unique<const RuleCache>(*this); });
+  return *slot.cache;
+}
+
+void Technology::invalidateRules() { cacheSlot_ = std::make_shared<CacheSlot>(); }
 
 LayerId Technology::addLayer(LayerInfo info) {
   if (byName_.contains(info.name))
@@ -10,29 +33,38 @@ LayerId Technology::addLayer(LayerInfo info) {
   const LayerId id = static_cast<LayerId>(layers_.size());
   byName_.emplace(info.name, id);
   layers_.push_back(std::move(info));
+  invalidateRules();
   return id;
 }
 
-void Technology::setMinWidth(LayerId l, Coord w) { minWidth_[l] = w; }
+void Technology::setMinWidth(LayerId l, Coord w) {
+  minWidth_[l] = w;
+  invalidateRules();
+}
 
 void Technology::setMinSpacing(LayerId a, LayerId b, Coord s) {
   spacing_[pairKey(a, b)] = s;
+  invalidateRules();
 }
 
 void Technology::setEnclosure(LayerId outer, LayerId inner, Coord e) {
   enclosure_[orderedKey(outer, inner)] = e;
+  invalidateRules();
 }
 
 void Technology::setExtension(LayerId a, LayerId b, Coord e) {
   extension_[orderedKey(a, b)] = e;
+  invalidateRules();
 }
 
 void Technology::setCutSize(LayerId cut, Coord w, Coord h) {
   cutSize_[cut] = {w, h};
+  invalidateRules();
 }
 
 void Technology::addCutConnection(LayerId cut, LayerId a, LayerId b) {
   cutConns_.push_back(CutConn{cut, a, b});
+  invalidateRules();
 }
 
 LayerId Technology::layer(std::string_view name) const {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,6 +18,8 @@
 #include "geom/coord.h"
 
 namespace amg::tech {
+
+class RuleCache;
 
 /// Index into the technology's layer table.
 using LayerId = std::uint16_t;
@@ -58,7 +62,7 @@ struct LayerInfo {
 class Technology {
  public:
   /// --- construction (used by deck builders and the tech-file parser) ---
-  explicit Technology(std::string name) : name_(std::move(name)) {}
+  explicit Technology(std::string name);
 
   LayerId addLayer(LayerInfo info);
   void setMinWidth(LayerId l, Coord w);
@@ -124,6 +128,14 @@ class Technology {
   /// same electrical node *by construction* (same conducting layer).
   bool sameConductor(LayerId a, LayerId b) const { return a == b; }
 
+  /// The memoized flat rule table (rulecache.h), built on first call.
+  /// Every rule mutation invalidates it; the returned reference stays valid
+  /// until the next mutation or the Technology's destruction.  Safe to call
+  /// from several threads concurrently; reads on the returned RuleCache are
+  /// lock-free, so hot paths should fetch the reference once and query it
+  /// directly.
+  const RuleCache& rules() const;
+
  private:
   static std::uint32_t pairKey(LayerId a, LayerId b) {
     if (a > b) std::swap(a, b);
@@ -148,6 +160,13 @@ class Technology {
   Coord latchUpRadius_ = 0;
   LayerId guardLayer_ = kNoLayer;
   LayerId tieLayer_ = kNoLayer;
+
+  // Lazily-built rule cache.  The slot is shared on copy (the cache is an
+  // immutable snapshot, so sharing is sound) and replaced wholesale by
+  // every rule mutation (copy-on-invalidate keeps copies independent).
+  struct CacheSlot;
+  void invalidateRules();
+  mutable std::shared_ptr<CacheSlot> cacheSlot_;
 };
 
 }  // namespace amg::tech

@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace amg::util {
+
+std::size_t defaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? defaultThreadCount() : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lk(mu_);
+    // Let outstanding jobs finish, then stop the workers.
+    allDone_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+    stopping_ = true;
+  }
+  workReady_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run(std::function<void()> job) {
+  {
+    std::scoped_lock lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  workReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lk(mu_);
+  allDone_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+  if (firstError_) {
+    std::exception_ptr e = firstError_;
+    firstError_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk(mu_);
+      workReady_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::scoped_lock lk(mu_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lk(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 std::size_t threads) {
+  if (n == 0) return;
+  const std::size_t t = threads == 0 ? defaultThreadCount() : threads;
+  if (t <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  ThreadPool pool(std::min(t, n));
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    pool.run([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed))
+        fn(i);
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace amg::util

@@ -1,0 +1,78 @@
+// A small fixed-size thread pool with a shared work queue.
+//
+// Built for the §2.4 parallel optimizer (opt/parallel.*): the permutation
+// search fans disjoint subtrees out as jobs, and idle workers pull the next
+// unclaimed subtree from the shared queue — the work-stealing effect
+// (fast-finishing workers absorb the remaining work) without per-worker
+// deques, which the handful-of-coarse-jobs workload does not need.  Also
+// used by the examples to parallelise per-object DRC sweeps.
+//
+// Semantics:
+//  * run() enqueues a job; any idle worker executes it.
+//  * wait() blocks until every enqueued job has finished (queue drained AND
+//    no job still running), then returns.  The pool stays usable for more
+//    rounds of run()/wait().
+//  * Exceptions thrown by a job are captured; wait() rethrows the first one
+//    (by enqueue round) after all jobs settled, so a failing search does
+//    not leak detached work.
+//  * The destructor drains outstanding jobs (equivalent to wait(), but
+//    swallows exceptions) and joins the workers.
+//
+// The pool itself is not thread-safe for concurrent run()/wait() from
+// *several* controller threads; one controller + N workers is the model.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amg::util {
+
+/// Number of workers to use when the caller passes 0 ("pick for me"):
+/// std::thread::hardware_concurrency(), at least 1.
+std::size_t defaultThreadCount();
+
+class ThreadPool {
+ public:
+  /// Start `threads` workers (0 = defaultThreadCount()).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue one job.
+  void run(std::function<void()> job);
+
+  /// Block until all enqueued jobs have completed; rethrows the first
+  /// captured job exception, if any.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable workReady_;   // queue_ non-empty or stopping_
+  std::condition_variable allDone_;     // queue_ empty and running_ == 0
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr firstError_;
+};
+
+/// Run fn(0..n-1) across a transient pool of `threads` workers (0 = pick;
+/// a single worker or n <= 1 degenerates to an inline loop).  Iterations
+/// are claimed dynamically, one index at a time, so uneven iteration costs
+/// balance across workers.  Rethrows the first job exception.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 std::size_t threads = 0);
+
+}  // namespace amg::util

@@ -1,0 +1,261 @@
+// Tests for the parallel §2.4 order search (opt/parallel.h) and the
+// util::ThreadPool underneath it.
+//
+// The central contract: optimizeOrderParallel() returns the SAME winning
+// order and score as optimizeOrder() — the lexicographically smallest
+// order among those achieving the minimum score — for any thread count,
+// whenever the budget does not bind.  Exercised on plans of different
+// character, including one whose steps are produced by DSL entities with
+// VARIANT backtracking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "lang/interp.h"
+#include "modules/basic.h"
+#include "opt/parallel.h"
+#include "tech/builtin.h"
+#include "util/thread_pool.h"
+
+namespace amg::opt {
+namespace {
+
+using db::Module;
+using db::makeShape;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+Module rect(const char* layer, Box b, const char* net = "") {
+  Module m(T());
+  m.addShape(makeShape(b, T().layer(layer), m.net(net)));
+  return m;
+}
+
+/// Plan 1: mixed-aspect rectangles from alternating directions — the
+/// order-sensitive workload of the optimizer bench.
+BuildPlan mixedRectPlan(int steps) {
+  BuildPlan plan(rect("metal1", Box{0, 0, 4000, 4000}, "seed"));
+  plan.name = "mixed";
+  for (int i = 0; i < steps; ++i) {
+    const bool wide = i % 2 == 0;
+    const Coord a = wide ? 12000 + 2000 * i : 1600;
+    const Coord b = wide ? 1600 : 8000 + 2000 * i;
+    plan.steps.emplace_back(rect("metal1", Box{0, 0, a, b},
+                                 ("n" + std::to_string(i)).c_str()),
+                            wide ? Dir::South : Dir::West);
+  }
+  return plan;
+}
+
+/// Plan 2: real module-library objects (transistor + contact rows), the
+/// Fig. 6 diff-pair construction as a permutable plan.
+BuildPlan diffPairPlan() {
+  modules::MosSpec mos;
+  mos.w = um(10);
+  mos.l = um(2);
+  Module trans = modules::mosTransistor(T(), mos);
+
+  modules::ContactRowSpec row;
+  row.layer = "pdiff";
+  row.l = um(10);
+  Module diffcon = modules::contactRow(T(), row);
+
+  BuildPlan plan(trans);
+  plan.name = "diffpair";
+  compact::Options ignoreDiff;
+  ignoreDiff.ignoreLayers = {T().layer("pdiff")};
+  plan.steps.emplace_back(trans, Dir::West, ignoreDiff);
+  plan.steps.emplace_back(diffcon, Dir::West, ignoreDiff);
+  plan.steps.emplace_back(diffcon, Dir::East, ignoreDiff);
+  plan.steps.emplace_back(Module(diffcon), Dir::South);
+  return plan;
+}
+
+/// Plan 3: steps produced by DSL entities with VARIANT backtracking — the
+/// small budget forces the first branch to ERROR and roll back (§2.1).
+BuildPlan variantPlan() {
+  const char* src = R"(
+ENT Pad(budget)
+  VARIANT
+    IF budget < 8 THEN
+      ERROR("not enough width for the flat variant")
+    ENDIF
+    INBOX("metal1", budget, 2)
+    INBOX("metal2")
+    ARRAY("via")
+  OR
+    INBOX("metal1", 2, 8)
+    INBOX("metal2")
+    ARRAY("via")
+  ENDVARIANT
+)";
+  lang::Interpreter in(T());
+  in.load(src);
+
+  // budget=3 backtracks into the tall variant, budget=12 keeps the flat one.
+  Module tall = in.instantiate("Pad", {{"budget", lang::Value::number(3)}});
+  Module flat = in.instantiate("Pad", {{"budget", lang::Value::number(12)}});
+
+  BuildPlan plan(rect("metal1", Box{0, 0, 3000, 3000}, "seed"));
+  plan.name = "variants";
+  plan.steps.emplace_back(tall, Dir::West);
+  plan.steps.emplace_back(flat, Dir::South);
+  plan.steps.emplace_back(tall, Dir::West);
+  plan.steps.emplace_back(flat, Dir::West);
+  return plan;
+}
+
+void expectSameWinner(const BuildPlan& plan, std::size_t threads,
+                      const RatingWeights& weights = {}) {
+  const OptimizeResult serial = optimizeOrder(plan, weights);
+  ParallelOptimizeOptions popt;
+  popt.threads = threads;
+  const OptimizeResult par = optimizeOrderParallel(plan, weights, popt);
+  EXPECT_EQ(par.order, serial.order) << plan.name << " @" << threads << " threads";
+  EXPECT_DOUBLE_EQ(par.score, serial.score) << plan.name;
+  EXPECT_EQ(par.best.area(), serial.best.area()) << plan.name;
+  EXPECT_EQ(par.best.shapeCount(), serial.best.shapeCount()) << plan.name;
+}
+
+TEST(ParallelOptimizer, MatchesSerialOnMixedRectPlan) {
+  const BuildPlan plan = mixedRectPlan(5);
+  for (const std::size_t threads : {1u, 2u, 3u, 4u}) expectSameWinner(plan, threads);
+}
+
+TEST(ParallelOptimizer, MatchesSerialOnDiffPairPlan) {
+  const BuildPlan plan = diffPairPlan();
+  for (const std::size_t threads : {2u, 4u}) expectSameWinner(plan, threads);
+}
+
+TEST(ParallelOptimizer, MatchesSerialOnVariantBacktrackingPlan) {
+  const BuildPlan plan = variantPlan();
+  for (const std::size_t threads : {2u, 4u}) expectSameWinner(plan, threads);
+}
+
+TEST(ParallelOptimizer, MatchesSerialWithElectricalWeights) {
+  RatingWeights w;
+  w.capWeight = 0.5;
+  w.netWeights["n0"] = 4.0;
+  expectSameWinner(mixedRectPlan(4), 4, w);
+}
+
+TEST(ParallelOptimizer, MatchesSerialWithoutBranchAndBound) {
+  const BuildPlan plan = mixedRectPlan(4);
+  const OptimizeResult serial = optimizeOrder(plan);
+  ParallelOptimizeOptions popt;
+  popt.threads = 4;
+  popt.search.branchAndBound = false;
+  const OptimizeResult par = optimizeOrderParallel(plan, {}, popt);
+  EXPECT_EQ(par.order, serial.order);
+  EXPECT_DOUBLE_EQ(par.score, serial.score);
+  // Without pruning the parallel engine rates every order exactly once.
+  EXPECT_EQ(par.evaluated, 24u);  // 4!
+  EXPECT_EQ(par.pruned, 0u);
+}
+
+TEST(ParallelOptimizer, RepeatedRunsAreDeterministic) {
+  const BuildPlan plan = mixedRectPlan(5);
+  ParallelOptimizeOptions popt;
+  popt.threads = 4;
+  const OptimizeResult first = optimizeOrderParallel(plan, {}, popt);
+  for (int i = 0; i < 3; ++i) {
+    const OptimizeResult again = optimizeOrderParallel(plan, {}, popt);
+    EXPECT_EQ(again.order, first.order);
+    EXPECT_DOUBLE_EQ(again.score, first.score);
+  }
+}
+
+TEST(ParallelOptimizer, TieBreakIsLexicographic) {
+  // Four identical steps: every order scores the same, so the winner must
+  // be the identity permutation — under both engines.
+  BuildPlan plan(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  for (int i = 0; i < 4; ++i)
+    plan.steps.emplace_back(
+        rect("metal1", Box{0, 0, 2000, 2000}, ("n" + std::to_string(i)).c_str()),
+        Dir::West);
+  const std::vector<std::size_t> identity{0, 1, 2, 3};
+  EXPECT_EQ(optimizeOrder(plan).order, identity);
+  ParallelOptimizeOptions popt;
+  popt.threads = 4;
+  EXPECT_EQ(optimizeOrderParallel(plan, {}, popt).order, identity);
+}
+
+TEST(ParallelOptimizer, EmptyAndTinyPlansDegradeGracefully) {
+  BuildPlan empty(rect("metal1", Box{0, 0, 2000, 2000}, "s"));
+  ParallelOptimizeOptions popt;
+  popt.threads = 4;
+  const OptimizeResult r = optimizeOrderParallel(empty, {}, popt);
+  EXPECT_EQ(r.best.shapeCount(), 1u);
+  EXPECT_TRUE(r.order.empty());
+
+  expectSameWinner(mixedRectPlan(1), 4);
+  expectSameWinner(mixedRectPlan(2), 4);
+}
+
+TEST(ParallelOptimizer, BudgetIsRespected) {
+  BuildPlan plan = mixedRectPlan(5);
+  ParallelOptimizeOptions popt;
+  popt.threads = 4;
+  popt.search.maxOrders = 10;
+  popt.search.branchAndBound = false;
+  const OptimizeResult r = optimizeOrderParallel(plan, {}, popt);
+  EXPECT_LE(r.evaluated, 10u);
+  EXPECT_GE(r.evaluated, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllJobs) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.run([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.run([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsJobException) {
+  util::ThreadPool pool(2);
+  pool.run([] { throw Error("job failed"); });
+  EXPECT_THROW(pool.wait(), Error);
+  // The error is consumed; the pool keeps working.
+  std::atomic<int> count{0};
+  pool.run([&] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  util::parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForInlineWhenSingleThreaded) {
+  std::set<std::size_t> seen;  // unsynchronised: relies on the inline path
+  util::parallelFor(16, [&](std::size_t i) { seen.insert(i); }, 1);
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(util::defaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace amg::opt
