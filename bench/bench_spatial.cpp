@@ -1,0 +1,276 @@
+// E11: the shared spatial index vs. the brute-force scans it replaced.
+//
+// The compactor's constraint generation, the DRC spacing/enclosure checks
+// and the connectivity extractor were all O(n²) rectangle scans; each now
+// enumerates candidates through geom::SpatialIndex.  This bench times both
+// engines of every consumer on synthetic layouts up to ~10⁴ shapes,
+// verifies the results are identical (the determinism contract — the
+// indexed engine is not allowed to trade accuracy for speed), checks the
+// ≥5x speedup requirement at the largest size, and emits the raw numbers
+// as BENCH_spatial.json for the CI trend.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compact/compactor.h"
+#include "db/connectivity.h"
+#include "drc/drc.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+const tech::Technology& T() { return tech::bicmos1u(); }
+
+double msSince(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0).count();
+}
+
+struct Sample {
+  std::string workload;
+  std::size_t n;
+  std::string engine;
+  double wallMs;
+};
+
+std::vector<Sample> samples;
+bool allIdentical = true;
+
+void record(const std::string& workload, std::size_t n, const std::string& engine,
+            double wallMs) {
+  samples.push_back(Sample{workload, n, engine, wallMs});
+  std::printf("%-12s n=%6zu  %-8s %10.1f ms\n", workload.c_str(), n, engine.c_str(),
+              wallMs);
+  std::fflush(stdout);
+}
+
+void checkIdentical(bool same, const char* what) {
+  if (!same) {
+    allIdentical = false;
+    std::printf("  *** EQUIVALENCE VIOLATION: %s differ between engines ***\n", what);
+  }
+}
+
+/// A contact-array-style grid: side×side cells of a metal1 pad plus a poly
+/// stub; every other row's pads are widened to abut (long connectivity
+/// chains, the hard case for the union-find sweep).
+db::Module gridModule(int side) {
+  db::Module m(T(), "grid");
+  const Coord pitch = 5000;
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      const Coord x = i * pitch, y = j * pitch;
+      const Coord w = (j % 2 == 0) ? pitch : 2000;  // even rows abut
+      m.addShape(db::makeShape(Box::fromSize(x, y, w, 2000), T().layer("metal1")));
+      m.addShape(
+          db::makeShape(Box::fromSize(x + 300, y + 2600, 1200, 2000), T().layer("poly")));
+    }
+  }
+  return m;
+}
+
+/// One rigid tile of the successive-compaction workload: a k×k checker of
+/// metal1/metal2 squares on a private net.  Compaction only translates
+/// along the movement axis, so each tile is pre-placed in its column;
+/// Dir::South stacks it onto the column front and the structure grows as a
+/// dense cols×(tiles/cols) grid — the shape of a tiled module build, and
+/// the situation cross-band pruning is for (a band holds one column, not
+/// the whole structure).  Private nets keep auto-connect quiet: heavy
+/// same-net extension chains need unboundable windows no index can prune,
+/// and are covered by the equivalence tests instead.
+db::Module tileObject(int k, int idx, int cols) {
+  db::Module o(T(), "tile");
+  const Coord x0 = (idx % cols) * (k * 4000 + 4000);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j)
+      o.addShape(db::makeShape(Box::fromSize(x0 + i * 4000, j * 4000, 2500, 2500),
+                               T().layer((i + j) % 2 ? "metal2" : "metal1"),
+                               o.net("t" + std::to_string(idx))));
+  return o;
+}
+
+bool identicalModules(const db::Module& a, const db::Module& b) {
+  if (a.rawSize() != b.rawSize()) return false;
+  for (db::ShapeId id = 0; id < a.rawSize(); ++id) {
+    if (a.isAlive(id) != b.isAlive(id)) return false;
+    if (a.isAlive(id) && (a.shape(id).box != b.shape(id).box ||
+                          a.shape(id).layer != b.shape(id).layer))
+      return false;
+  }
+  return true;
+}
+
+void benchDrc(int side) {
+  const db::Module m = gridModule(side);
+  drc::CheckOptions opt;
+  opt.latchUp = false;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const auto vi = drc::check(m, opt);
+  record("drc", m.shapeCount(), "indexed", msSince(t0));
+
+  opt.bruteForce = true;
+  t0 = std::chrono::steady_clock::now();
+  const auto vb = drc::check(m, opt);
+  record("drc", m.shapeCount(), "brute", msSince(t0));
+
+  bool same = vi.size() == vb.size();
+  for (std::size_t i = 0; same && i < vi.size(); ++i)
+    same = vi[i].kind == vb[i].kind && vi[i].a == vb[i].a && vi[i].b == vb[i].b &&
+           vi[i].where == vb[i].where && vi[i].message == vb[i].message;
+  checkIdentical(same, "DRC violation lists");
+}
+
+void benchConnectivity(int side) {
+  const db::Module m = gridModule(side);
+
+  auto t0 = std::chrono::steady_clock::now();
+  const db::Connectivity ci(m, db::Connectivity::Engine::Indexed);
+  record("connectivity", m.shapeCount(), "indexed", msSince(t0));
+
+  t0 = std::chrono::steady_clock::now();
+  const db::Connectivity cb(m, db::Connectivity::Engine::BruteForce);
+  record("connectivity", m.shapeCount(), "brute", msSince(t0));
+
+  checkIdentical(ci.componentCount() == cb.componentCount() &&
+                     ci.components() == cb.components(),
+                 "connectivity components");
+}
+
+void benchCompactor(int tiles, int k) {
+  const int cols = std::max(1, static_cast<int>(std::sqrt(tiles)));
+  std::vector<db::Module> objs;
+  for (int i = 0; i < tiles; ++i) objs.push_back(tileObject(k, i, cols));
+  const std::size_t n = static_cast<std::size_t>(tiles) * k * k;
+
+  // Both engines drive the same successive-compaction session; only the
+  // pair enumeration differs (the brute session keeps no index at all).
+  auto run = [&](compact::Engine engine, db::Module& out) {
+    compact::Options opt;
+    opt.engine = engine;
+    const auto t0 = std::chrono::steady_clock::now();
+    compact::Compactor session(out, opt);
+    for (int i = 0; i < tiles; ++i)
+      session.compact(objs[static_cast<std::size_t>(i)], Dir::South);
+    return msSince(t0);
+  };
+
+  db::Module mi(T(), "t");
+  record("compactor", n, "indexed", run(compact::Engine::Indexed, mi));
+  db::Module mb(T(), "t");
+  record("compactor", n, "brute", run(compact::Engine::BruteForce, mb));
+
+  bool same = identicalModules(mi, mb);
+  if (tiles <= 64) {
+    // The session must also match the one-shot free function exactly.
+    db::Module mf(T(), "t");
+    for (int i = 0; i < tiles; ++i)
+      compact::compact(mf, objs[static_cast<std::size_t>(i)], Dir::South);
+    same = same && identicalModules(mi, mf);
+  }
+  checkIdentical(same, "compacted layouts");
+}
+
+double wallAt(const std::string& workload, const std::string& engine, std::size_t n) {
+  for (const Sample& s : samples)
+    if (s.workload == workload && s.engine == engine && s.n == n) return s.wallMs;
+  return -1.0;
+}
+
+/// Speedup at the largest size where both engines were run head-to-head.
+double speedupOf(const std::string& workload) {
+  std::size_t n = 0;
+  for (const Sample& s : samples)
+    if (s.workload == workload && s.engine == "brute" && s.n > n) n = s.n;
+  if (n == 0) return 0.0;
+  return wallAt(workload, "brute", n) / wallAt(workload, "indexed", n);
+}
+
+void writeJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"spatial\",\n  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"n\": %zu, \"engine\": \"%s\", "
+                 "\"wall_ms\": %.3f}%s\n",
+                 s.workload.c_str(), s.n, s.engine.c_str(), s.wallMs,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"identical_results\": %s\n}\n",
+               allIdentical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+void reportE11() {
+  std::printf("=== E11: shared spatial index vs brute-force scans ===\n\n");
+
+  for (const int side : {23, 71}) {  // ~1.1e3 and ~1.0e4 shapes
+    benchDrc(side);
+    benchConnectivity(side);
+  }
+  benchCompactor(40, 5);   // 1.0e3 shapes
+  benchCompactor(104, 5);  // 2.6e3 shapes
+  benchCompactor(400, 5);  // 1.0e4 shapes
+
+  std::printf("\nspeedups at the largest head-to-head size:\n");
+  bool fast = true;
+  for (const char* w : {"drc", "connectivity", "compactor"}) {
+    const double ratio = speedupOf(w);
+    std::printf("  %-12s %6.1fx\n", w, ratio);
+    if (ratio < 5.0) fast = false;
+  }
+  std::printf("\nequivalence self-checks: %s\n", allIdentical ? "ok" : "FAILED");
+  std::printf(">=5x speedup requirement: %s\n", fast ? "PASS" : "FAIL");
+
+  writeJson("BENCH_spatial.json");
+}
+
+void BM_DrcIndexed(benchmark::State& state) {
+  const db::Module m = gridModule(static_cast<int>(state.range(0)));
+  drc::CheckOptions opt;
+  opt.latchUp = false;
+  for (auto _ : state) benchmark::DoNotOptimize(drc::check(m, opt));
+}
+BENCHMARK(BM_DrcIndexed)->Arg(23)->Arg(45)->Unit(benchmark::kMillisecond);
+
+void BM_DrcBrute(benchmark::State& state) {
+  const db::Module m = gridModule(static_cast<int>(state.range(0)));
+  drc::CheckOptions opt;
+  opt.latchUp = false;
+  opt.bruteForce = true;
+  for (auto _ : state) benchmark::DoNotOptimize(drc::check(m, opt));
+}
+BENCHMARK(BM_DrcBrute)->Arg(23)->Arg(45)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectivityIndexed(benchmark::State& state) {
+  const db::Module m = gridModule(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(db::Connectivity(m, db::Connectivity::Engine::Indexed));
+}
+BENCHMARK(BM_ConnectivityIndexed)->Arg(23)->Arg(45)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectivityBrute(benchmark::State& state) {
+  const db::Module m = gridModule(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(db::Connectivity(m, db::Connectivity::Engine::BruteForce));
+}
+BENCHMARK(BM_ConnectivityBrute)->Arg(23)->Arg(45)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reportE11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

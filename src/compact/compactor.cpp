@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "db/connectivity.h"
 #include "geom/contour.h"
+#include "geom/spatial.h"
 #include "primitives/primitives.h"
 #include "tech/rulecache.h"
 
@@ -122,6 +124,66 @@ std::vector<Constraint> computeConstraints(const Module& target, const Module& o
   return out;
 }
 
+/// A query window covering everything within `halo` of `b` on the cross
+/// axis of `dir`, unbounded along the movement axis: a constraint exists
+/// regardless of how far along the movement axis the pair sits, so the
+/// index may prune on the cross axis only (SpatialIndex clamps the
+/// unbounded axis to its content bounds).
+Box crossBand(Dir d, const Box& b, Coord halo) {
+  constexpr Coord kFar = std::numeric_limits<Coord>::max() / 2;
+  if (isHorizontal(d)) return Box{-kFar, b.y1 - halo, kFar, b.y2 + halo};
+  return Box{b.x1 - halo, -kFar, b.x2 + halo, kFar};
+}
+
+/// The index over the stationary target used by one compact() call.  Built
+/// once up front; it stays valid through the variable-edge loop because
+/// edges only ever *shrink* there (a stale larger box makes the candidate
+/// set a superset, and the exact rule test runs on current boxes).
+geom::SpatialIndex buildTargetIndex(const Module& target) {
+  geom::SpatialIndex idx;
+  for (ShapeId id : target.shapeIds())
+    idx.insert(id, target.shape(id).layer, target.shape(id).box);
+  return idx;
+}
+
+/// Index-pruned twin of computeConstraints(): candidate targets come from a
+/// cross-axis band query with the per-layer max-rule halo, then the exact
+/// brute-force predicate runs on each candidate.  Output is re-sorted to
+/// the brute-force (target, object) pair order so downstream variable-edge
+/// shrinking is byte-identical.
+std::vector<Constraint> computeConstraintsIndexed(const Module& target,
+                                                  const Module& obj, Dir dir,
+                                                  const Options& opt,
+                                                  const geom::SpatialIndex& idx) {
+  const RuleCache& rc = target.technology().rules();
+  const std::vector<NetId> netMap = matchNets(target, obj);
+  std::vector<Constraint> out;
+  std::vector<std::uint32_t> cand;
+  for (ShapeId oi : obj.shapeIds()) {
+    const Shape& os = obj.shape(oi);
+    const Coord halo = std::max<Coord>(0, rc.maxSpacing(os.layer) + opt.extraGap);
+    idx.query(crossBand(dir, os.box, halo), cand);
+    for (const std::uint32_t ti : cand) {
+      // A session-held index keeps ids retired by array rebuilds; brute
+      // force iterates shapeIds(), which is alive-only.
+      if (!target.isAlive(ti)) continue;
+      const Shape& ts = target.shape(ti);
+      const bool sameNet =
+          os.net != db::kNoNet && netMap[os.net] != db::kNoNet && netMap[os.net] == ts.net;
+      const auto gap = requiredGap(rc, ts, os, sameNet, opt);
+      if (!gap) continue;
+      if (crossGap(dir, ts.box, os.box) >= *gap) continue;
+      const Coord need = stationaryFront(dir, ts.box) + *gap - leadingEdge(dir, os.box);
+      out.push_back(Constraint{need, ti, oi});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Constraint& a, const Constraint& b) {
+    return a.targetShape != b.targetShape ? a.targetShape < b.targetShape
+                                          : a.objShape < b.objShape;
+  });
+  return out;
+}
+
 /// Fallback when nothing constrains the object: abut the bounding boxes.
 Coord bboxAbutTranslation(const Module& target, const Module& obj, Dir dir) {
   const Box tb = target.bboxAll();
@@ -141,13 +203,47 @@ void shrinkEdge(Module& m, ShapeId id, Side s, Coord d) {
   }
 }
 
-void rebuildArraysFor(Module& m, const std::set<ShapeId>& changed) {
+/// Exact auto-connect safety test over one candidate list: extending `b` to
+/// `cand` must not create a device crossing or a rule violation against any
+/// listed shape.  Shared by the brute-force path (list = all shape ids) and
+/// the indexed path (list = halo query around the extension).
+bool extensionSafe(const Module& target, const RuleCache& rc, const Options& options,
+                   ShapeId bi, ShapeId ni, const Shape& b, const Shape& cand,
+                   const std::vector<ShapeId>& candidates) {
+  for (ShapeId ci : candidates) {
+    if (ci == bi || ci == ni) continue;
+    const Shape& c = target.shape(ci);
+    if (rc.formsDevice(cand.layer, c.layer) && cand.box.overlaps(c.box) &&
+        !b.box.overlaps(c.box))
+      return false;
+    const bool sameNet = c.net != db::kNoNet && c.net == cand.net;
+    const auto g = requiredGap(rc, c, cand, sameNet, options);
+    if (!g) continue;
+    if (gapX(c.box, cand.box) < *g && gapY(c.box, cand.box) < *g &&
+        !(gapX(c.box, b.box) < *g && gapY(c.box, b.box) < *g))
+      return false;
+  }
+  return true;
+}
+
+void rebuildArraysFor(Module& m, const std::set<ShapeId>& changed,
+                      geom::SpatialIndex* idx = nullptr) {
   if (changed.empty()) return;
   for (db::ArrayRecord& rec : m.arrayRecords()) {
     const bool affected = std::any_of(
         rec.containers.begin(), rec.containers.end(),
         [&](ShapeId id) { return changed.count(id) != 0; });
-    if (affected) prim::rebuildArray(m, rec);
+    if (!affected) continue;
+    prim::rebuildArray(m, rec);
+    if (!idx) continue;
+    // Keep a live index a superset across the rebuild: it may grow
+    // containers in place and replaces the cut elements with fresh ids.
+    // Retired ids linger in the index; indexed candidate loops filter on
+    // isAlive (the brute-force lists are alive-only by construction).
+    for (ShapeId id : rec.containers)
+      idx->insert(id, m.shape(id).layer, m.shape(id).box);
+    for (ShapeId id : rec.elems)
+      idx->insert(id, m.shape(id).layer, m.shape(id).box);
   }
 }
 
@@ -203,14 +299,27 @@ Coord maxShrink(const Module& m, ShapeId id, Side side) {
 
 Coord requiredTranslation(const Module& target, const Module& obj, Dir dir,
                           const Options& options) {
-  const auto cons = computeConstraints(target, obj, dir, options);
+  std::vector<Constraint> cons;
+  if (options.engine == Engine::Indexed) {
+    const geom::SpatialIndex idx = buildTargetIndex(target);
+    cons = computeConstraintsIndexed(target, obj, dir, options, idx);
+  } else {
+    cons = computeConstraints(target, obj, dir, options);
+  }
   Coord best = kNone;
   for (const Constraint& c : cons) best = std::max(best, c.need);
   return best;
 }
 
-Result compact(db::Module& target, const db::Module& obj, Dir dir,
-               const Options& options) {
+namespace {
+
+/// The body shared by the free function and the Compactor session.  When
+/// `session` is non-null it is the caller's live index over `target` and is
+/// maintained through every mutation this call makes (so it stays valid for
+/// the next call); otherwise a throwaway index is built when the engine
+/// asks for one.
+Result compactImpl(db::Module& target, const db::Module& obj, Dir dir,
+                   const Options& options, geom::SpatialIndex* session) {
   if (&target.technology() != &obj.technology())
     throw Error("compact: object and target use different technologies");
 
@@ -220,6 +329,9 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
   // data structure."
   if (target.shapeCount() == 0) {
     res.idMap = target.merge(obj, geom::Transform{});
+    if (session)
+      for (ShapeId id : target.shapeIds())
+        session->insert(id, target.shape(id).layer, target.shape(id).box);
     return res;
   }
 
@@ -227,9 +339,22 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
   std::set<ShapeId> changedTarget;
   std::set<ShapeId> changedWork;
 
+  // Pick the target index: the session's live one, or a snapshot built
+  // once for this call.  Either stays conservative through the auto-expand
+  // loop below, which only shrinks edges (no per-iteration rescan).
+  const bool indexed = options.engine == Engine::Indexed;
+  std::optional<geom::SpatialIndex> local;
+  geom::SpatialIndex* tidx = session;
+  if (indexed && !tidx) {
+    local.emplace(buildTargetIndex(target));
+    tidx = &*local;
+  }
+
   Coord tc = kNone;
   for (int iter = 0; iter < 64; ++iter) {
-    const auto cons = computeConstraints(target, work, dir, options);
+    const auto cons = indexed
+                          ? computeConstraintsIndexed(target, work, dir, options, *tidx)
+                          : computeConstraints(target, work, dir, options);
     if (cons.empty()) {
       tc = bboxAbutTranslation(target, work, dir);
       break;
@@ -296,13 +421,14 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
   if (tc == kNone) tc = bboxAbutTranslation(target, work, dir);
 
   // "The objects affected by the movement are rebuilt automatically."
-  rebuildArraysFor(target, changedTarget);
+  rebuildArraysFor(target, changedTarget, tidx);
   rebuildArraysFor(work, changedWork);
 
   res.translation = actualTranslation(dir, tc);
   const auto tf =
       geom::Transform::translate(res.translation.x, res.translation.y);
   const std::size_t preMergeCount = target.rawSize();
+  const std::size_t preMergeNets = target.netCount();
   res.idMap = target.merge(work, tf);
 
   if (options.autoConnect) {
@@ -312,6 +438,20 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
     // axis, when no rule forbids it (Fig. 5a).
     const RuleCache& rc = target.technology().rules();
     std::set<ShapeId> extended;
+
+    // The constraint-loop index stayed a conservative superset through the
+    // variable-edge shrinks (stale larger boxes) and the array rebuild
+    // (containers/cuts re-inserted above), so instead of re-snapshotting
+    // the whole target — an O(n) cost that would dwarf the queries it
+    // serves — extend it with just the merged arrivals and keep
+    // maintaining it incrementally: each accepted extension re-inserts
+    // the grown box (union semantics keeps queries exact-over).
+    if (indexed)
+      for (ShapeId ai = static_cast<ShapeId>(preMergeCount); ai < target.rawSize(); ++ai)
+        if (target.isAlive(ai))
+          tidx->insert(ai, target.shape(ai).layer, target.shape(ai).box);
+    std::vector<ShapeId> biCand, safetyCand;
+
     for (ShapeId ni = static_cast<ShapeId>(preMergeCount); ni < target.rawSize(); ++ni) {
       if (!target.isAlive(ni)) continue;
       const Shape arrival = target.shape(ni);
@@ -320,7 +460,22 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
       // meant to merge; connect them even without declared potentials.
       const bool ignoredLayer = layerIgnored(options, arrival.layer);
       if (arrival.net == db::kNoNet && !ignoredLayer) continue;
-      for (ShapeId bi = 0; bi < preMergeCount; ++bi) {
+      // A net first seen in this merge cannot appear on any pre-merge
+      // shape, so no stationary partner exists — skip the scan outright
+      // (unless the ignored-layer path bypasses the net test).  This
+      // prunes both engines identically.
+      if (!ignoredLayer && arrival.net >= preMergeNets) continue;
+
+      if (indexed) {
+        // Stationary partners must overlap the arrival's cross-axis band
+        // (extensions bridge any distance along the movement axis).
+        tidx->query(arrival.layer, crossBand(dir, arrival.box, 0), biCand);
+      } else {
+        biCand.clear();
+        for (ShapeId bi = 0; bi < preMergeCount; ++bi) biCand.push_back(bi);
+      }
+      for (ShapeId bi : biCand) {
+        if (bi >= preMergeCount) continue;  // index also holds arrivals
         if (!target.isAlive(bi)) continue;
         const Shape& b = target.shape(bi);
         if (b.layer != arrival.layer) continue;
@@ -341,35 +496,39 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
         // Safety: the extension must not violate a rule against any other
         // shape, and must not newly cross a layer this layer forms devices
         // with (a poly extension across diffusion would create a gate).
-        bool safe = true;
         Shape cand = b;
         cand.box = nb;
-        for (ShapeId ci : target.shapeIds()) {
-          if (ci == bi || ci == ni) continue;
-          const Shape& c = target.shape(ci);
-          if (rc.formsDevice(cand.layer, c.layer) && cand.box.overlaps(c.box) &&
-              !b.box.overlaps(c.box)) {
-            safe = false;
-            break;
-          }
-          const bool sameNet = c.net != db::kNoNet && c.net == cand.net;
-          const auto g = requiredGap(rc, c, cand, sameNet, options);
-          if (!g) continue;
-          if (gapX(c.box, cand.box) < *g && gapY(c.box, cand.box) < *g &&
-              !(gapX(c.box, b.box) < *g && gapY(c.box, b.box) < *g)) {
-            safe = false;
-            break;
-          }
+        if (indexed) {
+          const Coord halo = std::max<Coord>(0, rc.maxSpacing(cand.layer) + options.extraGap);
+          tidx->query(nb.expanded(halo), safetyCand);
+          // Array rebuilds left retired ids behind; brute's shapeIds() is
+          // alive-only, so drop them for identical safety decisions.
+          safetyCand.erase(
+              std::remove_if(safetyCand.begin(), safetyCand.end(),
+                             [&](ShapeId ci) { return !target.isAlive(ci); }),
+              safetyCand.end());
+        } else {
+          safetyCand = target.shapeIds();
         }
-        if (!safe) continue;
+        if (!extensionSafe(target, rc, options, bi, ni, b, cand, safetyCand)) continue;
         target.shape(bi).box = nb;
+        if (indexed) tidx->insert(bi, b.layer, nb);
         extended.insert(bi);
         ++res.autoConnects;
       }
     }
-    rebuildArraysFor(target, extended);
+    // Only a session index outlives this point and needs the rebuilt
+    // arrays re-inserted; a per-call index is about to be discarded.
+    rebuildArraysFor(target, extended, session);
   }
   return res;
+}
+
+}  // namespace
+
+Result compact(db::Module& target, const db::Module& obj, Dir dir,
+               const Options& options) {
+  return compactImpl(target, obj, dir, options, nullptr);
 }
 
 Result compact(db::Module& target, const db::Module& obj, Dir dir,
@@ -378,6 +537,15 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
   for (std::string_view n : ignoreLayerNames)
     opt.ignoreLayers.push_back(target.technology().layer(n));
   return compact(target, obj, dir, opt);
+}
+
+Compactor::Compactor(db::Module& target, Options options)
+    : target_(target), options_(std::move(options)) {
+  if (options_.engine == Engine::Indexed) idx_.emplace(buildTargetIndex(target_));
+}
+
+Result Compactor::compact(const db::Module& obj, Dir dir) {
+  return compactImpl(target_, obj, dir, options_, idx_ ? &*idx_ : nullptr);
 }
 
 }  // namespace amg::compact

@@ -27,12 +27,23 @@
 //    touch (Fig. 5a) when doing so violates no rule.
 #pragma once
 
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "db/module.h"
+#include "geom/spatial.h"
 
 namespace amg::compact {
+
+/// How the reference engine enumerates shape pairs.  Both produce
+/// byte-identical results (same constraints, translations, edge moves and
+/// auto-connects — enforced by tests); BruteForce exists as the oracle for
+/// equivalence tests and benchmarks.
+enum class Engine : std::uint8_t {
+  Indexed,     ///< geom::SpatialIndex candidate pruning (the default)
+  BruteForce,  ///< all-pairs scans, the original O(n·m) paths
+};
 
 /// Per-step options of one compact() call.
 struct Options {
@@ -46,6 +57,8 @@ struct Options {
   /// Extra clearance added on top of every spacing rule (0 = rule minimum,
   /// "the objects are placed with the minimum distance").
   Coord extraGap = 0;
+  /// Pair-enumeration engine for constraints and auto-connect scans.
+  Engine engine = Engine::Indexed;
 };
 
 /// Result of one compaction step.
@@ -71,6 +84,37 @@ Result compact(db::Module& target, const db::Module& obj, Dir dir,
 /// technology, mirroring the DSL call  compact(diffcon, WEST, "pdiff").
 Result compact(db::Module& target, const db::Module& obj, Dir dir,
                std::initializer_list<std::string_view> ignoreLayerNames);
+
+/// A successive-compaction session: the spatial index over the growing
+/// target survives across compact() calls instead of being rebuilt from
+/// scratch each time (the rebuild is O(target) and dwarfs the band queries
+/// it serves, so per-call indexing loses to brute force on long builds).
+/// The session maintains the index incrementally — merged arrivals and
+/// auto-connect extensions are inserted as they happen, variable-edge
+/// shrinks ride on stale-larger union semantics, and array rebuilds
+/// re-insert the affected containers and cuts — and produces results
+/// byte-identical to the free function on either engine.
+///
+/// The target must not be modified by anything else between calls; with
+/// Engine::BruteForce the session is equivalent to calling compact() in a
+/// loop (no index is kept at all).
+class Compactor {
+ public:
+  /// Snapshots `target` into the index (alive shapes only).  The module
+  /// reference is held for the session's lifetime.
+  explicit Compactor(db::Module& target, Options options = {});
+
+  /// One successive-compaction step; see compact() above.
+  Result compact(const db::Module& obj, Dir dir);
+
+  const Options& options() const { return options_; }
+
+ private:
+  db::Module& target_;
+  Options options_;
+  /// Engaged iff options_.engine == Engine::Indexed.
+  std::optional<geom::SpatialIndex> idx_;
+};
 
 /// The canonical-frame translation the rules require for `obj` against
 /// `target` (no mutation, no variable edges): the object must be translated

@@ -19,9 +19,23 @@ bool layerIgnored(const Options& opt, tech::LayerId l) {
 FastCompactor::FastCompactor(const tech::Technology& tech, Dir dir)
     : tech_(&tech), rules_(&tech.rules()), dir_(dir) {}
 
+FastCompactor::NetId FastCompactor::internNet(const std::string& name) {
+  if (name.empty()) return 0;
+  auto [it, inserted] =
+      netIds_.try_emplace(name, static_cast<NetId>(netIds_.size() + 1));
+  return it->second;
+}
+
+FastCompactor::NetId FastCompactor::lookupNet(const std::string& name) const {
+  if (name.empty()) return 0;
+  const auto it = netIds_.find(name);
+  return it == netIds_.end() ? kUnknownNet : it->second;
+}
+
 void FastCompactor::addShape(const db::Module& m, db::ShapeId id) {
   const db::Shape& s = m.shape(id);
-  const Key key{s.layer, s.net == db::kNoNet ? std::string() : m.netName(s.net)};
+  const NetId net = s.net == db::kNoNet ? 0 : internNet(m.netName(s.net));
+  const Key key{s.layer, net};
   auto [it, inserted] = contours_.try_emplace(key, geom::Contour(dir_));
   it->second.add(s.box);
 }
@@ -35,7 +49,7 @@ Coord FastCompactor::required(const db::Module& /*target*/, const db::Module& ob
   Coord best = kNone;
   for (db::ShapeId oi : obj.shapeIds()) {
     const db::Shape& os = obj.shape(oi);
-    const std::string objNet = os.net == db::kNoNet ? std::string() : obj.netName(os.net);
+    const NetId objNet = os.net == db::kNoNet ? 0 : lookupNet(obj.netName(os.net));
     const Coord lead = [&] {
       switch (dir_) {
         case Dir::West: return os.box.x1;
@@ -53,7 +67,7 @@ Coord FastCompactor::required(const db::Module& /*target*/, const db::Module& ob
       const bool ignored =
           layerIgnored(options, key.layer) || layerIgnored(options, os.layer);
       if (key.layer == os.layer) {
-        const bool sameNet = !objNet.empty() && key.net == objNet;
+        const bool sameNet = objNet != 0 && key.net == objNet;
         if (sameNet || ignored)
           gap = 0;
         else if (auto s = rules_->minSpacing(os.layer, os.layer))

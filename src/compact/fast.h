@@ -15,7 +15,10 @@
 // under these restrictions is covered by tests.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "compact/compactor.h"
@@ -50,9 +53,18 @@ class FastCompactor {
   std::size_t segmentCount() const;
 
  private:
+  /// Interned potential name: 0 = anonymous ("" / kNoNet), named nets get
+  /// ids 1.. in first-seen order.  Keeps the envelope map key POD-sized
+  /// and makes the hot same-net test in required() an integer compare
+  /// instead of a string compare per (object shape × envelope).
+  using NetId = std::uint32_t;
+  /// Lookup result for a net name never seen by addStructure()/place():
+  /// matches no stored envelope, so same-net exemption never fires.
+  static constexpr NetId kUnknownNet = 0xFFFFFFFFu;
+
   struct Key {
     tech::LayerId layer;
-    std::string net;  // potential name; "" = anonymous
+    NetId net;  // interned potential; 0 = anonymous
     bool operator<(const Key& o) const {
       return layer != o.layer ? layer < o.layer : net < o.net;
     }
@@ -62,7 +74,10 @@ class FastCompactor {
   const tech::RuleCache* rules_;  ///< flat rule tables of *tech_, lock-free reads
   Dir dir_;
   std::map<Key, geom::Contour> contours_;
+  std::unordered_map<std::string, NetId> netIds_;
 
+  NetId internNet(const std::string& name);
+  NetId lookupNet(const std::string& name) const;
   void addShape(const db::Module& m, db::ShapeId id);
 };
 

@@ -1,7 +1,9 @@
 #include "db/connectivity.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "geom/spatial.h"
 #include "geom/subtract.h"
 
 namespace amg::db {
@@ -13,8 +15,9 @@ bool electricallyTouching(const Box& a, const Box& b) {
   return ix1 < ix2 || iy1 < iy2;                   // more than a corner point
 }
 
-Connectivity::Connectivity(const Module& m) : m_(&m) {
+Connectivity::Connectivity(const Module& m, Engine engine) : m_(&m) {
   const tech::Technology& t = m.technology();
+  const bool indexed = engine == Engine::Indexed;
 
   auto isElectrical = [&](ShapeId i) {
     if (!m.isAlive(i)) return false;
@@ -22,12 +25,26 @@ Connectivity::Connectivity(const Module& m) : m_(&m) {
     return li.conducting || li.kind == tech::LayerKind::Cut;
   };
 
+  // One shape-level index per module snapshot, reused by every geometric
+  // lookup of the build (gate-poly cutters, cut shielding).
+  std::optional<geom::SpatialIndex> sidx;
+  if (indexed) {
+    sidx.emplace();
+    for (ShapeId i : m.shapeIds()) sidx->insert(i, m.shape(i).layer, m.shape(i).box);
+  }
+  std::vector<std::uint32_t> cand;
+
   // Gate poly boxes: they split diffusion into channel-separated fragments
   // (a MOS device does not short its source to its drain).
   std::vector<Box> gatePoly;
-  for (ShapeId i : m.shapeIds())
-    if (t.info(m.shape(i).layer).kind == tech::LayerKind::Poly)
-      gatePoly.push_back(m.shape(i).box);
+  std::vector<tech::LayerId> polyLayers;
+  for (ShapeId i : m.shapeIds()) {
+    if (t.info(m.shape(i).layer).kind != tech::LayerKind::Poly) continue;
+    gatePoly.push_back(m.shape(i).box);
+    if (std::find(polyLayers.begin(), polyLayers.end(), m.shape(i).layer) ==
+        polyLayers.end())
+      polyLayers.push_back(m.shape(i).layer);
+  }
 
   // Build nodes: one per shape, except diffusion shapes crossed by poly,
   // which contribute one node per un-gated fragment.
@@ -39,8 +56,21 @@ Connectivity::Connectivity(const Module& m) : m_(&m) {
     std::vector<Box> pieces{s.box};
     if (t.info(s.layer).kind == tech::LayerKind::Diffusion) {
       std::vector<Box> cutters;
-      for (const Box& g : gatePoly)
-        if (g.overlaps(s.box)) cutters.push_back(g);
+      if (indexed) {
+        // Only gate polys near this diffusion, in shape-id order — the
+        // same cutter sequence the full gatePoly scan produces.
+        std::vector<std::uint32_t> merged;
+        for (const tech::LayerId pl : polyLayers) {
+          sidx->query(pl, s.box, cand);
+          merged.insert(merged.end(), cand.begin(), cand.end());
+        }
+        std::sort(merged.begin(), merged.end());
+        for (const std::uint32_t gi : merged)
+          if (m.shape(gi).box.overlaps(s.box)) cutters.push_back(m.shape(gi).box);
+      } else {
+        for (const Box& g : gatePoly)
+          if (g.overlaps(s.box)) cutters.push_back(g);
+      }
       if (!cutters.empty()) {
         pieces = geom::subtractAll({s.box}, cutters);
         if (pieces.empty()) pieces = {s.box};  // fully gated: keep one node
@@ -55,9 +85,27 @@ Connectivity::Connectivity(const Module& m) : m_(&m) {
   parent_.resize(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) parent_[i] = static_cast<int>(i);
 
+  // Node-level index for the touching-pair sweep (bucket 0: the touch
+  // predicate is layer-blind; the join logic below sorts out layers).
+  std::optional<geom::SpatialIndex> nidx;
+  if (indexed) {
+    nidx.emplace();
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      nidx->insert(static_cast<std::uint32_t>(i), 0, nodes_[i].box);
+  }
+
+  std::vector<std::uint32_t> bCand;
   for (std::size_t a = 0; a < nodes_.size(); ++a) {
     const Shape& sa = m.shape(nodes_[a].shape);
-    for (std::size_t b = a + 1; b < nodes_.size(); ++b) {
+    if (indexed) {
+      nidx->query(nodes_[a].box, bCand);
+    } else {
+      bCand.clear();
+      for (std::size_t b = a + 1; b < nodes_.size(); ++b)
+        bCand.push_back(static_cast<std::uint32_t>(b));
+    }
+    for (const std::uint32_t b : bCand) {
+      if (b <= a) continue;
       const Shape& sb = m.shape(nodes_[b].shape);
       if (!electricallyTouching(nodes_[a].box, nodes_[b].box)) continue;
 
@@ -85,7 +133,14 @@ Connectivity::Connectivity(const Module& m) : m_(&m) {
           // must be *enclosed by* `otherLayer` (an emitter inside its
           // base), the cut contacts the inner layer only.
           if (joined) {
-            for (ShapeId xi : m.shapeIds()) {
+            if (indexed) {
+              // A shielding shape must contain the cut box, hence touch it.
+              sidx->query(cutBox, cand);
+            } else {
+              cand.clear();
+              for (ShapeId xi : m.shapeIds()) cand.push_back(xi);
+            }
+            for (const std::uint32_t xi : cand) {
               const Shape& x = m.shape(xi);
               if (x.layer == otherLayer || x.layer == cut.layer) continue;
               if (!t.enclosure(otherLayer, x.layer).has_value()) continue;

@@ -28,7 +28,12 @@ bool electricallyTouching(const Box& a, const Box& b);
 /// the two shapes share a component.
 class Connectivity {
  public:
-  explicit Connectivity(const Module& m);
+  /// How candidate pairs are enumerated during extraction.  Both engines
+  /// produce identical components (Indexed candidates are a superset-exact
+  /// prune, verified by tests); BruteForce is the all-pairs oracle.
+  enum class Engine : std::uint8_t { Indexed, BruteForce };
+
+  explicit Connectivity(const Module& m, Engine engine = Engine::Indexed);
 
   /// True when any electrical parts of the two shapes share a component.
   bool connected(ShapeId a, ShapeId b) const;

@@ -1,10 +1,13 @@
 #include "drc/drc.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "db/connectivity.h"
+#include "geom/spatial.h"
 #include "geom/subtract.h"
+#include "tech/rulecache.h"
 
 namespace amg::drc {
 namespace {
@@ -14,6 +17,13 @@ using db::Shape;
 using db::ShapeId;
 using tech::LayerKind;
 using tech::Technology;
+
+/// Layer-bucketed index over all alive shapes, ids ascending.
+geom::SpatialIndex buildShapeIndex(const Module& m) {
+  geom::SpatialIndex idx;
+  for (ShapeId id : m.shapeIds()) idx.insert(id, m.shape(id).layer, m.shape(id).box);
+  return idx;
+}
 
 std::string shapeDesc(const Module& m, ShapeId id) {
   const Shape& s = m.shape(id);
@@ -46,33 +56,51 @@ void checkWidths(const Module& m, std::vector<Violation>& out) {
   }
 }
 
-void checkSpacings(const Module& m, bool samePotentialExempt,
+void checkSpacings(const Module& m, bool samePotentialExempt, bool bruteForce,
                    std::vector<Violation>& out) {
-  const Technology& t = m.technology();
+  const tech::RuleCache& rc = m.technology().rules();
   const auto ids = m.shapeIds();
+  // Built lazily: a clean, sparse layout may never need the exemption.
   std::optional<db::Connectivity> conn;
-  if (samePotentialExempt) conn.emplace(m);
+  auto connected = [&](ShapeId a, ShapeId b) {
+    if (!conn) conn.emplace(m);
+    return conn->connected(a, b);
+  };
+  auto report = [&](ShapeId ia, ShapeId ib) {
+    const Shape& a = m.shape(ia);
+    const Shape& b = m.shape(ib);
+    const auto rule = rc.minSpacing(a.layer, b.layer);
+    if (!rule) return;
+    if (gapX(a.box, b.box) >= *rule || gapY(a.box, b.box) >= *rule) return;
+    if (a.layer == b.layer && samePotentialExempt && connected(ia, ib)) return;
+    out.push_back(Violation{
+        ViolationKind::Spacing, ia, ib, a.box.unite(b.box),
+        "spacing < " + std::to_string(*rule) + " between " + shapeDesc(m, ia) +
+            " and " + shapeDesc(m, ib)});
+  };
 
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    const Shape& a = m.shape(ids[i]);
-    for (std::size_t j = i + 1; j < ids.size(); ++j) {
-      const Shape& b = m.shape(ids[j]);
-      const auto rule = t.minSpacing(a.layer, b.layer);
-      if (!rule) continue;
-      if (gapX(a.box, b.box) >= *rule || gapY(a.box, b.box) >= *rule) continue;
-      if (a.layer == b.layer && samePotentialExempt &&
-          conn->connected(ids[i], ids[j]))
-        continue;
-      out.push_back(Violation{
-          ViolationKind::Spacing, ids[i], ids[j], a.box.unite(b.box),
-          "spacing < " + std::to_string(*rule) + " between " + shapeDesc(m, ids[i]) +
-              " and " + shapeDesc(m, ids[j])});
-    }
+  if (bruteForce) {
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      for (std::size_t j = i + 1; j < ids.size(); ++j) report(ids[i], ids[j]);
+    return;
+  }
+  // Candidates within the per-layer max-rule halo; ids ascending keeps the
+  // violation order identical to the all-pairs scan.
+  const geom::SpatialIndex idx = buildShapeIndex(m);
+  std::vector<std::uint32_t> cand;
+  for (const ShapeId ia : ids) {
+    const Shape& a = m.shape(ia);
+    idx.query(a.box.expanded(rc.maxSpacing(a.layer)), cand);
+    for (const std::uint32_t ib : cand)
+      if (ib > ia) report(ia, ib);
   }
 }
 
-void checkEnclosures(const Module& m, std::vector<Violation>& out) {
+void checkEnclosures(const Module& m, bool bruteForce, std::vector<Violation>& out) {
   const Technology& t = m.technology();
+  std::optional<geom::SpatialIndex> idx;
+  if (!bruteForce) idx.emplace(buildShapeIndex(m));
+  std::vector<std::uint32_t> cand;
   for (ShapeId id : m.shapeIds()) {
     const Shape& cut = m.shape(id);
     if (t.info(cut.layer).kind != LayerKind::Cut) continue;
@@ -82,7 +110,13 @@ void checkEnclosures(const Module& m, std::vector<Violation>& out) {
       auto coveredBy = [&](tech::LayerId l) {
         const Coord margin = t.enclosure(l, cut.layer).value_or(0);
         std::vector<Box> covers;
-        for (ShapeId sid : m.shapesOn(l)) covers.push_back(m.shape(sid).box);
+        if (idx) {
+          // Only covers reaching the margin region can subtract area.
+          idx->query(l, cut.box.expanded(margin), cand);
+          for (const std::uint32_t sid : cand) covers.push_back(m.shape(sid).box);
+        } else {
+          for (ShapeId sid : m.shapesOn(l)) covers.push_back(m.shape(sid).box);
+        }
         return geom::isCovered(cut.box.expanded(margin), covers);
       };
       if (coveredBy(la) && coveredBy(lb)) {
@@ -156,8 +190,9 @@ std::vector<Box> uncoveredActive(const db::Module& m) {
 std::vector<Violation> check(const db::Module& m, const CheckOptions& options) {
   std::vector<Violation> out;
   if (options.widths) checkWidths(m, out);
-  if (options.spacings) checkSpacings(m, options.samePotentialExempt, out);
-  if (options.enclosures) checkEnclosures(m, out);
+  if (options.spacings)
+    checkSpacings(m, options.samePotentialExempt, options.bruteForce, out);
+  if (options.enclosures) checkEnclosures(m, options.bruteForce, out);
   if (options.latchUp) {
     for (const Box& piece : uncoveredActive(m))
       out.push_back(Violation{ViolationKind::LatchUp, db::kNoShape, db::kNoShape, piece,
@@ -187,13 +222,17 @@ void expectClean(const db::Module& m, const CheckOptions& options) {
 namespace {
 
 /// True when `cand` can be added to `m` without breaking spacing rules or
-/// overlapping existing mask geometry.
-bool placementLegal(const Module& m, const Shape& cand) {
-  const Technology& t = m.technology();
-  for (ShapeId id : m.shapeIds()) {
+/// overlapping existing mask geometry.  Candidates come from a halo query
+/// on `idx` (which must cover every alive shape of `m`); shapes beyond the
+/// max-rule halo can neither violate a rule nor overlap.
+bool placementLegal(const Module& m, const Shape& cand, const geom::SpatialIndex& idx,
+                    std::vector<std::uint32_t>& scratch) {
+  const tech::RuleCache& rc = m.technology().rules();
+  idx.query(cand.box.expanded(rc.maxSpacing(cand.layer)), scratch);
+  for (const std::uint32_t id : scratch) {
     const Shape& s = m.shape(id);
-    if (t.info(s.layer).kind == LayerKind::Marker) continue;
-    if (auto rule = t.minSpacing(cand.layer, s.layer)) {
+    if (rc.kind(s.layer) == LayerKind::Marker) continue;
+    if (auto rule = rc.minSpacing(cand.layer, s.layer)) {
       if (gapX(cand.box, s.box) < *rule && gapY(cand.box, s.box) < *rule) return false;
     } else if (cand.box.overlaps(s.box)) {
       return false;  // no rule, but a stray overlap would change devices
@@ -217,6 +256,11 @@ int insertSubstrateContacts(db::Module& m, const std::string& netName) {
   const Coord tieSize = std::max(t.minWidth(tie), std::max(cw, ch) + 2 * tieEnc);
   const db::NetId net = m.net(netName);
 
+  // One index per insertion run, grown incrementally as contacts land —
+  // the ring search probes hundreds of positions against the whole module.
+  geom::SpatialIndex idx = buildShapeIndex(m);
+  std::vector<std::uint32_t> scratch;
+
   int inserted = 0;
   for (int round = 0; round < 64; ++round) {
     const auto uncovered = uncoveredActive(m);
@@ -239,13 +283,14 @@ int insertSubstrateContacts(db::Module& m, const std::string& netName) {
           const Shape metShape = db::makeShape(
               tieShape.box.expanded(-(tieEnc - metEnc)), metal1, net);
           const Shape cutShape = db::makeShape(Box::centredOn(c, cw, ch), contact, net);
-          if (!placementLegal(m, tieShape) || !placementLegal(m, metShape) ||
-              !placementLegal(m, cutShape))
+          if (!placementLegal(m, tieShape, idx, scratch) ||
+              !placementLegal(m, metShape, idx, scratch) ||
+              !placementLegal(m, cutShape, idx, scratch))
             continue;
 
-          m.addShape(tieShape);
-          m.addShape(metShape);
-          m.addShape(cutShape);
+          idx.insert(m.addShape(tieShape), tieShape.layer, tieShape.box);
+          idx.insert(m.addShape(metShape), metShape.layer, metShape.box);
+          idx.insert(m.addShape(cutShape), cutShape.layer, cutShape.box);
           ++inserted;
           placed = true;
         }

@@ -41,6 +41,11 @@ struct CheckOptions {
   bool spacings = true;
   bool enclosures = true;
   bool latchUp = true;
+  /// Enumerate candidate pairs by all-pairs scan instead of the spatial
+  /// index.  Both engines report identical violations in identical order
+  /// (enforced by tests); the brute path is the oracle and the benchmark
+  /// baseline.
+  bool bruteForce = false;
   /// Exempt same-layer spacing between geometrically connected shapes —
   /// the compactor's same-potential merge produces intentional abutments.
   bool samePotentialExempt = true;

@@ -1,0 +1,141 @@
+// Shared spatial index over axis-aligned boxes.
+//
+// The paper's §2.3 speed argument is that successive compaction needs only
+// the outer edges of the growing structure — yet every other hot loop of
+// the environment (constraint generation, DRC spacing, connectivity,
+// placement legality) is naturally an all-pairs rectangle scan.  This index
+// replaces those scans with range queries: entries are bucketed (consumers
+// use the mask layer as the bucket) and kept in a uniform grid of
+// cy-sorted cell columns, so a query visits only the occupied cells its
+// window overlaps — even a band window spanning the whole structure on one
+// axis — instead of every box in the database.
+//
+// Contract — designed so consumers stay byte-identical to brute force:
+//
+//  * query() returns a *superset-exact* candidate set: every entry whose
+//    box closed-intersects the window (per-axis gap <= 0, corner touch
+//    included).  Consumers expand the window by their rule halo and apply
+//    their exact predicate to the candidates; any predicate implying
+//    closed intersection with the expanded window is answered exactly.
+//  * results are sorted ascending by id and deduplicated, so iteration
+//    order matches a brute-force scan in id order.
+//  * the index is incremental: insert() accepts new entries at any time
+//    (the growing structure of successive compaction).  Re-inserting an
+//    id with a new box *widens* that id's coverage (union semantics) —
+//    the right tool for grow-only updates like auto-connect extensions.
+//    Shrinking geometry needs no update at all: stale larger boxes keep
+//    queries conservative, and the exact predicate filters the excess.
+//  * queries are const and touch no mutable state: concurrent readers
+//    (the parallel order search) need no synchronisation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+
+namespace amg::geom {
+
+class SpatialIndex {
+ public:
+  /// Default grid pitch: a few typical 1 µm-process feature pitches per
+  /// cell, so small shapes land in one cell and windows visit few cells.
+  static constexpr Coord kDefaultCellSize = 4000;
+
+  explicit SpatialIndex(Coord cellSize = kDefaultCellSize);
+
+  /// Add one box under `id` to `bucket`.  Ids need not be unique: duplicate
+  /// ids union their coverage (see header).  Buckets are dense small
+  /// integers (consumers use tech::LayerId).
+  void insert(std::uint32_t id, std::uint32_t bucket, const Box& box);
+
+  /// Ids of all entries (any bucket) whose box closed-intersects `window`,
+  /// ascending and deduplicated.  `out` is cleared first; reuse it across
+  /// calls to avoid reallocation.
+  void query(const Box& window, std::vector<std::uint32_t>& out) const;
+
+  /// Same, restricted to one bucket.
+  void query(std::uint32_t bucket, const Box& window,
+             std::vector<std::uint32_t>& out) const;
+
+  /// Number of insert() calls accepted.
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  Coord cellSize() const { return cell_; }
+  /// Bounding box of everything inserted (empty Box when empty()).
+  const Box& bounds() const { return bounds_; }
+
+ private:
+  struct Entry {
+    Box box;
+    std::uint32_t id;
+  };
+  /// One occupied grid cell within a column: `head` chains its entries
+  /// through Bucket::slots (occupied cells always hold at least one).
+  struct Cell {
+    std::int64_t cy;
+    std::int32_t head;
+  };
+  /// One chain link: entry index plus the next link of the same cell.
+  struct Slot {
+    std::uint32_t entry;
+    std::int32_t next;
+  };
+  /// One x-column of the grid: its occupied cells sorted by cy.  The
+  /// dominant consumers issue band queries spanning one axis (the
+  /// compactor's cross-axis bands, the connectivity column sweeps), and a
+  /// sorted column serves those by binary search + walk of *occupied*
+  /// cells only, instead of probing every cell a tall window covers.
+  struct Column {
+    std::int64_t cx;
+    std::vector<Cell> cells;
+  };
+  /// One open-addressed table slot: `col` indexes Bucket::cols (−1 =
+  /// empty).  The cx key is duplicated here so probes stay in one array.
+  struct TableSlot {
+    std::int64_t cx;
+    std::int32_t col;
+  };
+  /// One bucket: columns reached through an open-addressed table keyed by
+  /// cx (power-of-two, linear probing; chains pooled in `slots` — no
+  /// per-cell allocations, which is what keeps incremental inserts cheaper
+  /// than the brute scans they replace), plus an overflow list for boxes
+  /// spanning more cells than worth enumerating on insert.
+  struct Bucket {
+    std::vector<TableSlot> table;
+    std::vector<Column> cols;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> large;
+  };
+
+  /// Entries covering more cells than this go to the overflow list (they
+  /// are scanned linearly by every query of their bucket — fine for the
+  /// few wells/guard rings of a module, wrong for its thousands of cuts).
+  static constexpr std::int64_t kMaxCellsPerEntry = 64;
+
+  static std::int64_t cellOf(Coord v, Coord cell) {
+    return v >= 0 ? v / cell : -((-v + cell - 1) / cell);
+  }
+  /// 64-bit finaliser (splitmix64 tail): neighbouring cell columns differ
+  /// only in the low bits, so the table needs real avalanche.
+  static std::size_t hashKey(std::int64_t cx) {
+    auto k = static_cast<std::uint64_t>(cx);
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+
+  static Column& columnFor(Bucket& b, std::int64_t cx);
+  static void growTable(Bucket& b);
+  void gather(const Bucket& b, const Box& window,
+              std::vector<std::uint32_t>& out) const;
+
+  Coord cell_;
+  Box bounds_;
+  std::vector<Entry> entries_;
+  std::vector<Bucket> buckets_;  // indexed by bucket id
+};
+
+}  // namespace amg::geom

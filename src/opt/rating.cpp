@@ -41,20 +41,41 @@ double netCapacitance(const db::Module& m, db::NetId net) {
   return cap;
 }
 
+std::vector<double> allNetCapacitances(const db::Module& m) {
+  const tech::Technology& t = m.technology();
+  std::vector<double> caps(m.netCount(), 0.0);
+  for (db::ShapeId id : m.shapeIds()) {
+    const db::Shape& s = m.shape(id);
+    if (s.net == db::kNoNet || s.net >= caps.size()) continue;
+    const auto& info = t.info(s.layer);
+    if (!info.conducting) continue;
+    const UnitCaps uc = unitCaps(info.kind);
+    const double w = static_cast<double>(s.box.width()) / kMicron;
+    const double h = static_cast<double>(s.box.height()) / kMicron;
+    caps[s.net] += uc.area * w * h + uc.fringe * 2.0 * (w + h);
+  }
+  return caps;
+}
+
 double totalCapacitance(const db::Module& m) {
+  const std::vector<double> caps = allNetCapacitances(m);
   double cap = 0.0;
-  for (db::NetId n = 1; n < m.netCount(); ++n) cap += netCapacitance(m, n);
+  for (db::NetId n = 1; n < m.netCount(); ++n) cap += caps[n];
   return cap;
 }
 
 double rate(const db::Module& m, const RatingWeights& w) {
   double score = w.areaWeight * static_cast<double>(m.area());
 
+  const bool needsCaps = w.capWeight != 0.0 || w.symmetryWeight != 0.0;
+  const std::vector<double> caps =
+      needsCaps ? allNetCapacitances(m) : std::vector<double>{};
+
   if (w.capWeight != 0.0) {
     for (db::NetId n = 1; n < m.netCount(); ++n) {
       const auto it = w.netWeights.find(m.netName(n));
       const double mult = it == w.netWeights.end() ? 1.0 : it->second;
-      score += w.capWeight * mult * netCapacitance(m, n);
+      score += w.capWeight * mult * caps[n];
     }
   }
 
@@ -62,8 +83,8 @@ double rate(const db::Module& m, const RatingWeights& w) {
     for (const auto& [a, b] : w.symmetricNetPairs) {
       const auto na = m.findNet(a);
       const auto nb = m.findNet(b);
-      const double ca = na ? netCapacitance(m, *na) : 0.0;
-      const double cb = nb ? netCapacitance(m, *nb) : 0.0;
+      const double ca = na ? caps[*na] : 0.0;
+      const double cb = nb ? caps[*nb] : 0.0;
       score += w.symmetryWeight * std::abs(ca - cb);
     }
   }

@@ -36,6 +36,13 @@ struct RatingWeights {
 /// (unit capacitances per layer kind; see rating.cpp).
 double netCapacitance(const db::Module& m, db::NetId net);
 
+/// Capacitance of every net in one pass over the shapes, indexed by NetId
+/// (entry 0, the anonymous net, is always 0).  Each entry is bit-identical
+/// to netCapacitance(m, n): the per-net additions happen in the same
+/// shape-id order.  Replaces the O(nets × shapes) per-net rescans in the
+/// per-permutation rating hot path.
+std::vector<double> allNetCapacitances(const db::Module& m);
+
 /// Total parasitic estimate across all named nets.
 double totalCapacitance(const db::Module& m);
 

@@ -1,0 +1,56 @@
+// Obstacle lookup for the routing routines.
+//
+// A router placing a wire or via needs to know whether the new geometry
+// conflicts with the module's existing shapes — closer than the spacing
+// rule to a foreign-net shape, or overlapping a shape on an unrelated
+// layer.  The naive answer is a scan over every shape per placed segment,
+// which turns channel routing into another O(n²) hot path; Obstacles wraps
+// the shared geom::SpatialIndex so each probe touches only the shapes
+// within the rule halo of the probed box.
+//
+// Determinism contract (mirrors the DRC/compactor consumers): the indexed
+// engine answers are identical to the brute-force scan — firstConflict()
+// returns the *lowest-id* conflicting shape in both engines, because index
+// candidates come back sorted by id and the exact predicate is re-applied.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "db/module.h"
+#include "geom/spatial.h"
+
+namespace amg::route {
+
+class Obstacles {
+ public:
+  /// Candidate enumeration strategy; BruteForce is the all-shapes oracle.
+  enum class Engine : std::uint8_t { Indexed, BruteForce };
+
+  /// Snapshot the current shapes of `m` as obstacles.  The module must
+  /// outlive the Obstacles; shapes added to `m` later are only considered
+  /// after an explicit add().
+  explicit Obstacles(const db::Module& m, Engine engine = Engine::Indexed);
+
+  /// Register a shape created after the snapshot (a placed wire segment)
+  /// as an obstacle for subsequent probes.
+  void add(db::ShapeId id);
+
+  /// The lowest-id tracked shape in conflict with `s`, or nullopt when `s`
+  /// is clear.  A tracked shape conflicts when it is on a non-marker layer,
+  /// is not on the same (named) net as `s`, and either violates the
+  /// spacing rule between the two layers or — when no rule exists —
+  /// overlaps `s` outright.
+  std::optional<db::ShapeId> firstConflict(const db::Shape& s) const;
+
+  std::size_t size() const { return ids_.size(); }
+
+ private:
+  const db::Module* m_;
+  Engine engine_;
+  std::vector<db::ShapeId> ids_;  ///< tracked obstacles, ascending
+  geom::SpatialIndex idx_;        ///< over ids_ (Indexed engine only)
+  mutable std::vector<std::uint32_t> scratch_;
+};
+
+}  // namespace amg::route

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "primitives/primitives.h"
+#include "route/obstacles.h"
 
 namespace amg::route {
 namespace {
@@ -99,8 +100,10 @@ std::vector<ShapeId> viaStack(Module& m, Point at, LayerId from, LayerId to,
 
 std::vector<ShapeId> connectShapes(Module& m, ShapeId a, ShapeId b, LayerId onLayer,
                                    std::optional<Coord> width) {
-  const db::Shape& sa = m.shape(a);
-  const db::Shape& sb = m.shape(b);
+  // Copies, not references: the viaStack() calls below add shapes to `m`,
+  // which may reallocate the shape vector out from under a reference.
+  const db::Shape sa = m.shape(a);
+  const db::Shape sb = m.shape(b);
   const NetId net = sa.net != db::kNoNet ? sa.net : sb.net;
   const Point pa = sa.box.center();
   const Point pb = sb.box.center();
@@ -149,7 +152,7 @@ std::vector<ShapeId> connectPorts(Module& m, const db::PortDef& a,
 
 int channelRoute(Module& m, const std::vector<ChannelNet>& nets, Coord yBottom,
                  Coord yTop, LayerId hLayer, LayerId vLayer,
-                 std::optional<Coord> width) {
+                 std::optional<Coord> width, bool verifyClear) {
   const Technology& t = m.technology();
   const Coord w = wireWidth(t, hLayer, width);
   const Coord wv = std::max(w, t.minWidth(vLayer));
@@ -237,17 +240,35 @@ int channelRoute(Module& m, const std::vector<ChannelNet>& nets, Coord yBottom,
                           " tracks do not fit a channel of height " +
                           std::to_string(yTop - yBottom) + " nm");
 
+  // Obstacle probe over the pre-route geometry: each placed segment is
+  // checked against foreign shapes, then registered as an obstacle itself
+  // (same-net segments are exempt from each other by design).
+  std::optional<Obstacles> obs;
+  if (verifyClear) obs.emplace(m);
+  auto placed = [&](ShapeId id) {
+    if (!obs) return;
+    if (const auto hit = obs->firstConflict(m.shape(id)))
+      throw DesignRuleError("channelRoute: placed segment (shape " +
+                            std::to_string(id) + ") conflicts with shape " +
+                            std::to_string(*hit));
+    obs->add(id);
+  };
+
   for (std::size_t i = 0; i < nets.size(); ++i) {
     const NetId net = m.net(nets[i].net);
     const Coord y = yBottom + margin + trackOf[i] * pitch + w / 2;
-    wireStraight(m, vLayer, Point{nets[i].xBottom, yBottom}, Point{nets[i].xBottom, y},
-                 wv, net);
-    wireStraight(m, vLayer, Point{nets[i].xTop, y}, Point{nets[i].xTop, yTop}, wv, net);
+    placed(wireStraight(m, vLayer, Point{nets[i].xBottom, yBottom},
+                        Point{nets[i].xBottom, y}, wv, net));
+    placed(wireStraight(m, vLayer, Point{nets[i].xTop, y}, Point{nets[i].xTop, yTop},
+                        wv, net));
     if (nets[i].xTop != nets[i].xBottom) {
-      wireStraight(m, hLayer, Point{nets[i].xBottom, y}, Point{nets[i].xTop, y}, w, net);
+      placed(wireStraight(m, hLayer, Point{nets[i].xBottom, y}, Point{nets[i].xTop, y},
+                          w, net));
       if (hLayer != vLayer) {
-        viaStack(m, Point{nets[i].xBottom, y}, vLayer, hLayer, net);
-        viaStack(m, Point{nets[i].xTop, y}, vLayer, hLayer, net);
+        for (const ShapeId id : viaStack(m, Point{nets[i].xBottom, y}, vLayer, hLayer, net))
+          placed(id);
+        for (const ShapeId id : viaStack(m, Point{nets[i].xTop, y}, vLayer, hLayer, net))
+          placed(id);
       }
     }
   }

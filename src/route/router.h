@@ -94,9 +94,13 @@ struct ChannelNet {
 /// Nets are packed onto tracks greedily by their left edge; two nets share
 /// a track when their spans do not conflict.  Returns the number of tracks
 /// used; throws DesignRuleError when the channel is too small for them.
+/// With `verifyClear`, every placed segment is additionally probed against
+/// the module's pre-route geometry through a route::Obstacles index and a
+/// DesignRuleError names the first foreign shape a segment conflicts with
+/// (off by default: the classic flow trusts the caller's channel bounds).
 int channelRoute(Module& m, const std::vector<ChannelNet>& nets, Coord yBottom,
                  Coord yTop, LayerId hLayer, LayerId vLayer,
-                 std::optional<Coord> width = std::nullopt);
+                 std::optional<Coord> width = std::nullopt, bool verifyClear = false);
 
 /// Mirror-symmetric wiring helper: every shape of `half` is added to `m`
 /// twice — once as-is, once mirrored about the vertical axis `x` — with the

@@ -1,5 +1,7 @@
 #include "tech/rulecache.h"
 
+#include <algorithm>
+
 namespace amg::tech {
 
 RuleCache::RuleCache(const Technology& t) : n_(t.layerCount()) {
@@ -36,6 +38,12 @@ RuleCache::RuleCache(const Technology& t) : n_(t.layerCount()) {
     for (LayerId b = 0; b < n_; ++b)
       devicePair_[cell(a, b)] =
           extension_[cell(a, b)] != kNoRule || extension_[cell(b, a)] != kNoRule;
+
+  maxSpacing_.assign(n_, 0);
+  for (LayerId a = 0; a < n_; ++a)
+    for (LayerId b = 0; b < n_; ++b)
+      if (spacing_[cell(a, b)] != kNoRule)
+        maxSpacing_[a] = std::max(maxSpacing_[a], spacing_[cell(a, b)]);
 }
 
 }  // namespace amg::tech

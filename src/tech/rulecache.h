@@ -42,6 +42,11 @@ class RuleCache {
   std::optional<Coord> minSpacing(LayerId a, LayerId b) const {
     return fromCell(spacing_[cell(a, b)]);
   }
+  /// Largest spacing rule `l` has against any layer (0 when it has none):
+  /// the query halo a spatial-index consumer must use so that every pair
+  /// (l, *) with gap below its rule is among the candidates.
+  Coord maxSpacing(LayerId l) const { return maxSpacing_[l]; }
+
   /// Mirrors Technology::enclosure (ordered: outer, inner).
   std::optional<Coord> enclosure(LayerId outer, LayerId inner) const {
     return fromCell(enclosure_[cell(outer, inner)]);
@@ -82,6 +87,7 @@ class RuleCache {
 
   std::size_t n_ = 0;
   std::vector<Coord> spacing_;    // n*n, symmetric
+  std::vector<Coord> maxSpacing_; // n, max over partners (0 = no rule)
   std::vector<Coord> enclosure_;  // n*n, ordered (outer, inner)
   std::vector<Coord> extension_;  // n*n, ordered
   std::vector<char> devicePair_;  // n*n, extension(a,b) or extension(b,a)

@@ -1,0 +1,342 @@
+// The shared spatial index and its determinism contract.
+//
+// Two layers of randomized checking:
+//  1. the index itself — query() must return exactly the closed-intersecting
+//     entries (superset-exact contract) in ascending id order, and the
+//     incremental structure must answer like a freshly rebuilt one;
+//  2. every consumer — the indexed engines of the compactor, the DRC, the
+//     connectivity extractor and the router obstacles must be *identical*
+//     to their brute-force oracles: same violations in the same order, same
+//     translations, same net partition, same conflict answers.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "compact/compactor.h"
+#include "db/connectivity.h"
+#include "drc/drc.h"
+#include "geom/spatial.h"
+#include "route/obstacles.h"
+#include "tech/builtin.h"
+
+namespace amg {
+namespace {
+
+using db::Module;
+using db::makeShape;
+using geom::SpatialIndex;
+using tech::bicmos1u;
+
+const tech::Technology& T() { return bicmos1u(); }
+
+bool closedIntersects(const Box& a, const Box& b) {
+  return a.x1 <= b.x2 && b.x1 <= a.x2 && a.y1 <= b.y2 && b.y1 <= a.y2;
+}
+
+// --------------------------------------------------------------------------
+// The index vs. an exhaustive scan
+// --------------------------------------------------------------------------
+
+struct RefEntry {
+  std::uint32_t id;
+  std::uint32_t bucket;
+  Box box;
+};
+
+std::vector<std::uint32_t> bruteQuery(const std::vector<RefEntry>& entries,
+                                      const Box& window,
+                                      std::optional<std::uint32_t> bucket) {
+  std::vector<std::uint32_t> out;
+  for (const RefEntry& e : entries) {
+    if (bucket && e.bucket != *bucket) continue;
+    if (closedIntersects(e.box, window)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(SpatialIndex, RandomQueriesMatchExhaustiveScan) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<Coord> pos(-50000, 50000);
+  std::uniform_int_distribution<Coord> sz(1, 30000);  // tiny to multi-cell
+  std::uniform_int_distribution<std::uint32_t> bucketPick(0, 3);
+  for (int trial = 0; trial < 30; ++trial) {
+    SpatialIndex idx;
+    std::vector<RefEntry> ref;
+    for (std::uint32_t i = 0; i < 120; ++i) {
+      const Box b = Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng));
+      const std::uint32_t bucket = bucketPick(rng);
+      idx.insert(i, bucket, b);
+      ref.push_back(RefEntry{i, bucket, b});
+    }
+    std::vector<std::uint32_t> got;
+    for (int q = 0; q < 40; ++q) {
+      const Box w = Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng));
+      idx.query(w, got);
+      EXPECT_EQ(got, bruteQuery(ref, w, std::nullopt)) << "trial " << trial;
+      const std::uint32_t bucket = bucketPick(rng);
+      idx.query(bucket, w, got);
+      EXPECT_EQ(got, bruteQuery(ref, w, bucket)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SpatialIndex, BandWindowsWithHugeExtentsMatch) {
+  // The compactor queries cross-axis bands whose movement-axis extent is
+  // effectively infinite; the window clamp must not lose entries.
+  constexpr Coord kFar = std::numeric_limits<Coord>::max() / 2;
+  std::mt19937 rng(22);
+  std::uniform_int_distribution<Coord> pos(-40000, 40000);
+  std::uniform_int_distribution<Coord> sz(100, 12000);
+  SpatialIndex idx;
+  std::vector<RefEntry> ref;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const Box b = Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng));
+    idx.insert(i, 0, b);
+    ref.push_back(RefEntry{i, 0, b});
+  }
+  std::vector<std::uint32_t> got;
+  for (int q = 0; q < 60; ++q) {
+    const Coord lo = pos(rng);
+    const Coord hi = lo + sz(rng);
+    const Box hBand{-kFar, lo, kFar, hi};
+    idx.query(hBand, got);
+    EXPECT_EQ(got, bruteQuery(ref, hBand, std::nullopt)) << "h q" << q;
+    const Box vBand{lo, -kFar, hi, kFar};
+    idx.query(vBand, got);
+    EXPECT_EQ(got, bruteQuery(ref, vBand, std::nullopt)) << "v q" << q;
+  }
+}
+
+TEST(SpatialIndex, IncrementalInsertsMatchRebuiltIndex) {
+  std::mt19937 rng(33);
+  std::uniform_int_distribution<Coord> pos(-30000, 30000);
+  std::uniform_int_distribution<Coord> sz(100, 9000);
+  SpatialIndex grown;
+  std::vector<RefEntry> ref;
+  std::vector<std::uint32_t> a, b;
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    const Box box = Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng));
+    grown.insert(i, i % 2, box);
+    ref.push_back(RefEntry{i, i % 2, box});
+
+    // After every insert the incremental index answers like one rebuilt
+    // from scratch over the same entries.
+    SpatialIndex rebuilt;
+    for (const RefEntry& e : ref) rebuilt.insert(e.id, e.bucket, e.box);
+    for (int q = 0; q < 3; ++q) {
+      const Box w = Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng));
+      grown.query(w, a);
+      rebuilt.query(w, b);
+      EXPECT_EQ(a, b) << "after insert " << i;
+      EXPECT_EQ(a, bruteQuery(ref, w, std::nullopt)) << "after insert " << i;
+    }
+  }
+}
+
+TEST(SpatialIndex, ReinsertUnionsCoverage) {
+  // Re-inserting an id with a grown box (the auto-connect extension case)
+  // makes the id visible through windows touching the new region.
+  SpatialIndex idx;
+  idx.insert(7, 0, Box{0, 0, 1000, 1000});
+  std::vector<std::uint32_t> got;
+  idx.query(Box{5000, 0, 6000, 1000}, got);
+  EXPECT_TRUE(got.empty());
+  idx.insert(7, 0, Box{0, 0, 6000, 1000});  // the shape grew east
+  idx.query(Box{5000, 0, 6000, 1000}, got);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{7}));
+  // ...and the id is reported once, not once per covering insert.
+  idx.query(Box{0, 0, 6000, 1000}, got);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{7}));
+}
+
+// --------------------------------------------------------------------------
+// Consumer equivalence: indexed engines vs. brute-force oracles
+// --------------------------------------------------------------------------
+
+/// A deliberately messy module: random boxes on several layers, close
+/// enough to violate spacings, overlap, and form odd connectivity.
+Module messyModule(std::mt19937& rng, int nShapes) {
+  std::uniform_int_distribution<Coord> pos(0, 40000);
+  std::uniform_int_distribution<Coord> sz(800, 6000);
+  std::uniform_int_distribution<int> layerPick(0, 5);
+  std::uniform_int_distribution<int> netPick(0, 3);
+  const char* layers[] = {"metal1", "metal2", "poly", "ndiff", "contact", "via"};
+  Module m(T(), "messy");
+  for (int i = 0; i < nShapes; ++i) {
+    const auto layer = T().layer(layers[layerPick(rng)]);
+    const int n = netPick(rng);
+    const db::NetId net = n == 0 ? db::kNoNet : m.net("n" + std::to_string(n));
+    m.addShape(makeShape(Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng)), layer, net));
+  }
+  return m;
+}
+
+TEST(SpatialConsumers, DrcViolationsIdenticalToBruteForce) {
+  std::mt19937 rng(44);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Module m = messyModule(rng, 60);
+    drc::CheckOptions indexed;
+    indexed.latchUp = false;
+    drc::CheckOptions brute = indexed;
+    brute.bruteForce = true;
+
+    const auto vi = drc::check(m, indexed);
+    const auto vb = drc::check(m, brute);
+    ASSERT_EQ(vi.size(), vb.size()) << "trial " << trial;
+    for (std::size_t k = 0; k < vi.size(); ++k) {
+      EXPECT_EQ(vi[k].kind, vb[k].kind) << "trial " << trial << " #" << k;
+      EXPECT_EQ(vi[k].a, vb[k].a) << "trial " << trial << " #" << k;
+      EXPECT_EQ(vi[k].b, vb[k].b) << "trial " << trial << " #" << k;
+      EXPECT_EQ(vi[k].where, vb[k].where) << "trial " << trial << " #" << k;
+      EXPECT_EQ(vi[k].message, vb[k].message) << "trial " << trial << " #" << k;
+    }
+  }
+}
+
+TEST(SpatialConsumers, ConnectivityIdenticalToBruteForce) {
+  std::mt19937 rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    Module m = messyModule(rng, 50);
+    // Force some gated diffusions: poly strips across diffusion shapes.
+    std::uniform_int_distribution<Coord> pos(0, 40000);
+    for (int i = 0; i < 6; ++i)
+      m.addShape(makeShape(Box::fromSize(pos(rng), pos(rng), 1000, 12000),
+                           T().layer("poly")));
+
+    const db::Connectivity ci(m, db::Connectivity::Engine::Indexed);
+    const db::Connectivity cb(m, db::Connectivity::Engine::BruteForce);
+    EXPECT_EQ(ci.componentCount(), cb.componentCount()) << "trial " << trial;
+    EXPECT_EQ(ci.components(), cb.components()) << "trial " << trial;
+    for (db::ShapeId id : m.shapeIds())
+      EXPECT_EQ(ci.componentOf(id), cb.componentOf(id)) << "trial " << trial;
+  }
+}
+
+Module randomCompactObject(std::mt19937& rng, int idx) {
+  std::uniform_int_distribution<Coord> sz(2000, 8000);
+  std::uniform_int_distribution<int> layerPick(0, 2);
+  const char* layers[] = {"metal1", "metal2", "poly"};
+  Module o(T(), "obj");
+  const int nShapes = 1 + static_cast<int>(rng() % 3);
+  Coord x = 0;
+  for (int i = 0; i < nShapes; ++i) {
+    const Coord w = sz(rng), h = sz(rng);
+    // Half the objects share net "bus" so auto-connect and same-potential
+    // abutment fire; the rest get a private net.
+    const std::string net = idx % 2 == 0 ? "bus" : "n" + std::to_string(idx);
+    auto& s = o.shape(o.addShape(makeShape(
+        Box::fromSize(x, 0, w, h), T().layer(layers[layerPick(rng)]), o.net(net))));
+    if (rng() % 2) s.varEdges = db::EdgeFlags::allVariable();
+    x += w;
+  }
+  return o;
+}
+
+TEST(SpatialConsumers, CompactorIdenticalToBruteForce) {
+  std::mt19937 rng(66);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Module> objs;
+    for (int i = 0; i < 8; ++i) objs.push_back(randomCompactObject(rng, i));
+    const Dir dirs[] = {Dir::West, Dir::South, Dir::East, Dir::North};
+    std::vector<Dir> order;
+    for (std::size_t i = 0; i < objs.size(); ++i) order.push_back(dirs[rng() % 4]);
+
+    compact::Options oi;  // Indexed default
+    compact::Options ob;
+    ob.engine = compact::Engine::BruteForce;
+
+    Module mi(T(), "t"), mb(T(), "t");
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      const auto ri = compact::compact(mi, objs[i], order[i], oi);
+      const auto rb = compact::compact(mb, objs[i], order[i], ob);
+      EXPECT_EQ(ri.translation, rb.translation) << "trial " << trial << " step " << i;
+      EXPECT_EQ(ri.edgeMoves, rb.edgeMoves) << "trial " << trial << " step " << i;
+      EXPECT_EQ(ri.autoConnects, rb.autoConnects) << "trial " << trial << " step " << i;
+      EXPECT_EQ(ri.idMap, rb.idMap) << "trial " << trial << " step " << i;
+    }
+    // The final geometry is identical shape by shape.
+    ASSERT_EQ(mi.rawSize(), mb.rawSize()) << "trial " << trial;
+    for (db::ShapeId id = 0; id < mi.rawSize(); ++id) {
+      EXPECT_EQ(mi.isAlive(id), mb.isAlive(id)) << "trial " << trial;
+      if (!mi.isAlive(id) || !mb.isAlive(id)) continue;
+      EXPECT_EQ(mi.shape(id).box, mb.shape(id).box) << "trial " << trial << " shape " << id;
+      EXPECT_EQ(mi.shape(id).layer, mb.shape(id).layer) << "trial " << trial;
+      EXPECT_EQ(mi.shape(id).net, mb.shape(id).net) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SpatialConsumers, CompactorSessionIdenticalToFreeFunction) {
+  // The Compactor session maintains its index incrementally across steps
+  // (arrivals, auto-connect extensions, variable-edge rebuilds, retired
+  // ids); it must match the free function, which rebuilds per call, and
+  // the brute-force session, which keeps no index at all.
+  std::mt19937 rng(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Module> objs;
+    for (int i = 0; i < 10; ++i) objs.push_back(randomCompactObject(rng, i));
+    const Dir dirs[] = {Dir::West, Dir::South, Dir::East, Dir::North};
+    std::vector<Dir> order;
+    for (std::size_t i = 0; i < objs.size(); ++i) order.push_back(dirs[rng() % 4]);
+
+    compact::Options ob;
+    ob.engine = compact::Engine::BruteForce;
+
+    Module ms(T(), "t"), mf(T(), "t"), mb(T(), "t");
+    compact::Compactor sessIdx(ms);
+    compact::Compactor sessBrute(mb, ob);
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      const auto rs = sessIdx.compact(objs[i], order[i]);
+      const auto rf = compact::compact(mf, objs[i], order[i]);
+      const auto rb = sessBrute.compact(objs[i], order[i]);
+      EXPECT_EQ(rs.translation, rf.translation) << "trial " << trial << " step " << i;
+      EXPECT_EQ(rs.translation, rb.translation) << "trial " << trial << " step " << i;
+      EXPECT_EQ(rs.edgeMoves, rf.edgeMoves) << "trial " << trial << " step " << i;
+      EXPECT_EQ(rs.autoConnects, rf.autoConnects) << "trial " << trial << " step " << i;
+      EXPECT_EQ(rs.idMap, rf.idMap) << "trial " << trial << " step " << i;
+    }
+    ASSERT_EQ(ms.rawSize(), mf.rawSize()) << "trial " << trial;
+    ASSERT_EQ(ms.rawSize(), mb.rawSize()) << "trial " << trial;
+    for (db::ShapeId id = 0; id < ms.rawSize(); ++id) {
+      EXPECT_EQ(ms.isAlive(id), mf.isAlive(id)) << "trial " << trial << " shape " << id;
+      EXPECT_EQ(ms.isAlive(id), mb.isAlive(id)) << "trial " << trial << " shape " << id;
+      if (!ms.isAlive(id) || !mf.isAlive(id) || !mb.isAlive(id)) continue;
+      EXPECT_EQ(ms.shape(id).box, mf.shape(id).box)
+          << "trial " << trial << " shape " << id;
+      EXPECT_EQ(ms.shape(id).box, mb.shape(id).box)
+          << "trial " << trial << " shape " << id;
+    }
+  }
+}
+
+TEST(SpatialConsumers, ObstaclesIdenticalToBruteForce) {
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<Coord> pos(0, 40000);
+  std::uniform_int_distribution<Coord> sz(500, 5000);
+  std::uniform_int_distribution<int> layerPick(0, 3);
+  const char* layers[] = {"metal1", "metal2", "poly", "contact"};
+  for (int trial = 0; trial < 10; ++trial) {
+    Module m = messyModule(rng, 50);
+    route::Obstacles oi(m, route::Obstacles::Engine::Indexed);
+    route::Obstacles ob(m, route::Obstacles::Engine::BruteForce);
+    for (int q = 0; q < 60; ++q) {
+      db::Shape probe = makeShape(Box::fromSize(pos(rng), pos(rng), sz(rng), sz(rng)),
+                                  T().layer(layers[layerPick(rng)]),
+                                  q % 3 == 0 ? m.net("n1") : db::kNoNet);
+      EXPECT_EQ(oi.firstConflict(probe), ob.firstConflict(probe))
+          << "trial " << trial << " probe " << q;
+      if (q % 10 == 5) {
+        // Grow both trackers identically and keep comparing.
+        const db::ShapeId id = m.addShape(probe);
+        oi.add(id);
+        ob.add(id);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amg
