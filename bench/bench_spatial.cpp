@@ -20,6 +20,7 @@
 #include "compact/compactor.h"
 #include "db/connectivity.h"
 #include "drc/drc.h"
+#include "obs/stats_writer.h"
 #include "tech/builtin.h"
 
 using namespace amg;
@@ -194,21 +195,12 @@ double speedupOf(const std::string& workload) {
 }
 
 void writeJson(const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (!f) return;
-  std::fprintf(f, "{\n  \"bench\": \"spatial\",\n  \"samples\": [\n");
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(f,
-                 "    {\"workload\": \"%s\", \"n\": %zu, \"engine\": \"%s\", "
-                 "\"wall_ms\": %.3f}%s\n",
-                 s.workload.c_str(), s.n, s.engine.c_str(), s.wallMs,
-                 i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n  \"identical_results\": %s\n}\n",
-               allIdentical ? "true" : "false");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  obs::StatsWriter w("spatial");
+  for (const Sample& s : samples) w.sample(s.workload, s.n, s.engine, s.wallMs);
+  w.flag("identical_results", allIdentical);
+  for (const char* wl : {"drc", "connectivity", "compactor"})
+    w.metric(std::string("speedup_") + wl, speedupOf(wl));
+  if (w.write(path)) std::printf("\nwrote %s\n", path);
 }
 
 void reportE11() {

@@ -5,9 +5,11 @@
 //   $ ./dsl_runner ../scripts/diffpair.amg
 //   $ ./dsl_runner ../scripts/contact_row.amg out_prefix
 //   $ ./dsl_runner --jobs 4 ../scripts/amplifier.amg
+//   $ ./dsl_runner --trace run.json --stats ../scripts/variants.amg
 //
 // --jobs N checks the produced objects' design rules on N threads
-// (0 = all hardware threads; default 1).
+// (0 = all hardware threads; default 1).  The observability flags
+// (--trace/--stats/--log-level) are shared with full_flow; see obs/obs.h.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,24 +20,28 @@
 #include "drc/drc.h"
 #include "io/svg.h"
 #include "lang/interp.h"
+#include "obs/obs.h"
 #include "tech/builtin.h"
 #include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace amg;
   std::size_t jobs = 1;
+  obs::CliOptions obsOpts;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0)
       jobs = static_cast<std::size_t>(std::atol(argv[i] + 7));
     else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (obs::parseCliFlag(argc, argv, i, obsOpts))
+      continue;
     else
       positional.push_back(argv[i]);
   }
   if (positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--jobs N] <script.amg> [output-prefix]\n",
-                 argv[0]);
+    std::fprintf(stderr, "usage: %s [--jobs N] <script.amg> [output-prefix]\n%s",
+                 argv[0], obs::cliUsage());
     return 2;
   }
   std::ifstream f(positional[0]);
@@ -87,5 +93,6 @@ int main(int argc, char** argv) {
   std::printf("interpreter: %zu statements, %zu entity calls, %zu compactions\n",
               in.stats().statementsExecuted, in.stats().entityCalls,
               in.stats().compactions);
+  obs::finishCli(obsOpts);
   return 0;
 }

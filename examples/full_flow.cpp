@@ -9,14 +9,17 @@
 //   5. export — SVG, CIF and GDSII.
 //
 //   $ ./full_flow [--jobs N]
+//   $ ./full_flow --trace trace.json --stats=stats.json
 //
 // --jobs N runs the §2.4 compaction-order report (stage 1b) on N threads
-// (0 = all hardware threads; default 1).
+// (0 = all hardware threads; default 1).  The observability flags
+// (--trace/--stats/--log-level) are shared with dsl_runner; see obs/obs.h.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "db/connectivity.h"
+#include "obs/obs.h"
 #include "drc/drc.h"
 #include "drc/extract.h"
 #include "io/cif.h"
@@ -70,6 +73,10 @@ std::size_t parseJobs(int argc, char** argv) {
 int main(int argc, char** argv) {
   const tech::Technology& t = tech::bicmos1u();
   const std::size_t jobs = parseJobs(argc, argv);
+  obs::CliOptions obsOpts;
+  for (int i = 1; i < argc; ++i) {
+    if (obs::parseCliFlag(argc, argv, i, obsOpts)) continue;
+  }
   std::printf("Full flow in %s\n", t.name().c_str());
 
   // --- 1. generation -------------------------------------------------------
@@ -212,5 +219,6 @@ int main(int argc, char** argv) {
   std::printf("  wrote full_flow.{svg,cif,gds}; total %.0f x %.0f um\n",
               (double)top.bbox().width() / kMicron,
               (double)top.bbox().height() / kMicron);
+  obs::finishCli(obsOpts);
   return violations.empty() && lvsRes.matched ? 0 : 1;
 }

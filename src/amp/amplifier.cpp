@@ -1,7 +1,6 @@
 #include "amp/amplifier.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "drc/drc.h"
 #include "modules/basic.h"
@@ -9,16 +8,11 @@
 #include "modules/centroid.h"
 #include "modules/guard.h"
 #include "modules/interdigitated.h"
+#include "obs/obs.h"
 #include "route/router.h"
 
 namespace amg::amp {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
 
 /// Bounding box of the widest shape of `net` on `layer` — the rail a
 /// global route attaches to.
@@ -131,16 +125,17 @@ AmplifierResult buildAmplifier(const Technology& t, const AmplifierSpec& spec) {
 
   // ----- module generation (one generator call per block) ----------------
   auto timed = [&](char id, const char* style, auto&& build) {
-    const auto t0 = Clock::now();
+    obs::Span span("amp.block");
+    span.arg("block", std::string(1, id)).arg("style", style);
     db::Module m = build();
-    const auto t1 = Clock::now();
     BlockReport r;
     r.id = id;
     r.style = style;
     r.width = m.bbox().width();
     r.height = m.bbox().height();
     r.rects = m.shapeCount();
-    r.buildSeconds = seconds(t0, t1);
+    r.buildSeconds = span.elapsedSeconds();
+    span.arg("rects", static_cast<std::uint64_t>(r.rects));
     res.blocks.push_back(r);
     res.totalSeconds += r.buildSeconds;
     return m;
@@ -163,7 +158,7 @@ AmplifierResult buildAmplifier(const Technology& t, const AmplifierSpec& spec) {
     blockF = timed('F', "symmetric npn pair", [&] { return makeBlockF(t, spec); });
 
   // ----- manual placement (two rows with routing streets) ----------------
-  const auto tAsm = Clock::now();
+  obs::Span asmSpan("amp.assemble");
   db::Module& top = res.layout;
   const Coord s = spec.street;
 
@@ -304,7 +299,8 @@ AmplifierResult buildAmplifier(const Technology& t, const AmplifierSpec& spec) {
   // not through drawn wiring.
   res.substrateContacts = drc::insertSubstrateContacts(top, "sub");
 
-  res.assembleSeconds = seconds(tAsm, Clock::now());
+  res.assembleSeconds = asmSpan.elapsedSeconds();
+  asmSpan.arg("substrate_contacts", static_cast<std::int64_t>(res.substrateContacts));
   const Box bbAll = top.bbox();
   res.width = bbAll.width();
   res.height = bbAll.height();

@@ -8,10 +8,16 @@
 #include "db/connectivity.h"
 #include "geom/contour.h"
 #include "geom/spatial.h"
+#include "obs/obs.h"
 #include "primitives/primitives.h"
 #include "tech/rulecache.h"
 
 namespace amg::compact {
+
+Engine defaultEngine() {
+  return obs::spatialEngines().compactIndexed ? Engine::Indexed : Engine::BruteForce;
+}
+
 namespace {
 
 using db::Module;
@@ -121,6 +127,11 @@ std::vector<Constraint> computeConstraints(const Module& target, const Module& o
       out.push_back(Constraint{need, ti, oi});
     }
   }
+  const auto universe =
+      static_cast<std::uint64_t>(target.shapeCount()) * obj.shapeCount();
+  OBS_COUNT_N("compact.constraints.universe", universe);
+  OBS_COUNT_N("compact.constraints.candidates", universe);  // brute examines all
+  OBS_COUNT_N("compact.constraints.emitted", out.size());
   return out;
 }
 
@@ -159,10 +170,12 @@ std::vector<Constraint> computeConstraintsIndexed(const Module& target,
   const std::vector<NetId> netMap = matchNets(target, obj);
   std::vector<Constraint> out;
   std::vector<std::uint32_t> cand;
+  std::uint64_t candTotal = 0;
   for (ShapeId oi : obj.shapeIds()) {
     const Shape& os = obj.shape(oi);
     const Coord halo = std::max<Coord>(0, rc.maxSpacing(os.layer) + opt.extraGap);
     idx.query(crossBand(dir, os.box, halo), cand);
+    candTotal += cand.size();
     for (const std::uint32_t ti : cand) {
       // A session-held index keeps ids retired by array rebuilds; brute
       // force iterates shapeIds(), which is alive-only.
@@ -181,6 +194,13 @@ std::vector<Constraint> computeConstraintsIndexed(const Module& target,
     return a.targetShape != b.targetShape ? a.targetShape < b.targetShape
                                           : a.objShape < b.objShape;
   });
+  const auto universe =
+      static_cast<std::uint64_t>(target.shapeCount()) * obj.shapeCount();
+  OBS_COUNT_N("compact.constraints.universe", universe);
+  OBS_COUNT_N("compact.constraints.candidates", candTotal);
+  if (universe > candTotal)
+    OBS_COUNT_N("compact.constraints.pruned", universe - candTotal);
+  OBS_COUNT_N("compact.constraints.emitted", out.size());
   return out;
 }
 
@@ -323,6 +343,18 @@ Result compactImpl(db::Module& target, const db::Module& obj, Dir dir,
   if (&target.technology() != &obj.technology())
     throw Error("compact: object and target use different technologies");
 
+  OBS_COUNT("compact.steps");
+  if (options.engine == Engine::Indexed)
+    OBS_COUNT("compact.engine.indexed");
+  else
+    OBS_COUNT("compact.engine.brute");
+  obs::Span span("compact.step");
+  span.arg("target", target.name())
+      .arg("obj", obj.name())
+      .arg("dir", dirName(dir))
+      .arg("target_shapes", static_cast<std::uint64_t>(target.shapeCount()))
+      .arg("obj_shapes", static_cast<std::uint64_t>(obj.shapeCount()));
+
   Result res;
 
   // "The first compaction command copies the first transistor into the
@@ -355,6 +387,7 @@ Result compactImpl(db::Module& target, const db::Module& obj, Dir dir,
     const auto cons = indexed
                           ? computeConstraintsIndexed(target, work, dir, options, *tidx)
                           : computeConstraints(target, work, dir, options);
+    OBS_HIST("compact.step.constraints", cons.size());
     if (cons.empty()) {
       tc = bboxAbutTranslation(target, work, dir);
       break;
@@ -521,6 +554,9 @@ Result compactImpl(db::Module& target, const db::Module& obj, Dir dir,
     // arrays re-inserted; a per-call index is about to be discarded.
     rebuildArraysFor(target, extended, session);
   }
+  OBS_COUNT_N("compact.edge_moves", res.edgeMoves);
+  OBS_COUNT_N("compact.autoconnect.extensions", res.autoConnects);
+  span.arg("edge_moves", res.edgeMoves).arg("auto_connects", res.autoConnects);
   return res;
 }
 

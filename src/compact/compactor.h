@@ -45,6 +45,10 @@ enum class Engine : std::uint8_t {
   BruteForce,  ///< all-pairs scans, the original O(n·m) paths
 };
 
+/// The engine a default-constructed Options selects: follows the central
+/// obs::spatialEngines() config block (indexed unless steered otherwise).
+Engine defaultEngine();
+
 /// Per-step options of one compact() call.
 struct Options {
   /// Layers "not relevant during this compaction step" (third parameter of
@@ -58,7 +62,7 @@ struct Options {
   /// "the objects are placed with the minimum distance").
   Coord extraGap = 0;
   /// Pair-enumeration engine for constraints and auto-connect scans.
-  Engine engine = Engine::Indexed;
+  Engine engine = defaultEngine();
 };
 
 /// Result of one compaction step.

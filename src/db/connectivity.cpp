@@ -5,6 +5,7 @@
 
 #include "geom/spatial.h"
 #include "geom/subtract.h"
+#include "obs/obs.h"
 
 namespace amg::db {
 
@@ -15,7 +16,21 @@ bool electricallyTouching(const Box& a, const Box& b) {
   return ix1 < ix2 || iy1 < iy2;                   // more than a corner point
 }
 
+Connectivity::Connectivity(const Module& m)
+    : Connectivity(m, obs::spatialEngines().connectivityIndexed
+                          ? Engine::Indexed
+                          : Engine::BruteForce) {}
+
 Connectivity::Connectivity(const Module& m, Engine engine) : m_(&m) {
+  obs::Span span("db.connectivity");
+  span.arg("module", m.name())
+      .arg("shapes", static_cast<std::uint64_t>(m.shapeCount()))
+      .arg("engine", engine == Engine::Indexed ? "indexed" : "brute");
+  OBS_COUNT("connectivity.builds");
+  if (engine == Engine::Indexed)
+    OBS_COUNT("connectivity.engine.indexed");
+  else
+    OBS_COUNT("connectivity.engine.brute");
   const tech::Technology& t = m.technology();
   const bool indexed = engine == Engine::Indexed;
 

@@ -33,7 +33,10 @@ class Connectivity {
   /// prune, verified by tests); BruteForce is the all-pairs oracle.
   enum class Engine : std::uint8_t { Indexed, BruteForce };
 
-  explicit Connectivity(const Module& m, Engine engine = Engine::Indexed);
+  /// The single-argument form follows the central obs::spatialEngines()
+  /// config block (indexed unless steered otherwise).
+  explicit Connectivity(const Module& m);
+  Connectivity(const Module& m, Engine engine);
 
   /// True when any electrical parts of the two shapes share a component.
   bool connected(ShapeId a, ShapeId b) const;

@@ -7,9 +7,13 @@
 #include "db/connectivity.h"
 #include "geom/spatial.h"
 #include "geom/subtract.h"
+#include "obs/obs.h"
 #include "tech/rulecache.h"
 
 namespace amg::drc {
+
+bool defaultBruteForce() { return !obs::spatialEngines().drcIndexed; }
+
 namespace {
 
 using db::Module;
@@ -79,21 +83,32 @@ void checkSpacings(const Module& m, bool samePotentialExempt, bool bruteForce,
             " and " + shapeDesc(m, ib)});
   };
 
+  const auto universe =
+      static_cast<std::uint64_t>(ids.size()) * (ids.empty() ? 0 : ids.size() - 1) / 2;
+  OBS_COUNT_N("drc.spacing.universe", universe);
   if (bruteForce) {
     for (std::size_t i = 0; i < ids.size(); ++i)
       for (std::size_t j = i + 1; j < ids.size(); ++j) report(ids[i], ids[j]);
+    OBS_COUNT_N("drc.spacing.candidates", universe);  // brute examines all
     return;
   }
   // Candidates within the per-layer max-rule halo; ids ascending keeps the
   // violation order identical to the all-pairs scan.
   const geom::SpatialIndex idx = buildShapeIndex(m);
   std::vector<std::uint32_t> cand;
+  std::uint64_t candTotal = 0;
   for (const ShapeId ia : ids) {
     const Shape& a = m.shape(ia);
     idx.query(a.box.expanded(rc.maxSpacing(a.layer)), cand);
-    for (const std::uint32_t ib : cand)
-      if (ib > ia) report(ia, ib);
+    for (const std::uint32_t ib : cand) {
+      if (ib > ia) {
+        ++candTotal;
+        report(ia, ib);
+      }
+    }
   }
+  OBS_COUNT_N("drc.spacing.candidates", candTotal);
+  if (universe > candTotal) OBS_COUNT_N("drc.spacing.pruned", universe - candTotal);
 }
 
 void checkEnclosures(const Module& m, bool bruteForce, std::vector<Violation>& out) {
@@ -188,6 +203,15 @@ std::vector<Box> uncoveredActive(const db::Module& m) {
 }
 
 std::vector<Violation> check(const db::Module& m, const CheckOptions& options) {
+  OBS_COUNT("drc.checks");
+  if (options.bruteForce)
+    OBS_COUNT("drc.engine.brute");
+  else
+    OBS_COUNT("drc.engine.indexed");
+  obs::Span span("drc.check");
+  span.arg("module", m.name())
+      .arg("shapes", static_cast<std::uint64_t>(m.shapeCount()))
+      .arg("engine", options.bruteForce ? "brute" : "indexed");
   std::vector<Violation> out;
   if (options.widths) checkWidths(m, out);
   if (options.spacings)
@@ -205,6 +229,18 @@ std::vector<Violation> check(const db::Module& m, const CheckOptions& options) {
                               piece,
                               "pdiff " + piece.str() + " not enclosed by an n-well"});
   }
+  // Violation counts by rule — the names are dynamic (one counter per
+  // kind), so this goes through the registry directly, not OBS_COUNT.
+  if (obs::statsEnabled() && !out.empty()) {
+    for (const Violation& v : out)
+      obs::Stats::global()
+          .counter(std::string("drc.violations.") + violationName(v.kind))
+          .add();
+  }
+  span.arg("violations", static_cast<std::uint64_t>(out.size()));
+  OBS_LOG(Debug, "drc.check",
+          "module '" + m.name() + "': " + std::to_string(out.size()) +
+              " violation(s)");
   return out;
 }
 
@@ -244,6 +280,8 @@ bool placementLegal(const Module& m, const Shape& cand, const geom::SpatialIndex
 }  // namespace
 
 int insertSubstrateContacts(db::Module& m, const std::string& netName) {
+  obs::Span span("drc.substrate_contacts");
+  span.arg("module", m.name());
   const Technology& t = m.technology();
   const tech::LayerId tie = t.substrateTieLayer();
   if (tie == tech::kNoLayer)
@@ -264,7 +302,11 @@ int insertSubstrateContacts(db::Module& m, const std::string& netName) {
   int inserted = 0;
   for (int round = 0; round < 64; ++round) {
     const auto uncovered = uncoveredActive(m);
-    if (uncovered.empty()) return inserted;
+    if (uncovered.empty()) {
+      OBS_COUNT_N("drc.substrate.inserted", inserted);
+      span.arg("inserted", inserted);
+      return inserted;
+    }
 
     const Box piece = uncovered.front();
     // Search positions on expanding rings around the uncovered piece; any
@@ -276,6 +318,7 @@ int insertSubstrateContacts(db::Module& m, const std::string& netName) {
         for (int iy = -ring; iy <= ring && !placed; ++iy) {
           if (std::max(std::abs(ix), std::abs(iy)) != ring) continue;
           const Point c{piece.center().x + ix * step, piece.center().y + iy * step};
+          OBS_COUNT("drc.substrate.probes");
           const Shape tieShape =
               db::makeShape(Box::centredOn(c, tieSize, tieSize), tie, net);
           // The guard from this position must still cover the piece.
@@ -300,6 +343,8 @@ int insertSubstrateContacts(db::Module& m, const std::string& netName) {
       throw DesignRuleError(
           "insertSubstrateContacts: no legal position found near " + piece.str());
   }
+  OBS_COUNT_N("drc.substrate.inserted", inserted);
+  span.arg("inserted", inserted);
   return inserted;
 }
 

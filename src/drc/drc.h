@@ -28,6 +28,10 @@ enum class ViolationKind : std::uint8_t {
 
 const char* violationName(ViolationKind k);
 
+/// The pair-enumeration default a fresh CheckOptions selects: follows the
+/// central obs::spatialEngines() config block (indexed unless steered).
+bool defaultBruteForce();
+
 struct Violation {
   ViolationKind kind;
   db::ShapeId a = db::kNoShape;  ///< offending shape
@@ -45,7 +49,7 @@ struct CheckOptions {
   /// index.  Both engines report identical violations in identical order
   /// (enforced by tests); the brute path is the oracle and the benchmark
   /// baseline.
-  bool bruteForce = false;
+  bool bruteForce = defaultBruteForce();
   /// Exempt same-layer spacing between geometrically connected shapes —
   /// the compactor's same-potential merge produces intentional abutments.
   bool samePotentialExempt = true;

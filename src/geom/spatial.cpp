@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace amg::geom {
 namespace {
 
@@ -48,6 +50,7 @@ SpatialIndex::Column& SpatialIndex::columnFor(Bucket& b, std::int64_t cx) {
 }
 
 void SpatialIndex::insert(std::uint32_t id, std::uint32_t bucket, const Box& box) {
+  OBS_COUNT("spatial.inserts");
   const auto idx = static_cast<std::uint32_t>(entries_.size());
   entries_.push_back(Entry{box, id});
   bounds_ = bounds_.unite(box);
@@ -123,6 +126,8 @@ void SpatialIndex::query(const Box& window, std::vector<std::uint32_t>& out) con
   for (const Bucket& b : buckets_) gather(b, window, out);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  OBS_COUNT("spatial.queries");
+  OBS_COUNT_N("spatial.candidates", out.size());
 }
 
 void SpatialIndex::query(std::uint32_t bucket, const Box& window,
@@ -132,6 +137,8 @@ void SpatialIndex::query(std::uint32_t bucket, const Box& window,
   gather(buckets_[bucket], window, out);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  OBS_COUNT("spatial.queries");
+  OBS_COUNT_N("spatial.candidates", out.size());
 }
 
 }  // namespace amg::geom

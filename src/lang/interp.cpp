@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "compact/compactor.h"
+#include "obs/obs.h"
 #include "opt/rating.h"
 #include "primitives/primitives.h"
 #include "route/router.h"
@@ -105,6 +106,9 @@ class Interpreter::Impl {
     (void)args;
     if (++depth_ > 64) throw LangError("entity recursion too deep", line);
     ++host_.stats_.entityCalls;
+    OBS_COUNT("lang.entity.calls");
+    obs::Span span("lang.entity");
+    span.arg("entity", ent.name).arg("line", line).arg("depth", depth_);
 
     scopes_.emplace_back();
     for (const auto& p : ent.params) scopes_.back()[p.name] = Value{};
@@ -227,37 +231,68 @@ class Interpreter::Impl {
     const db::Module snapshotSelf = me;
     const auto snapshotScopes = scopes_;
 
+    obs::Span span("lang.variant");
+    span.arg("line", s.line)
+        .arg("branches", static_cast<std::uint64_t>(s.branches.size()))
+        .arg("rated", s.rated);
+
     std::optional<db::Module> bestSelf;
     std::optional<std::vector<std::map<std::string, Value>>> bestScopes;
     double bestScore = 0;
+    int bestBranch = -1;
     std::string firstError;
 
+    int branchIdx = -1;
     for (const Body& branch : s.branches) {
+      ++branchIdx;
       me = snapshotSelf;
       scopes_ = snapshotScopes;
+      OBS_COUNT("lang.variant.branches_tried");
       try {
         execBody(branch);
       } catch (const DesignRuleError& e) {
         ++host_.stats_.variantRollbacks;
+        OBS_COUNT("lang.variant.rejected");
+        OBS_LOG(Debug, "lang.variant",
+                "line " + std::to_string(s.line) + " branch " +
+                    std::to_string(branchIdx) + " rejected: " + e.what());
         if (firstError.empty()) firstError = e.what();
         continue;
       }
-      if (!s.rated) return;  // first feasible branch wins
-      const double score = opt::rate(me);
+      if (!s.rated) {  // first feasible branch wins
+        OBS_COUNT("lang.variant.accepted");
+        span.arg("winner", branchIdx);
+        return;
+      }
+      double score;
+      {
+        obs::Span rateSpan("opt.rate");
+        OBS_COUNT("opt.variant.rated");
+        score = opt::rate(me);
+        rateSpan.arg("branch", branchIdx).arg("score", score);
+      }
+      OBS_LOG(Trace, "lang.variant",
+              "line " + std::to_string(s.line) + " branch " +
+                  std::to_string(branchIdx) + " scored " + std::to_string(score));
       if (!bestSelf || score < bestScore) {
         bestScore = score;
         bestSelf = me;
         bestScopes = scopes_;
+        bestBranch = branchIdx;
       }
     }
 
     if (bestSelf) {
+      OBS_COUNT("lang.variant.accepted");
+      span.arg("winner", bestBranch).arg("best_score", bestScore);
       me = std::move(*bestSelf);
       scopes_ = std::move(*bestScopes);
       return;
     }
     me = snapshotSelf;
     scopes_ = snapshotScopes;
+    OBS_LOG(Info, "lang.variant",
+            "line " + std::to_string(s.line) + ": all branches failed");
     throw DesignRuleError("all VARIANT branches failed" +
                           (firstError.empty() ? "" : ("; first error: " + firstError)));
   }
@@ -495,6 +530,7 @@ class Interpreter::Impl {
           opt.ignoreLayers.push_back(layerOf(vals[i], e.line));
         compact::compact(m, vals[0].asObject(), vals[1].asDir(), opt);
         ++host_.stats_.compactions;
+        OBS_COUNT("lang.compactions");
         return Value{};
       }
       if (f == "PIN") {

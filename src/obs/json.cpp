@@ -1,0 +1,124 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+
+namespace amg::obs {
+
+std::string escapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    std::fputc(',', f_);
+  }
+}
+
+void JsonWriter::key(const char* k) {
+  comma();
+  std::fprintf(f_, "\"%s\":", escapeJson(k).c_str());
+}
+
+void JsonWriter::beginObject() {
+  comma();
+  std::fputc('{', f_);
+  stack_.push_back('o');
+  first_.push_back(true);
+}
+
+void JsonWriter::beginObject(const char* k) {
+  key(k);
+  std::fputc('{', f_);
+  stack_.push_back('o');
+  first_.push_back(true);
+}
+
+void JsonWriter::beginArray() {
+  comma();
+  std::fputc('[', f_);
+  stack_.push_back('a');
+  first_.push_back(true);
+}
+
+void JsonWriter::beginArray(const char* k) {
+  key(k);
+  std::fputc('[', f_);
+  stack_.push_back('a');
+  first_.push_back(true);
+}
+
+void JsonWriter::end() {
+  if (stack_.empty()) return;
+  std::fputc(stack_.back() == 'o' ? '}' : ']', f_);
+  stack_.pop_back();
+  first_.pop_back();
+}
+
+void JsonWriter::field(const char* k, std::string_view v) {
+  key(k);
+  std::fprintf(f_, "\"%s\"", escapeJson(v).c_str());
+}
+
+void JsonWriter::field(const char* k, double v) {
+  key(k);
+  std::fprintf(f_, "%.6g", v);
+}
+
+void JsonWriter::field(const char* k, std::uint64_t v) {
+  key(k);
+  std::fprintf(f_, "%" PRIu64, v);
+}
+
+void JsonWriter::field(const char* k, std::int64_t v) {
+  key(k);
+  std::fprintf(f_, "%" PRId64, v);
+}
+
+void JsonWriter::field(const char* k, bool v) {
+  key(k);
+  std::fputs(v ? "true" : "false", f_);
+}
+
+void JsonWriter::fieldRaw(const char* k, std::string_view rawJson) {
+  key(k);
+  std::fwrite(rawJson.data(), 1, rawJson.size(), f_);
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  std::fprintf(f_, "\"%s\"", escapeJson(v).c_str());
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  std::fprintf(f_, "%.6g", v);
+}
+
+void JsonWriter::valueRaw(std::string_view rawJson) {
+  comma();
+  std::fwrite(rawJson.data(), 1, rawJson.size(), f_);
+}
+
+}  // namespace amg::obs

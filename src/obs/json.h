@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer shared by the trace exporter, the stats
+// dumps and the bench result files.  Handles the two things hand-rolled
+// fprintf emitters keep getting wrong: comma placement (a stack of
+// "first element?" flags) and string escaping.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amg::obs {
+
+/// JSON-escape `s` (quotes, backslashes, control characters); returns the
+/// body without the surrounding quotes.
+std::string escapeJson(std::string_view s);
+
+/// Streaming writer over a FILE* the caller owns.  Usage:
+///   JsonWriter w(f);
+///   w.beginObject();
+///     w.field("bench", "spatial");
+///     w.beginArray("samples");
+///       w.beginObject(); w.field("n", 42); w.end();
+///     w.end();
+///   w.end();
+/// Keys are only valid inside objects, bare value()/begin*() without a key
+/// only inside arrays (or for the root value) — the writer asserts nothing
+/// and trusts the caller, but every call site in this repo is covered by
+/// the JSON-validity tests.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void beginObject();
+  void beginObject(const char* key);
+  void beginArray();
+  void beginArray(const char* key);
+  /// Close the innermost object/array.
+  void end();
+
+  void field(const char* key, std::string_view v);
+  void field(const char* key, const char* v) { field(key, std::string_view(v)); }
+  void field(const char* key, double v);
+  void field(const char* key, std::uint64_t v);
+  void field(const char* key, std::int64_t v);
+  void field(const char* key, int v) { field(key, static_cast<std::int64_t>(v)); }
+  void field(const char* key, bool v);
+  /// A key whose value is already-rendered JSON.
+  void fieldRaw(const char* key, std::string_view rawJson);
+
+  void value(std::string_view v);
+  void value(double v);
+  void valueRaw(std::string_view rawJson);
+
+ private:
+  void comma();
+  void key(const char* k);
+
+  std::FILE* f_;
+  std::vector<char> stack_;   // 'o' / 'a'
+  std::vector<bool> first_;   // first element at this depth?
+};
+
+}  // namespace amg::obs

@@ -5,6 +5,7 @@
 #include <random>
 #include <optional>
 
+#include "obs/obs.h"
 #include "opt/search_core.h"
 
 namespace amg::opt {
@@ -41,8 +42,23 @@ void searchSubtree(const BuildPlan& plan, const RatingWeights& weights,
     // Claim one unit of the rating budget before doing the work.
     if (shared.evaluated.fetch_add(1, std::memory_order_relaxed) >= shared.maxOrders)
       return;
+    OBS_COUNT("opt.orders.evaluated");
+    obs::Span pspan("opt.permutation");
+    if (pspan) {
+      std::string ord;
+      for (const std::size_t i : current) {
+        if (!ord.empty()) ord += ',';
+        ord += std::to_string(i);
+      }
+      pspan.arg("order", std::move(ord));
+    }
     const double score = rate(partial, weights);
-    shared.publish(score);
+    pspan.arg("score", score);
+    if (shared.publish(score)) {
+      OBS_COUNT("opt.best_improvements");
+      pspan.arg("improved", true);
+      OBS_LOG(Info, "opt.best", "new best-so-far score " + std::to_string(score));
+    }
     if (local.accepts(score, current)) {
       local.score = score;
       local.best = partial;
@@ -60,6 +76,7 @@ void searchSubtree(const BuildPlan& plan, const RatingWeights& weights,
       weights.areaWeight * static_cast<double>(partial.area()) >
           shared.bestScore.load(std::memory_order_relaxed)) {
     shared.pruned.fetch_add(1, std::memory_order_relaxed);
+    OBS_COUNT("opt.orders.pruned");
     return;
   }
 
@@ -81,6 +98,10 @@ void searchSubtree(const BuildPlan& plan, const RatingWeights& weights,
 
 OptimizeResult optimizeOrder(const BuildPlan& plan, const RatingWeights& weights,
                              const OptimizeOptions& options) {
+  obs::Span span("opt.search");
+  span.arg("plan", plan.name)
+      .arg("steps", static_cast<std::uint64_t>(plan.steps.size()))
+      .arg("threads", 1);
   detail::SharedSearch shared(options);
   detail::LocalBest local;
   std::vector<std::size_t> current;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/obs.h"
 #include "opt/search_core.h"
 #include "util/thread_pool.h"
 
@@ -58,15 +59,25 @@ OptimizeResult optimizeOrderParallel(const BuildPlan& plan,
   // thread-safe; this just keeps the build out of the measured region).
   (void)plan.seed.technology().rules();
 
+  obs::Span span("opt.search");
+  span.arg("plan", plan.name)
+      .arg("steps", static_cast<std::uint64_t>(n))
+      .arg("tasks", static_cast<std::uint64_t>(tasks.size()));
+
   std::atomic<std::size_t> nextTask{0};
   util::ThreadPool pool(std::min(threads, tasks.size()));
+  span.arg("threads", static_cast<std::uint64_t>(pool.size()));
   for (std::size_t w = 0; w < pool.size(); ++w) {
     pool.run([&] {
       // Each worker claims unstarted subtrees until none remain — the
       // "work stealing": fast workers drain the queue for slow ones.
+      std::size_t claimed = 0;
       for (std::size_t t = nextTask.fetch_add(1, std::memory_order_relaxed);
            t < tasks.size();
            t = nextTask.fetch_add(1, std::memory_order_relaxed)) {
+        ++claimed;
+        obs::Span tspan("opt.subtree");
+        tspan.arg("task", static_cast<std::uint64_t>(t));
         const std::vector<std::size_t>& prefix = tasks[t];
         std::vector<std::size_t> current;
         std::vector<bool> used(n, false);
@@ -80,6 +91,8 @@ OptimizeResult optimizeOrderParallel(const BuildPlan& plan,
         detail::searchSubtree(plan, weights, shared, current, used, partial,
                               results[t]);
       }
+      // Per-worker utilization: how evenly the claim loop spread the work.
+      OBS_HIST("opt.worker.tasks", claimed);
     });
   }
   pool.wait();

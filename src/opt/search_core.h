@@ -41,12 +41,16 @@ struct SharedSearch {
   std::size_t maxOrders;
   bool branchAndBound;
 
-  /// CAS-min publish of a completed order's score.
-  void publish(double score) {
+  /// CAS-min publish of a completed order's score.  Returns true when this
+  /// call improved the shared incumbent (used for the best-so-far
+  /// trajectory in the observability layer).
+  bool publish(double score) {
     double cur = bestScore.load(std::memory_order_relaxed);
-    while (score < cur &&
-           !bestScore.compare_exchange_weak(cur, score, std::memory_order_relaxed)) {
+    while (score < cur) {
+      if (bestScore.compare_exchange_weak(cur, score, std::memory_order_relaxed))
+        return true;
     }
+    return false;
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace amg::prim {
 namespace {
 
@@ -94,6 +96,7 @@ void expandOuters(Module& m, const std::vector<ShapeId>& outers, LayerId innerLa
 ShapeId inbox(Module& m, LayerId layer, std::optional<Coord> w, std::optional<Coord> h,
               NetId net, std::vector<ShapeId> outers) {
   const Technology& t = m.technology();
+  OBS_COUNT("prim.inbox.calls");
   outers = resolveOuters(m, std::move(outers));
   const auto [minW, minH] = minDims(t, layer);
   checkRequestedDim(t, layer, "width", w, minW);
@@ -112,6 +115,10 @@ ShapeId inbox(Module& m, LayerId layer, std::optional<Coord> w, std::optional<Co
   if (region.empty() || region.width() < needW || region.height() < needH) {
     // "If the new rectangle cannot be placed inside the other rectangles,
     // all outer rectangles are expanded."
+    OBS_COUNT("prim.inbox.expanded");
+    OBS_LOG(Debug, "prim.inbox",
+            "expanding " + std::to_string(outers.size()) + " outer rectangles on '" +
+                t.info(layer).name + "'");
     Box anchor;
     for (ShapeId id : outers) anchor = anchor.unite(m.shape(id).box);
     const Point c = region.empty() ? anchor.center() : region.center();
@@ -131,6 +138,7 @@ ShapeId inbox(Module& m, LayerId layer, std::optional<Coord> w, std::optional<Co
 ShapeId around(Module& m, LayerId layer, std::vector<ShapeId> targets, Coord extraMargin,
                NetId net) {
   const Technology& t = m.technology();
+  OBS_COUNT("prim.around.calls");
   if (targets.empty()) targets = m.shapeIds();
   if (targets.empty())
     throw DesignRuleError("AROUND on layer '" + t.info(layer).name +
@@ -157,6 +165,7 @@ std::vector<ShapeId> array(Module& m, LayerId cutLayer, std::vector<ShapeId> con
   if (t.info(cutLayer).kind != LayerKind::Cut)
     throw DesignRuleError("ARRAY: layer '" + t.info(cutLayer).name +
                           "' is not a cut layer");
+  OBS_COUNT("prim.array.calls");
   containers = resolveOuters(m, std::move(containers));
   if (containers.empty())
     throw DesignRuleError("ARRAY on layer '" + t.info(cutLayer).name +
@@ -169,6 +178,7 @@ std::vector<ShapeId> array(Module& m, LayerId cutLayer, std::vector<ShapeId> con
   if (region.empty() || region.width() < cw || region.height() < ch) {
     // "If no rectangle can be placed, the outer geometries are expanded so
     // that at least one rectangle can be generated."
+    OBS_COUNT("prim.array.expanded");
     Box anchor;
     for (ShapeId id : containers) anchor = anchor.unite(m.shape(id).box);
     const Point c = region.empty() ? anchor.center() : region.center();
@@ -203,6 +213,7 @@ std::vector<ShapeId> polygon(Module& m, LayerId layer, const geom::Polygon& poly
 
 void rebuildArray(Module& m, db::ArrayRecord& rec) {
   const Technology& t = m.technology();
+  OBS_COUNT("prim.array.rebuilds");
   const auto [cw, ch] = t.cutSize(rec.elemLayer);
   const Coord gap = t.minSpacing(rec.elemLayer, rec.elemLayer).value_or(0);
 
@@ -232,6 +243,7 @@ std::vector<ShapeId> ring(Module& m, LayerId layer, std::optional<Coord> width,
                           std::optional<Coord> gap, std::vector<ShapeId> targets,
                           NetId net) {
   const Technology& t = m.technology();
+  OBS_COUNT("prim.ring.calls");
   if (targets.empty()) targets = m.shapeIds();
   if (targets.empty())
     throw DesignRuleError("RING on layer '" + t.info(layer).name +

@@ -2,11 +2,20 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "tech/rulecache.h"
 
 namespace amg::route {
 
+Obstacles::Obstacles(const db::Module& m)
+    : Obstacles(m, obs::spatialEngines().routeIndexed ? Engine::Indexed
+                                                      : Engine::BruteForce) {}
+
 Obstacles::Obstacles(const db::Module& m, Engine engine) : m_(&m), engine_(engine) {
+  if (engine_ == Engine::Indexed)
+    OBS_COUNT("route.engine.indexed");
+  else
+    OBS_COUNT("route.engine.brute");
   for (db::ShapeId id : m.shapeIds()) {
     ids_.push_back(id);
     if (engine_ == Engine::Indexed)
@@ -25,6 +34,7 @@ void Obstacles::add(db::ShapeId id) {
 std::optional<db::ShapeId> Obstacles::firstConflict(const db::Shape& s) const {
   const tech::RuleCache& rc = m_->technology().rules();
   if (rc.kind(s.layer) == tech::LayerKind::Marker) return std::nullopt;
+  OBS_COUNT("route.obstacles.probes");
 
   const db::ShapeId* begin = ids_.data();
   const db::ShapeId* end = begin + ids_.size();
@@ -35,6 +45,7 @@ std::optional<db::ShapeId> Obstacles::firstConflict(const db::Shape& s) const {
     begin = scratch_.data();
     end = begin + scratch_.size();
   }
+  OBS_COUNT_N("route.obstacles.candidates", static_cast<std::uint64_t>(end - begin));
 
   for (const db::ShapeId* it = begin; it != end; ++it) {
     const db::ShapeId id = *it;
@@ -43,8 +54,12 @@ std::optional<db::ShapeId> Obstacles::firstConflict(const db::Shape& s) const {
     if (rc.kind(o.layer) == tech::LayerKind::Marker) continue;
     if (s.net != db::kNoNet && o.net == s.net) continue;
     if (auto rule = rc.minSpacing(s.layer, o.layer)) {
-      if (gapX(s.box, o.box) < *rule && gapY(s.box, o.box) < *rule) return id;
+      if (gapX(s.box, o.box) < *rule && gapY(s.box, o.box) < *rule) {
+        OBS_COUNT("route.obstacles.conflicts");
+        return id;
+      }
     } else if (s.box.overlaps(o.box)) {
+      OBS_COUNT("route.obstacles.conflicts");
       return id;
     }
   }

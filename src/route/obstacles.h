@@ -29,8 +29,10 @@ class Obstacles {
 
   /// Snapshot the current shapes of `m` as obstacles.  The module must
   /// outlive the Obstacles; shapes added to `m` later are only considered
-  /// after an explicit add().
-  explicit Obstacles(const db::Module& m, Engine engine = Engine::Indexed);
+  /// after an explicit add().  The single-argument form follows the central
+  /// obs::spatialEngines() config block (indexed unless steered otherwise).
+  explicit Obstacles(const db::Module& m);
+  Obstacles(const db::Module& m, Engine engine);
 
   /// Register a shape created after the snapshot (a placed wire segment)
   /// as an obstacle for subsequent probes.

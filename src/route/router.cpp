@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
 #include "primitives/primitives.h"
 #include "route/obstacles.h"
 
@@ -30,6 +31,7 @@ ShapeId wireStraight(Module& m, LayerId layer, Point a, Point b,
   const Coord w = wireWidth(m.technology(), layer, width);
   if (a.x != b.x && a.y != b.y)
     throw DesignRuleError("wireStraight: endpoints are not axis-aligned");
+  OBS_COUNT("route.wires");
   Box box;
   if (a.x == b.x) {
     const Coord lo = std::min(a.y, b.y) - w / 2, hi = std::max(a.y, b.y) + (w - w / 2);
@@ -82,6 +84,7 @@ std::vector<ShapeId> viaStack(Module& m, Point at, LayerId from, LayerId to,
     throw DesignRuleError("no cut layer connects '" + t.info(from).name + "' and '" +
                           t.info(to).name + "'");
   const LayerId cut = cuts.front();
+  OBS_COUNT("route.vias");
   const auto [cw, ch] = t.cutSize(cut);
   const Coord encFrom = t.enclosure(from, cut).value_or(0);
   const Coord encTo = t.enclosure(to, cut).value_or(0);
@@ -153,6 +156,11 @@ std::vector<ShapeId> connectPorts(Module& m, const db::PortDef& a,
 int channelRoute(Module& m, const std::vector<ChannelNet>& nets, Coord yBottom,
                  Coord yTop, LayerId hLayer, LayerId vLayer,
                  std::optional<Coord> width, bool verifyClear) {
+  obs::Span span("route.channel");
+  span.arg("module", m.name())
+      .arg("nets", static_cast<std::uint64_t>(nets.size()))
+      .arg("verify", verifyClear);
+  OBS_COUNT("route.channels");
   const Technology& t = m.technology();
   const Coord w = wireWidth(t, hLayer, width);
   const Coord wv = std::max(w, t.minWidth(vLayer));
@@ -272,6 +280,7 @@ int channelRoute(Module& m, const std::vector<ChannelNet>& nets, Coord yBottom,
       }
     }
   }
+  span.arg("tracks", tracks);
   return tracks;
 }
 
