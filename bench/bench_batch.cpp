@@ -1,0 +1,135 @@
+// E12: batch generation engine — warm vs cold cache throughput.
+//
+// A 120-job DiffPair parameter sweep runs twice through one BatchEngine:
+// the cold pass generates every module (interpreter + compactor) and fills
+// the content-addressed cache; the warm pass replays the identical sweep
+// and must be served entirely from the cache.  Two self-checks gate the
+// result:
+//   * every warm layout is byte-identical to its cold counterpart
+//     (serializeLayout comparison — the cache stores the cold bytes, so
+//     anything else is a lookup bug), and
+//   * the warm pass is >= 10x faster than the cold pass.
+// Results land in BENCH_batch.json for the CI trend.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/engine.h"
+#include "io/layout.h"
+#include "obs/stats_writer.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+// The Fig. 7 differential pair as an entity library (scripts/diffpair.amg
+// without the calling sequence).
+const char* kDiffPairLib = R"(
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  polycon = ContactRow(layer = "poly", W = L)
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(polycon, SOUTH, "poly")
+  compact(diffcon, EAST, "pdiff")
+
+ENT DiffPair(<W>, <L>)
+  trans1 = Trans(W = W, L = L)
+  trans2 = trans1
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(trans1, WEST, "pdiff")
+  compact(trans2, WEST, "pdiff")
+  compact(diffcon, WEST, "pdiff")
+)";
+
+std::vector<gen::Job> sweepJobs(std::size_t count) {
+  std::vector<gen::Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // W sweeps 6.0, 6.2, ... um; L alternates 2/3 um.
+    char w[32];
+    std::snprintf(w, sizeof w, "%g", 6.0 + 0.2 * static_cast<double>(i));
+    gen::Job j;
+    j.name = "dp" + std::to_string(i);
+    j.script = kDiffPairLib;
+    j.scriptPath = "<bench>";
+    j.entity = "DiffPair";
+    j.params = {{"W", w}, {"L", i % 2 ? "3" : "2"}};
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void reportE12() {
+  constexpr std::size_t kJobs = 120;
+  std::printf("=== E12: batch engine, cold vs warm cache (%zu-job sweep) ===\n\n",
+              kJobs);
+  const std::vector<gen::Job> jobs = sweepJobs(kJobs);
+
+  gen::BatchEngine engine(tech::bicmos1u());
+  const gen::BatchReport cold = engine.run(jobs);
+  const gen::BatchReport warm = engine.run(jobs);
+
+  bool allOk = cold.failed == 0 && warm.failed == 0;
+  bool allHits = warm.cacheHits == jobs.size();
+  bool identical = allOk;
+  for (std::size_t i = 0; identical && i < jobs.size(); ++i)
+    identical = io::serializeLayout(*cold.jobs[i].layout) ==
+                io::serializeLayout(*warm.jobs[i].layout);
+  const double speedup = warm.wallMs > 0 ? cold.wallMs / warm.wallMs : 0;
+
+  std::printf("%-6s %10s %12s %12s\n", "pass", "jobs ok", "cache hits", "wall (ms)");
+  std::printf("%-6s %7zu/%zu %12zu %12.1f\n", "cold", cold.succeeded, jobs.size(),
+              cold.cacheHits, cold.wallMs);
+  std::printf("%-6s %7zu/%zu %12zu %12.1f\n\n", "warm", warm.succeeded, jobs.size(),
+              warm.cacheHits, warm.wallMs);
+  std::printf("warm served entirely from cache: %s\n", allHits ? "ok" : "FAILED");
+  std::printf("warm layouts byte-identical to cold: %s\n",
+              identical ? "ok" : "FAILED");
+  std::printf("warm speedup: %.1fx  (>=10x requirement: %s)\n", speedup,
+              speedup >= 10.0 ? "PASS" : "FAIL");
+
+  obs::StatsWriter w("batch");
+  w.sample("diffpair_sweep", kJobs, "cold", cold.wallMs);
+  w.sample("diffpair_sweep", kJobs, "warm", warm.wallMs);
+  w.metric("speedup_warm", speedup);
+  w.flag("byte_identical", identical);
+  w.flag("all_cache_hits", allHits);
+  w.flag("speedup_10x", speedup >= 10.0);
+  if (w.write("BENCH_batch.json")) std::printf("\nwrote BENCH_batch.json\n");
+}
+
+void BM_BatchCold(benchmark::State& state) {
+  const std::vector<gen::Job> jobs = sweepJobs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    gen::EngineConfig cfg;
+    cfg.useCache = false;
+    gen::BatchEngine engine(tech::bicmos1u(), cfg);
+    benchmark::DoNotOptimize(engine.run(jobs));
+  }
+}
+BENCHMARK(BM_BatchCold)->Arg(30)->Arg(120)->Unit(benchmark::kMillisecond);
+
+void BM_BatchWarm(benchmark::State& state) {
+  const std::vector<gen::Job> jobs = sweepJobs(static_cast<std::size_t>(state.range(0)));
+  gen::BatchEngine engine(tech::bicmos1u());
+  engine.run(jobs);  // fill
+  for (auto _ : state) benchmark::DoNotOptimize(engine.run(jobs));
+}
+BENCHMARK(BM_BatchWarm)->Arg(30)->Arg(120)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reportE12();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Batch module generation: run a manifest of DSL jobs through the
+// gen::BatchEngine — many interpreters in parallel, one shared
+// content-addressed layout cache, per-job diagnostics.
+//
+//   $ ./batch_runner ../scripts/sweep.manifest
+//   $ ./batch_runner --jobs 8 --cache-dir .amg-cache --report batch.json
+//         ../scripts/sweep.manifest   (one command line)
+//
+// A failing job never aborts the batch: it is reported with its
+// file:line:col diagnostic (rendered caret-style against the script) and
+// every other job still completes.  See docs/CLI.md for the manifest
+// format and the full flag reference.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/engine.h"
+#include "gen/manifest.h"
+#include "io/svg.h"
+#include "obs/obs.h"
+#include "obs/stats_writer.h"
+#include "tech/builtin.h"
+#include "tech/techfile.h"
+#include "util/diag.h"
+
+using namespace amg;
+
+namespace {
+
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [options] <manifest>\n"
+      "  --jobs N        generate on N worker threads (0 = all hardware"
+      " threads; default 0)\n"
+      "  --tech T        override the manifest technology: bicmos1u, cmos2u"
+      " or a .tech path\n"
+      "  --no-cache      disable the result cache (every job generates)\n"
+      "  --cache-mb N    in-memory cache budget in MiB (default 64)\n"
+      "  --cache-dir D   also keep cache entries on disk under directory D\n"
+      "  --report FILE   write the aggregate JSON report to FILE\n"
+      "  --svg PREFIX    write each successful layout as PREFIX_<job>.svg\n"
+      "  --help          show this help and exit\n%s",
+      argv0, obs::cliUsage());
+}
+
+/// Resolve a technology spec: builtin deck name or .tech file path.
+const tech::Technology* resolveTech(const std::string& spec,
+                                    std::vector<tech::Technology>& owned) {
+  if (spec.empty() || spec == "bicmos1u") return &tech::bicmos1u();
+  if (spec == "cmos2u") return &tech::cmos2u();
+  owned.push_back(tech::loadTechFile(spec));
+  return &owned.back();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gen::EngineConfig cfg;
+  std::string techOverride, reportPath, svgPrefix;
+  obs::CliOptions obsOpts;
+  std::vector<const char*> positional;
+
+  auto value = [&](int& i, const char* flag) -> const char* {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=') return argv[i] + n + 1;
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value(i, "--jobs"))
+      cfg.threads = static_cast<std::size_t>(std::atol(v));
+    else if (const char* v2 = value(i, "--tech"))
+      techOverride = v2;
+    else if (const char* v3 = value(i, "--cache-mb"))
+      cfg.cache.maxBytes = static_cast<std::size_t>(std::atol(v3)) << 20;
+    else if (const char* v4 = value(i, "--cache-dir"))
+      cfg.cache.diskDir = v4;
+    else if (const char* v5 = value(i, "--report"))
+      reportPath = v5;
+    else if (const char* v6 = value(i, "--svg"))
+      svgPrefix = v6;
+    else if (std::strcmp(argv[i], "--no-cache") == 0)
+      cfg.useCache = false;
+    else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (obs::parseCliFlag(argc, argv, i, obsOpts))
+      continue;
+    else
+      positional.push_back(argv[i]);
+  }
+  if (positional.size() != 1) {
+    usage(argv[0], stderr);
+    return 2;
+  }
+
+  gen::Manifest manifest;
+  std::vector<tech::Technology> ownedTech;
+  const tech::Technology* tech = nullptr;
+  try {
+    manifest = gen::loadManifest(positional[0]);
+    tech = resolveTech(techOverride.empty() ? manifest.techSpec : techOverride,
+                       ownedTech);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (manifest.jobs.empty()) {
+    std::fprintf(stderr, "error: manifest '%s' declares no jobs\n", positional[0]);
+    return 2;
+  }
+
+  gen::BatchEngine engine(*tech, cfg);
+  const gen::BatchReport report = engine.run(manifest.jobs);
+
+  std::printf("%-28s %-6s %-9s %s\n", "job", "state", "wall (ms)", "detail");
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const gen::JobResult& r = report.jobs[i];
+    if (r.ok) {
+      const Box bb = r.layout->bbox();
+      std::printf("%-28s %-6s %-9.2f %zu rects, %.2f x %.2f um\n", r.name.c_str(),
+                  r.cacheHit ? "hit" : "ok", r.wallMs, r.layout->shapeCount(),
+                  static_cast<double>(bb.width()) / kMicron,
+                  static_cast<double>(bb.height()) / kMicron);
+      if (!svgPrefix.empty())
+        io::writeSvg(*r.layout, svgPrefix + "_" + r.name + ".svg");
+    } else {
+      std::printf("%-28s %-6s %-9.2f %s\n", r.name.c_str(), "FAIL", r.wallMs,
+                  r.diag->code.c_str());
+      // Caret rendering against the job's own script source.
+      std::fprintf(stderr, "%s\n",
+                   util::renderDiag(*r.diag, manifest.jobs[i].script).c_str());
+    }
+  }
+  const gen::LayoutCache::Stats cs = engine.cache().stats();
+  std::printf(
+      "batch: %zu jobs, %zu ok, %zu failed, %zu cache hits in %.1f ms "
+      "(cache: %llu hit, %llu disk, %llu miss, %llu evicted)\n",
+      report.jobs.size(), report.succeeded, report.failed, report.cacheHits,
+      report.wallMs, static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.diskHits),
+      static_cast<unsigned long long>(cs.misses),
+      static_cast<unsigned long long>(cs.evictions));
+
+  if (!reportPath.empty()) {
+    obs::StatsWriter w("batch_runner");
+    for (const gen::JobResult& r : report.jobs)
+      w.sample(r.ok ? r.name : r.name + ":" + r.diag->code,
+               r.ok ? r.layout->shapeCount() : 0,
+               r.ok ? (r.cacheHit ? "cache" : "generated") : "failed", r.wallMs);
+    w.metric("jobs", static_cast<double>(report.jobs.size()));
+    w.metric("succeeded", static_cast<double>(report.succeeded));
+    w.metric("failed", static_cast<double>(report.failed));
+    w.metric("cache_hits", static_cast<double>(report.cacheHits));
+    w.metric("cache_evictions", static_cast<double>(cs.evictions));
+    w.metric("wall_ms", report.wallMs);
+    w.flag("all_ok", report.failed == 0);
+    if (!w.write(reportPath))
+      std::fprintf(stderr, "cannot write report '%s'\n", reportPath.c_str());
+    else
+      std::printf("report written to %s\n", reportPath.c_str());
+  }
+  obs::finishCli(obsOpts);
+  return report.failed == 0 ? 0 : 1;
+}

@@ -22,7 +22,21 @@
 #include "lang/interp.h"
 #include "obs/obs.h"
 #include "tech/builtin.h"
+#include "util/diag.h"
 #include "util/thread_pool.h"
+
+namespace {
+
+void usage(const char* argv0, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s [options] <script.amg> [output-prefix]\n"
+               "  --jobs N        check design rules on N threads (0 = all"
+               " hardware threads; default 1)\n"
+               "  --help          show this help and exit\n%s",
+               argv0, amg::obs::cliUsage());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace amg;
@@ -34,14 +48,16 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atol(argv[i] + 7));
     else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = static_cast<std::size_t>(std::atol(argv[++i]));
-    else if (obs::parseCliFlag(argc, argv, i, obsOpts))
+    else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (obs::parseCliFlag(argc, argv, i, obsOpts))
       continue;
     else
       positional.push_back(argv[i]);
   }
   if (positional.empty()) {
-    std::fprintf(stderr, "usage: %s [--jobs N] <script.amg> [output-prefix]\n%s",
-                 argv[0], obs::cliUsage());
+    usage(argv[0], stderr);
     return 2;
   }
   std::ifstream f(positional[0]);
@@ -56,7 +72,11 @@ int main(int argc, char** argv) {
   const tech::Technology& t = tech::bicmos1u();
   lang::Interpreter in(t);
   try {
-    in.run(src.str());
+    in.run(src.str(), positional[0]);
+  } catch (const util::DiagError& e) {
+    // Caret-style rendering against the offending source line.
+    std::fprintf(stderr, "%s\n", util::renderDiag(e.diag(), src.str()).c_str());
+    return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

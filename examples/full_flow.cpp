@@ -71,6 +71,17 @@ std::size_t parseJobs(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [options]\n"
+          "  --jobs N        run the compaction-order report on N threads"
+          " (0 = all hardware threads; default 1)\n"
+          "  --help          show this help and exit\n%s",
+          argv[0], obs::cliUsage());
+      return 0;
+    }
+  }
   const tech::Technology& t = tech::bicmos1u();
   const std::size_t jobs = parseJobs(argc, argv);
   obs::CliOptions obsOpts;

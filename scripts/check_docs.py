@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Docs-drift and link checker.
+
+Two checks, both run by CI (.github/workflows/ci.yml):
+
+1. CLI drift: run every documented binary with --help and verify that
+   each long flag it advertises appears in docs/CLI.md.  A flag added to
+   a binary without a docs update fails the build.
+
+2. Markdown links: every relative link in README.md, DESIGN.md and
+   docs/*.md must point at an existing file (anchors are stripped).
+
+Usage:
+    python3 scripts/check_docs.py [--bin-dir build/examples]
+
+Run from anywhere; paths resolve relative to the repository root (the
+parent of this script's directory).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Binaries whose every --help flag must be documented in docs/CLI.md.
+DOCUMENTED_BINARIES = ["dsl_runner", "full_flow", "batch_runner"]
+
+# Markdown files whose relative links must resolve.
+LINKED_DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
+
+FLAG_RE = re.compile(r"(?<![-\w])(--[a-z][a-z0-9-]*)")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    print(f"check_docs: FAILED ({len(errors)} problem(s))", file=sys.stderr)
+    return 1
+
+
+def check_cli_drift(bin_dir):
+    errors = []
+    cli_md_path = os.path.join(REPO, "docs", "CLI.md")
+    try:
+        with open(cli_md_path, encoding="utf-8") as f:
+            cli_md = f.read()
+    except OSError as e:
+        return [f"cannot read docs/CLI.md: {e}"]
+
+    for name in DOCUMENTED_BINARIES:
+        binary = os.path.join(bin_dir, name)
+        if not os.path.exists(binary):
+            errors.append(f"binary not found: {binary} (build first?)")
+            continue
+        out = subprocess.run([binary, "--help"], capture_output=True,
+                             text=True, timeout=60)
+        help_text = out.stdout + out.stderr
+        if out.returncode != 0:
+            errors.append(f"{name} --help exited with {out.returncode}")
+            continue
+        flags = sorted(set(FLAG_RE.findall(help_text)))
+        if not flags:
+            errors.append(f"{name} --help advertises no flags; drift check "
+                          "would be vacuous")
+        for flag in flags:
+            # Boundary-aware: "--cache-dir" must not satisfy "--cache-dirs".
+            if not re.search(re.escape(flag) + r"(?![\w-])", cli_md):
+                errors.append(f"{name}: flag {flag} from --help is not "
+                              "documented in docs/CLI.md")
+    return errors
+
+
+def md_files():
+    for rel in LINKED_DOCS:
+        path = os.path.join(REPO, rel)
+        if os.path.exists(path):
+            yield rel, path
+    docs = os.path.join(REPO, "docs")
+    for entry in sorted(os.listdir(docs)):
+        if entry.endswith(".md"):
+            yield os.path.join("docs", entry), os.path.join(docs, entry)
+
+
+def strip_code(text):
+    """Drop fenced and inline code, where link syntax is not a link."""
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_links():
+    errors = []
+    for rel, path in md_files():
+        with open(path, encoding="utf-8") as f:
+            text = strip_code(f.read())
+        base = os.path.dirname(path)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin-dir", default=os.path.join("build", "examples"),
+                    help="directory holding the example binaries")
+    ap.add_argument("--skip-cli", action="store_true",
+                    help="only check markdown links (no binaries needed)")
+    args = ap.parse_args()
+
+    bin_dir = args.bin_dir
+    if not os.path.isabs(bin_dir):
+        bin_dir = os.path.join(REPO, bin_dir)
+
+    errors = [] if args.skip_cli else check_cli_drift(bin_dir)
+    errors += check_links()
+    if errors:
+        return fail(errors)
+    print("check_docs: OK (CLI flags documented, markdown links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+#include "gen/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "gen/fingerprint.h"
+#include "io/layout.h"
+#include "lang/interp.h"
+#include "obs/obs.h"
+
+namespace amg::gen {
+namespace {
+
+/// Bumped when the generation semantics change in a way serialized results
+/// do not capture (e.g. the layout format version).
+constexpr std::uint64_t kEngineVersion = 1;
+
+util::Diag diagOf(const std::exception& e, const Job& job) {
+  if (const auto* de = dynamic_cast<const util::DiagError*>(&e)) return de->diag();
+  if (const auto* dr = dynamic_cast<const util::DesignRuleDiag*>(&e)) return dr->diag();
+  // Plain Error / std::exception without structured payload.
+  util::Diag d;
+  d.code = "AMG-GEN-001";
+  d.message = e.what();
+  d.loc.file = job.scriptPath;
+  d.hint = "";
+  return d;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(const tech::Technology& tech, EngineConfig cfg)
+    : tech_(&tech),
+      cfg_(std::move(cfg)),
+      techFp_(techFingerprint(tech)),
+      cache_(std::make_unique<LayoutCache>(cfg_.cache)),
+      pool_(cfg_.threads) {}
+
+std::uint64_t BatchEngine::keyOf(const Job& job) const {
+  std::uint64_t h = fnv1a(kEngineVersion, kFnvBasis);
+  h = fnv1a(techFp_, h);
+  h = fnv1a(canonicalizeSource(job.script), h);
+  h = fnv1a(job.entity, h);
+  if (job.entity.empty()) h = fnv1a(job.resultVar, h);
+  // Parameter order is a call-site accident, not content: sort by name.
+  std::vector<std::pair<std::string, std::string>> params = job.params;
+  std::sort(params.begin(), params.end());
+  for (const auto& [k, v] : params) {
+    h = fnv1a(k, h);
+    // Numeric values hash by value, so "4", "4.0" and "04" coincide.
+    double num = 0;
+    char* end = nullptr;
+    num = std::strtod(v.c_str(), &end);
+    if (!v.empty() && end == v.c_str() + v.size()) {
+      std::uint64_t bits;
+      static_assert(sizeof bits == sizeof num);
+      std::memcpy(&bits, &num, sizeof bits);
+      h = fnv1a(bits, h);
+    } else {
+      h = fnv1a(v, h);
+    }
+  }
+  return h;
+}
+
+JobResult BatchEngine::runOne(const Job& job) {
+  obs::Span span("gen.job");
+  span.arg("job", job.name);
+  JobResult res;
+  res.name = job.name;
+  res.key = keyOf(job);
+
+  try {
+    if (cfg_.useCache) {
+      if (auto bytes = cache_->get(res.key)) {
+        res.layout = io::deserializeLayout(*bytes, *tech_);
+        res.ok = true;
+        res.cacheHit = true;
+        res.wallMs = span.elapsedSeconds() * 1e3;
+        span.arg("cache", "hit");
+        return res;
+      }
+    }
+
+    lang::Interpreter interp(*tech_);
+    db::Module m = [&] {
+      if (job.entity.empty()) {
+        interp.run(job.script, job.scriptPath.empty() ? "<script>" : job.scriptPath);
+        return interp.globalObject(job.resultVar);
+      }
+      interp.loadEntities(job.script,
+                          job.scriptPath.empty() ? "<script>" : job.scriptPath);
+      std::vector<std::pair<std::string, lang::Value>> args;
+      args.reserve(job.params.size());
+      for (const auto& [k, v] : job.params) {
+        double num = 0;
+        char* end = nullptr;
+        num = std::strtod(v.c_str(), &end);
+        if (!v.empty() && end == v.c_str() + v.size())
+          args.emplace_back(k, lang::Value::number(num));
+        else
+          args.emplace_back(k, lang::Value::string(v));
+      }
+      return interp.instantiate(job.entity, args);
+    }();
+    if (m.name().empty()) m.setName(job.name);
+
+    if (cfg_.useCache) cache_->put(res.key, io::serializeLayout(m));
+    res.layout = std::move(m);
+    res.ok = true;
+    span.arg("cache", "miss");
+  } catch (const std::exception& e) {
+    res.diag = diagOf(e, job);
+    if (res.diag->loc.file.empty()) res.diag->loc.file = job.scriptPath;
+    OBS_COUNT("gen.jobs.failed");
+    OBS_LOG(Warn, "gen.job", job.name + " failed: " + res.diag->str());
+    span.arg("error", res.diag->code);
+  }
+  res.wallMs = span.elapsedSeconds() * 1e3;
+  return res;
+}
+
+BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
+  obs::Span span("gen.batch");
+  span.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
+  BatchReport report;
+  report.jobs.resize(jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    pool_.run([this, &jobs, &report, i] { report.jobs[i] = runOne(jobs[i]); });
+  pool_.wait();
+
+  for (const JobResult& r : report.jobs) {
+    if (r.ok)
+      ++report.succeeded;
+    else
+      ++report.failed;
+    if (r.cacheHit) ++report.cacheHits;
+    OBS_HIST("gen.job.wall_us", static_cast<std::uint64_t>(r.wallMs * 1e3));
+  }
+  OBS_COUNT_N("gen.jobs.total", jobs.size());
+  OBS_COUNT_N("gen.jobs.ok", report.succeeded);
+  report.wallMs = span.elapsedSeconds() * 1e3;
+  return report;
+}
+
+}  // namespace amg::gen

@@ -1,0 +1,55 @@
+// The batch generation engine: many module-generation jobs, one pool.
+//
+// Each job gets its own Interpreter (full isolation — a parse error, a
+// design-rule failure or a runaway recursion in one job cannot poison any
+// other) and runs on a shared util::ThreadPool.  Results are served
+// through the content-addressed LayoutCache when an identical request —
+// same canonical source, entity, parameters, technology fingerprint —
+// has been generated before (see fingerprint.h for what keys the hash).
+//
+// Instrumented with gen.* counters and "gen.batch"/"gen.job" trace spans
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <memory>
+
+#include "gen/cache.h"
+#include "gen/job.h"
+#include "tech/tech.h"
+#include "util/thread_pool.h"
+
+namespace amg::gen {
+
+struct EngineConfig {
+  std::size_t threads = 0;  ///< worker count; 0 = hardware concurrency
+  bool useCache = true;     ///< false: always generate (bench cold runs)
+  CacheConfig cache;        ///< memory budget + optional disk tier
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(const tech::Technology& tech, EngineConfig cfg = {});
+
+  /// Run every job; never throws for job-level failures (each JobResult
+  /// carries its own diagnostic).  Results come back in submission order.
+  BatchReport run(const std::vector<Job>& jobs);
+
+  /// Content-address of one job under this engine's technology — what the
+  /// cache is keyed by.  Exposed for tests and cache tooling.
+  std::uint64_t keyOf(const Job& job) const;
+
+  LayoutCache& cache() { return *cache_; }
+  const LayoutCache& cache() const { return *cache_; }
+  const tech::Technology& technology() const { return *tech_; }
+
+ private:
+  JobResult runOne(const Job& job);
+
+  const tech::Technology* tech_;
+  EngineConfig cfg_;
+  std::uint64_t techFp_;
+  std::unique_ptr<LayoutCache> cache_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace amg::gen

@@ -1,0 +1,103 @@
+#include "gen/fingerprint.h"
+
+#include "tech/techfile.h"
+
+namespace amg::gen {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t mixBytes(std::string_view data, std::uint64_t h) {
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
+  // Mix the length first so ("ab","c") and ("a","bc") chain differently.
+  return mixBytes(data, fnv1a(static_cast<std::uint64_t>(data.size()), seed));
+}
+
+std::uint64_t fnv1a(std::uint64_t value, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string canonicalizeSource(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  std::size_t lineStart = out.size();  // start of the current output line
+  bool pendingSpace = false;           // a whitespace run waiting to emit
+
+  auto endLine = [&] {
+    // Trim trailing space, drop the line entirely if it is empty.
+    while (out.size() > lineStart && out.back() == ' ') out.pop_back();
+    if (out.size() > lineStart) {
+      out.push_back('\n');
+      lineStart = out.size();
+    }
+    pendingSpace = false;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      endLine();
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      pendingSpace = true;
+      ++i;
+      continue;
+    }
+    if (pendingSpace && out.size() > lineStart) out.push_back(' ');
+    pendingSpace = false;
+    if (c == '"') {
+      // Copy string literals verbatim (a '//' inside is content, and inner
+      // whitespace is significant).
+      out.push_back(c);
+      ++i;
+      while (i < n && source[i] != '"' && source[i] != '\n') out.push_back(source[i++]);
+      if (i < n && source[i] == '"') {
+        out.push_back('"');
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  endLine();
+  return out;
+}
+
+std::uint64_t techFingerprint(const tech::Technology& t) {
+  return fnv1a(tech::saveTechFile(t));
+}
+
+std::string keyHex(std::uint64_t key) {
+  static const char* hex = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = hex[key & 0xF];
+    key >>= 4;
+  }
+  return s;
+}
+
+}  // namespace amg::gen

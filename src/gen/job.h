@@ -1,0 +1,55 @@
+// The unit of work of the batch engine: one module-generation request and
+// its outcome.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/module.h"
+#include "util/diag.h"
+
+namespace amg::gen {
+
+/// One generation request.  Two execution modes:
+///  * entity mode (`entity` non-empty): the script is load()ed (entities
+///    registered, no top-level execution) and `entity` is instantiated
+///    with `params` as named arguments;
+///  * script mode (`entity` empty): the whole script run()s and the global
+///    named `resultVar` is the product.  `params` must be empty.
+struct Job {
+  std::string name;        ///< unique within a batch (report key)
+  std::string scriptPath;  ///< where `script` came from; stamped on diags
+  std::string script;      ///< DSL source text
+  std::string entity;      ///< entity to instantiate; empty = script mode
+  std::string resultVar = "result";  ///< global holding the script-mode product
+  /// Named arguments, raw manifest text ("4.5" or "poly"); values parsing
+  /// as numbers bind as numbers (micrometres), others as strings.
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Outcome of one job.  Failed jobs carry the structured diagnostic; they
+/// never abort the batch.
+struct JobResult {
+  std::string name;
+  bool ok = false;
+  bool cacheHit = false;        ///< served from the cache (either tier)
+  std::uint64_t key = 0;        ///< content-address of the request
+  double wallMs = 0;
+  std::optional<db::Module> layout;  ///< present when ok
+  std::optional<util::Diag> diag;    ///< present when failed
+  /// Convenience: diagnostic rendered as one line ("" when ok).
+  std::string error() const { return diag ? diag->str() : std::string(); }
+};
+
+struct BatchReport {
+  std::vector<JobResult> jobs;  ///< same order as the submitted jobs
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::size_t cacheHits = 0;
+  double wallMs = 0;  ///< whole-batch wall time
+};
+
+}  // namespace amg::gen

@@ -1,0 +1,50 @@
+// Job-manifest parser for batch_runner.
+//
+// Line-based, in the spirit of the tech-file format; '#' starts a comment.
+//
+//   tech <builtin-name | path/to/deck.tech>
+//   job   name=<id> script=<path.amg> [entity=<Ent>] [result=<var>] [k=v ...]
+//   sweep name=<prefix> script=<path.amg> entity=<Ent> [k=v | k=lo:hi:step ...]
+//
+// `job` adds one job; parameter words bind as named arguments (entity
+// mode) — without entity= the script runs whole and result= names the
+// global to fetch (default "result"; extra parameters are rejected).
+// `sweep` expands every `lo:hi:step` range into a grid (cartesian product
+// over all ranged parameters) and emits one job per point, named
+// `<prefix>_<k><v>...`.  Script files are read once and shared.
+//
+// All errors are util::DiagError with AMG-MAN-* codes and the manifest
+// file/line location.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gen/job.h"
+
+namespace amg::gen {
+
+struct Manifest {
+  /// Value of the `tech` directive: a builtin deck name ("cmos2u",
+  /// "bicmos1u") or a .tech file path.  Empty when the manifest omits it
+  /// (the caller must then supply a technology).
+  std::string techSpec;
+  std::vector<Job> jobs;
+};
+
+/// Parse a manifest from a stream.  `sourceName` stamps diagnostics;
+/// script paths are resolved relative to `baseDir` (empty = as written).
+Manifest parseManifest(std::istream& in, const std::string& sourceName,
+                       const std::string& baseDir = "");
+
+/// Parse from a string (tests).
+Manifest parseManifestString(const std::string& text,
+                             const std::string& sourceName = "<manifest>",
+                             const std::string& baseDir = "");
+
+/// Load from a file; script paths resolve relative to the manifest's
+/// directory.  Throws AMG-MAN-005 when the file cannot be opened.
+Manifest loadManifest(const std::string& path);
+
+}  // namespace amg::gen

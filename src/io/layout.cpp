@@ -1,0 +1,314 @@
+#include "io/layout.h"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "util/diag.h"
+
+namespace amg::io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C474D41u;  // "AMGL" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const char* code, std::string msg, std::string hint,
+                       std::string file = "") {
+  util::Diag d;
+  d.code = code;
+  d.message = std::move(msg);
+  d.loc.file = std::move(file);
+  d.hint = std::move(hint);
+  throw util::DiagError(std::move(d));
+}
+
+// --- little-endian writer -------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  void le(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i)
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+  std::vector<std::uint8_t> out_;
+};
+
+// --- bounds-checked little-endian reader ----------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& b) : b_(b) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (pos_ + n > b_.size()) truncated();
+    std::string s(b_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  b_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+  bool done() const { return pos_ == b_.size(); }
+
+ private:
+  [[noreturn]] void truncated() {
+    fail("AMG-IO-003", "layout blob is truncated or corrupt",
+         "regenerate the cache entry; stale files can be deleted safely");
+  }
+  std::uint64_t le(int bytes) {
+    if (pos_ + static_cast<std::size_t>(bytes) > b_.size()) truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+      v |= static_cast<std::uint64_t>(b_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += static_cast<std::size_t>(bytes);
+    return v;
+  }
+  const std::vector<std::uint8_t>& b_;
+  std::size_t pos_ = 0;
+};
+
+std::uint8_t edgeBits(const db::EdgeFlags& f) {
+  std::uint8_t bits = 0;
+  for (unsigned s = 0; s < 4; ++s)
+    if (f.variable(static_cast<Side>(s))) bits |= static_cast<std::uint8_t>(1u << s);
+  return bits;
+}
+
+db::EdgeFlags edgeFromBits(std::uint8_t bits) {
+  db::EdgeFlags f;
+  for (unsigned s = 0; s < 4; ++s)
+    f.setVariable(static_cast<Side>(s), (bits >> s) & 1u);
+  return f;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serializeLayout(const db::Module& m) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.str(m.name());
+
+  // Layer table: every layer referenced by a shape, port or array record,
+  // stored by name so the blob is portable across LayerId renumbering.
+  const std::vector<db::ShapeId> alive = m.shapeIds();
+  std::map<tech::LayerId, std::uint32_t> layerIdx;
+  std::vector<tech::LayerId> layers;
+  auto internLayer = [&](tech::LayerId l) {
+    const auto [it, inserted] =
+        layerIdx.emplace(l, static_cast<std::uint32_t>(layers.size()));
+    if (inserted) layers.push_back(l);
+    return it->second;
+  };
+  for (const db::ShapeId id : alive) internLayer(m.shape(id).layer);
+  for (const db::PortDef& p : m.ports()) internLayer(p.layer);
+  for (const db::ArrayRecord& r : m.arrayRecords()) internLayer(r.elemLayer);
+
+  w.u32(static_cast<std::uint32_t>(layers.size()));
+  for (const tech::LayerId l : layers) w.str(m.technology().info(l).name);
+
+  // Net table, in id order (net 0 is always the anonymous net "").
+  w.u32(static_cast<std::uint32_t>(m.netCount()));
+  for (db::NetId n = 0; n < m.netCount(); ++n) w.str(m.netName(n));
+
+  // Alive shapes, compacted; provenance ids are remapped to the compacted
+  // numbering so dead entries never round-trip.
+  std::map<db::ShapeId, std::uint32_t> shapeIdx;
+  for (const db::ShapeId id : alive)
+    shapeIdx.emplace(id, static_cast<std::uint32_t>(shapeIdx.size()));
+  w.u32(static_cast<std::uint32_t>(alive.size()));
+  for (const db::ShapeId id : alive) {
+    const db::Shape& s = m.shape(id);
+    w.i64(s.box.x1);
+    w.i64(s.box.y1);
+    w.i64(s.box.x2);
+    w.i64(s.box.y2);
+    w.u32(layerIdx.at(s.layer));
+    w.u16(s.net);
+    w.u8(edgeBits(s.varEdges));
+    w.u8(s.avoidOverlap ? 1 : 0);
+  }
+
+  w.u32(static_cast<std::uint32_t>(m.ports().size()));
+  for (const db::PortDef& p : m.ports()) {
+    w.str(p.name);
+    w.i64(p.at.x);
+    w.i64(p.at.y);
+    w.u32(layerIdx.at(p.layer));
+    w.u16(p.net);
+  }
+
+  // Enclosure records; entries referencing dead shapes are dropped (the
+  // constraint has no subject any more).
+  auto aliveRef = [&](db::ShapeId id) { return shapeIdx.count(id) != 0; };
+  std::vector<const db::EncloseRecord*> encs;
+  for (const db::EncloseRecord& r : m.encloseRecords()) {
+    if (!aliveRef(r.inner)) continue;
+    bool ok = !r.outers.empty();
+    for (const db::ShapeId o : r.outers) ok = ok && aliveRef(o);
+    if (ok) encs.push_back(&r);
+  }
+  w.u32(static_cast<std::uint32_t>(encs.size()));
+  for (const db::EncloseRecord* r : encs) {
+    w.u32(static_cast<std::uint32_t>(r->outers.size()));
+    for (const db::ShapeId o : r->outers) w.u32(shapeIdx.at(o));
+    w.u32(shapeIdx.at(r->inner));
+  }
+
+  std::vector<const db::ArrayRecord*> arrs;
+  for (const db::ArrayRecord& r : m.arrayRecords()) {
+    bool ok = true;
+    for (const db::ShapeId c : r.containers) ok = ok && aliveRef(c);
+    for (const db::ShapeId e : r.elems) ok = ok && aliveRef(e);
+    if (ok) arrs.push_back(&r);
+  }
+  w.u32(static_cast<std::uint32_t>(arrs.size()));
+  for (const db::ArrayRecord* r : arrs) {
+    w.u32(static_cast<std::uint32_t>(r->containers.size()));
+    for (const db::ShapeId c : r->containers) w.u32(shapeIdx.at(c));
+    w.u32(layerIdx.at(r->elemLayer));
+    w.u16(r->net);
+    w.u32(static_cast<std::uint32_t>(r->elems.size()));
+    for (const db::ShapeId e : r->elems) w.u32(shapeIdx.at(e));
+  }
+
+  return w.take();
+}
+
+db::Module deserializeLayout(const std::vector<std::uint8_t>& bytes,
+                             const tech::Technology& tech) {
+  Reader r(bytes);
+  if (r.u32() != kMagic)
+    fail("AMG-IO-001", "not an AMGL layout blob (bad magic)",
+         "only files written by writeLayoutFile/serializeLayout can be read");
+  if (const std::uint32_t v = r.u32(); v != kVersion)
+    fail("AMG-IO-002", "unsupported layout format version " + std::to_string(v),
+         "this build reads version " + std::to_string(kVersion) +
+             "; regenerate the blob");
+
+  db::Module m(tech, r.str());
+
+  const std::uint32_t layerCount = r.u32();
+  std::vector<tech::LayerId> layers;
+  layers.reserve(layerCount);
+  for (std::uint32_t i = 0; i < layerCount; ++i) {
+    const std::string name = r.str();
+    const auto l = tech.findLayer(name);
+    if (!l)
+      fail("AMG-IO-004",
+           "layer '" + name + "' unknown to technology '" + tech.name() + "'",
+           "the blob was written under a different deck; regenerate it");
+    layers.push_back(*l);
+  }
+  auto layerAt = [&](std::uint32_t i) {
+    if (i >= layers.size())
+      fail("AMG-IO-003", "layer index out of range",
+           "regenerate the cache entry; stale files can be deleted safely");
+    return layers[i];
+  };
+
+  const std::uint32_t netCount = r.u32();
+  for (std::uint32_t i = 0; i < netCount; ++i) {
+    const std::string name = r.str();
+    if (i == 0) continue;  // net 0 (anonymous) pre-exists in every module
+    m.net(name);
+  }
+
+  const std::uint32_t shapeCount = r.u32();
+  for (std::uint32_t i = 0; i < shapeCount; ++i) {
+    db::Shape s;
+    s.box.x1 = r.i64();
+    s.box.y1 = r.i64();
+    s.box.x2 = r.i64();
+    s.box.y2 = r.i64();
+    s.layer = layerAt(r.u32());
+    s.net = r.u16();
+    s.varEdges = edgeFromBits(r.u8());
+    s.avoidOverlap = r.u8() != 0;
+    m.addShape(s);
+  }
+  auto shapeAt = [&](std::uint32_t i) {
+    if (i >= shapeCount)
+      fail("AMG-IO-003", "shape index out of range",
+           "regenerate the cache entry; stale files can be deleted safely");
+    return static_cast<db::ShapeId>(i);
+  };
+
+  const std::uint32_t portCount = r.u32();
+  for (std::uint32_t i = 0; i < portCount; ++i) {
+    std::string name = r.str();
+    Point at{r.i64(), r.i64()};
+    const tech::LayerId layer = layerAt(r.u32());
+    const db::NetId net = r.u16();
+    m.addPort(std::move(name), at, layer, net);
+  }
+
+  const std::uint32_t encCount = r.u32();
+  for (std::uint32_t i = 0; i < encCount; ++i) {
+    db::EncloseRecord rec;
+    const std::uint32_t outers = r.u32();
+    rec.outers.reserve(outers);
+    for (std::uint32_t o = 0; o < outers; ++o) rec.outers.push_back(shapeAt(r.u32()));
+    rec.inner = shapeAt(r.u32());
+    m.addEncloseRecord(std::move(rec));
+  }
+
+  const std::uint32_t arrCount = r.u32();
+  for (std::uint32_t i = 0; i < arrCount; ++i) {
+    db::ArrayRecord rec;
+    const std::uint32_t containers = r.u32();
+    rec.containers.reserve(containers);
+    for (std::uint32_t c = 0; c < containers; ++c)
+      rec.containers.push_back(shapeAt(r.u32()));
+    rec.elemLayer = layerAt(r.u32());
+    rec.net = r.u16();
+    const std::uint32_t elems = r.u32();
+    rec.elems.reserve(elems);
+    for (std::uint32_t e = 0; e < elems; ++e) rec.elems.push_back(shapeAt(r.u32()));
+    m.addArrayRecord(std::move(rec));
+  }
+
+  if (!r.done())
+    fail("AMG-IO-003", "trailing bytes after layout payload",
+         "regenerate the cache entry; stale files can be deleted safely");
+  return m;
+}
+
+void writeLayoutFile(const db::Module& m, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serializeLayout(m);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f)
+    fail("AMG-IO-005", "cannot open '" + path + "' for writing",
+         "check that the directory exists and is writable", path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f)
+    fail("AMG-IO-005", "short write to '" + path + "'",
+         "check free space on the cache volume", path);
+}
+
+db::Module readLayoutFile(const std::string& path, const tech::Technology& tech) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    fail("AMG-IO-006", "cannot open '" + path + "' for reading",
+         "check the path; cache files are named <key>.amgl", path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return deserializeLayout(bytes, tech);
+}
+
+}  // namespace amg::io

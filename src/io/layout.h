@@ -1,0 +1,44 @@
+// Full-fidelity binary serialization of a Module.
+//
+// Unlike the GDS/CIF writers (which flatten to mask rectangles for
+// interchange), this format round-trips everything a Module carries:
+// nets, ports, per-edge variability flags, avoid-overlap markers and the
+// enclosure/array provenance records the compactor needs.  It exists for
+// the batch-generation cache (src/gen): a cache hit deserializes into a
+// Module indistinguishable from one generated from scratch.
+//
+// Layers are stored by *name* and resolved against the Technology given
+// at load time, so a blob is only readable under a deck that defines the
+// same layer names — the cache additionally keys on the full rule
+// fingerprint, making this a second line of defence, not the first.
+//
+// Errors carry AMG-IO-* codes (see util/diag.h for the registry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/module.h"
+
+namespace amg::io {
+
+/// Serialize the module (alive shapes only; dead entries are compacted
+/// out and provenance records are remapped accordingly).
+std::vector<std::uint8_t> serializeLayout(const db::Module& m);
+
+/// Reconstruct a module from serializeLayout() bytes.  Layer names are
+/// resolved against `tech`.  Throws util::DiagError with codes
+/// AMG-IO-001 (bad magic), AMG-IO-002 (unsupported version),
+/// AMG-IO-003 (truncated/corrupt payload) or AMG-IO-004 (layer name
+/// unknown to the given technology).
+db::Module deserializeLayout(const std::vector<std::uint8_t>& bytes,
+                             const tech::Technology& tech);
+
+/// File helpers for the on-disk cache tier.  writeLayoutFile throws
+/// util::DiagError AMG-IO-005 when the file cannot be written;
+/// readLayoutFile AMG-IO-006 when it cannot be read.
+void writeLayoutFile(const db::Module& m, const std::string& path);
+db::Module readLayoutFile(const std::string& path, const tech::Technology& tech);
+
+}  // namespace amg::io

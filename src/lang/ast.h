@@ -46,6 +46,7 @@ struct Expr {
   enum class Kind { Number, String, Dir, Var, Binary, Call };
   Kind kind;
   int line = 0;
+  int col = 0;
 
   double number = 0;            // Number
   std::string text;             // String payload / Var name / Call name
@@ -62,6 +63,7 @@ struct Stmt {
   enum class Kind { Assign, ExprStmt, If, For, Variant, Error };
   Kind kind;
   int line = 0;
+  int col = 0;
 
   std::string name;             // Assign target / For variable
   ExprPtr expr;                 // Assign value / ExprStmt / If condition /
@@ -83,6 +85,9 @@ struct EntityDecl {
   std::vector<Param> params;
   Body body;
   int line = 0;
+  /// Source file the declaration came from; stamped by
+  /// Interpreter::run()/load() so instantiate() diagnostics can name it.
+  std::string file;
 };
 
 struct Program {

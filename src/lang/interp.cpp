@@ -104,7 +104,9 @@ class Interpreter::Impl {
                          int line) {
     std::vector<Arg> args;  // not used; direct named binding below
     (void)args;
-    if (++depth_ > 64) throw LangError("entity recursion too deep", line);
+    if (++depth_ > 64)
+      fail("AMG-INTERP-006", "entity recursion too deep", line, 0,
+           "entities may nest at most 64 deep; check for unbounded recursion");
     ++host_.stats_.entityCalls;
     OBS_COUNT("lang.entity.calls");
     obs::Span span("lang.entity");
@@ -116,8 +118,10 @@ class Interpreter::Impl {
       const bool known = std::any_of(ent.params.begin(), ent.params.end(),
                                      [&](const auto& p) { return p.name == name; });
       if (!known)
-        throw LangError("entity '" + ent.name + "' has no parameter '" + name + "'",
-                        line);
+        fail("AMG-INTERP-003",
+             "entity '" + ent.name + "' has no parameter '" + name + "'", line, 0,
+             "the declaration is 'ENT " + ent.name + "(...)' on line " +
+                 std::to_string(ent.line));
       scopes_.back()[name] = v;
     }
     for (const auto& p : ent.params) {
@@ -126,9 +130,12 @@ class Interpreter::Impl {
         // Explicit default, evaluated with earlier parameters in scope.
         scopes_.back()[p.name] = eval(*p.defaultValue);
       } else if (!p.optional) {
-        throw LangError("entity '" + ent.name + "': required parameter '" + p.name +
-                            "' missing",
-                        line);
+        fail("AMG-INTERP-005",
+             "entity '" + ent.name + "': required parameter '" + p.name +
+                 "' missing",
+             line, 0,
+             "pass " + p.name + "=... at the call, or declare it optional as <" +
+                 p.name + ">");
       }
     }
 
@@ -171,9 +178,17 @@ class Interpreter::Impl {
       scopes_.back()[name] = std::move(v);
   }
 
+  [[noreturn]] static void fail(std::string code, std::string msg, int line,
+                                int col, std::string hint) {
+    throw LangError(util::Diag{std::move(code), std::move(msg),
+                               {"", line, col}, std::move(hint)});
+  }
+
   db::Module& self(int line) {
     if (selfStack_.empty())
-      throw LangError("geometry statement outside an entity body", line);
+      fail("AMG-INTERP-007", "geometry statement outside an entity body", line, 0,
+           "primitive calls build the entity under construction; move this "
+           "statement into an ENT body");
     return *selfStack_.back();
   }
 
@@ -306,13 +321,15 @@ class Interpreter::Impl {
       case Expr::Kind::Dir: return Value::direction(e.dir);
       case Expr::Kind::Var: {
         const Value* v = findVar(e.text);
-        if (!v) throw LangError("unknown variable '" + e.text + "'", e.line);
+        if (!v)
+          fail("AMG-INTERP-001", "unknown variable '" + e.text + "'", e.line, e.col,
+               "assign it first, or declare it as an entity parameter");
         return *v;
       }
       case Expr::Kind::Binary: return evalBinary(e);
       case Expr::Kind::Call: return evalCall(e);
     }
-    throw LangError("bad expression", e.line);
+    fail("AMG-INTERP-011", "bad expression", e.line, e.col, "");
   }
 
   Value evalBinary(const Expr& e) {
@@ -325,14 +342,17 @@ class Interpreter::Impl {
       x = a.asNumber();
       y = b.asNumber();
     } catch (const Error& err) {
-      throw LangError(err.what(), e.line);
+      fail("AMG-INTERP-009", err.what(), e.line, e.col,
+           "arithmetic operands must be numbers (strings only support +)");
     }
     switch (e.op) {
       case Tok::Plus: return Value::number(x + y);
       case Tok::Minus: return Value::number(x - y);
       case Tok::Star: return Value::number(x * y);
       case Tok::Slash:
-        if (y == 0) throw LangError("division by zero", e.line);
+        if (y == 0)
+          fail("AMG-INTERP-008", "division by zero", e.line, e.col,
+               "guard the divisor with IF, or use max(divisor, epsilon)");
         return Value::number(x / y);
       case Tok::Lt: return Value::number(x < y);
       case Tok::Gt: return Value::number(x > y);
@@ -340,7 +360,7 @@ class Interpreter::Impl {
       case Tok::Ge: return Value::number(x >= y);
       case Tok::EqEq: return Value::number(x == y);
       case Tok::Ne: return Value::number(x != y);
-      default: throw LangError("bad operator", e.line);
+      default: fail("AMG-INTERP-011", "bad operator", e.line, e.col, "");
     }
   }
 
@@ -357,8 +377,10 @@ class Interpreter::Impl {
             named.emplace_back(*a.name, eval(*a.value));
           } else {
             if (positional >= ent.params.size())
-              throw LangError("too many arguments for entity '" + ent.name + "'",
-                              e.line);
+              fail("AMG-INTERP-004",
+                   "too many arguments for entity '" + ent.name + "' (takes " +
+                       std::to_string(ent.params.size()) + ")",
+                   e.line, e.col, "drop the extra arguments or name them");
             named.emplace_back(ent.params[positional++].name, eval(*a.value));
           }
         }
@@ -378,15 +400,20 @@ class Interpreter::Impl {
     for (const Arg& a : e.args) {
       if (a.name) {
         const auto it = std::find(names.begin(), names.end(), *a.name);
-        if (it == names.end())
-          throw LangError(e.text + "() has no parameter '" + *a.name + "'", e.line);
+        if (it == names.end()) {
+          std::string sig;
+          for (const auto& nm : names) sig += (sig.empty() ? "" : ", ") + nm;
+          fail("AMG-INTERP-003", e.text + "() has no parameter '" + *a.name + "'",
+               e.line, e.col, "the signature is " + e.text + "(" + sig + ")");
+        }
         const auto idx = static_cast<std::size_t>(it - names.begin());
         vals[idx] = eval(*a.value);
         filled[idx] = true;
       } else {
         while (nextPos < names.size() && filled[nextPos]) ++nextPos;
         if (nextPos >= names.size())
-          throw LangError("too many arguments for " + e.text + "()", e.line);
+          fail("AMG-INTERP-004", "too many arguments for " + e.text + "()", e.line,
+               e.col, "see docs/LANGUAGE.md for the builtin signatures");
         vals[nextPos] = eval(*a.value);
         filled[nextPos] = true;
         ++nextPos;
@@ -394,8 +421,9 @@ class Interpreter::Impl {
     }
     for (std::size_t i = 0; i < required; ++i)
       if (vals[i].isNone())
-        throw LangError(e.text + "(): required argument '" + names[i] + "' missing",
-                        e.line);
+        fail("AMG-INTERP-005",
+             e.text + "(): required argument '" + names[i] + "' missing", e.line,
+             e.col, "pass it positionally or as " + names[i] + "=...");
     return vals;
   }
 
@@ -403,7 +431,9 @@ class Interpreter::Impl {
     try {
       return tech_.layer(v.asString());
     } catch (const Error& err) {
-      throw LangError(err.what(), line);
+      fail("AMG-INTERP-010", err.what(), line, 0,
+           "valid layer names are listed in the technology file (see "
+           "docs/TECHFILE.md)");
     }
   }
 
@@ -468,8 +498,8 @@ class Interpreter::Impl {
         // POLY(layer, x1, y1, x2, y2, ... [, net = "..."]): rectilinear
         // polygon, converted to rectangles.
         if (e.args.size() < 7)
-          throw LangError("POLY(layer, x1, y1, ... ) needs at least 3 vertices",
-                          e.line);
+          fail("AMG-INTERP-011", "POLY(layer, x1, y1, ... ) needs at least 3 vertices",
+               e.line, e.col, "");
         db::Module& m = self(e.line);
         tech::LayerId layer = 0;
         geom::Polygon pts;
@@ -479,8 +509,8 @@ class Interpreter::Impl {
         for (const Arg& a : e.args) {
           if (a.name) {
             if (*a.name != "net")
-              throw LangError("POLY(): unknown named argument '" + *a.name + "'",
-                              e.line);
+              fail("AMG-INTERP-003", "POLY(): unknown named argument '" + *a.name + "'",
+                   e.line, e.col, "POLY takes coordinates plus an optional net=...");
             net = m.net(eval(*a.value).asString());
             continue;
           }
@@ -496,7 +526,8 @@ class Interpreter::Impl {
           }
         }
         if (pendingX)
-          throw LangError("POLY(): odd number of coordinates", e.line);
+          fail("AMG-INTERP-011", "POLY(): odd number of coordinates", e.line, e.col,
+               "vertices are x,y pairs");
         prim::polygon(m, layer, pts, net);
         return Value{};
       }
@@ -518,10 +549,14 @@ class Interpreter::Impl {
       }
       if (f == "compact") {
         if (e.args.size() < 2)
-          throw LangError("compact(obj, direction, [layers...])", e.line);
+          fail("AMG-INTERP-011", "compact(obj, direction, [layers...])", e.line,
+               e.col, "compact needs an object and a direction, e.g. "
+                      "compact(row, WEST)");
         std::vector<Value> vals;
         for (const Arg& a : e.args) {
-          if (a.name) throw LangError("compact() takes positional arguments", e.line);
+          if (a.name)
+            fail("AMG-INTERP-011", "compact() takes positional arguments", e.line,
+                 e.col, "");
           vals.push_back(eval(*a.value));
         }
         db::Module& m = self(e.line);
@@ -569,7 +604,9 @@ class Interpreter::Impl {
           else if (side == "right") flags.setVariable(Side::Right, true);
           else if (side == "top") flags.setVariable(Side::Top, true);
           else if (side == "bottom") flags.setVariable(Side::Bottom, true);
-          else throw LangError("varedge(): bad side '" + side + "'", e.line);
+          else
+            fail("AMG-INTERP-011", "varedge(): bad side '" + side + "'", e.line,
+                 e.col, "sides are left|right|top|bottom|all");
         }
         return Value{};
       }
@@ -656,10 +693,18 @@ class Interpreter::Impl {
       throw;
     } catch (const DesignRuleError&) {
       throw;  // preserved for VARIANT backtracking
+    } catch (const util::DiagError& err) {
+      util::Diag d = err.diag();
+      if (!d.loc.known()) d.loc = {"", e.line, e.col};
+      d.message += " (in " + f + "())";
+      throw LangError(std::move(d));
     } catch (const Error& err) {
-      throw LangError(std::string(err.what()) + " (in " + f + "())", e.line);
+      fail("AMG-INTERP-012", std::string(err.what()) + " (in " + f + "())", e.line,
+           e.col, "");
     }
-    throw LangError("unknown entity or function '" + f + "'", e.line);
+    fail("AMG-INTERP-002", "unknown entity or function '" + f + "'", e.line, e.col,
+         "entities must be declared with ENT before or after use; builtins are "
+         "listed in docs/LANGUAGE.md");
   }
 
   Interpreter& host_;
@@ -675,40 +720,92 @@ class Interpreter::Impl {
 
 Interpreter::Interpreter(const tech::Technology& tech) : tech_(&tech) {}
 
-void Interpreter::load(const std::string& source) {
-  Program prog = parseSource(source);
-  for (EntityDecl& e : prog.entities) {
-    // Later declarations shadow earlier ones (remove the old).
-    entities_.erase(std::remove_if(entities_.begin(), entities_.end(),
-                                   [&](const EntityDecl& x) { return x.name == e.name; }),
-                    entities_.end());
-    entities_.push_back(std::move(e));
-  }
-  if (!prog.top.empty())
-    throw LangError("load(): script has top-level statements; use run()",
-                    prog.top.front().line);
+namespace {
+
+/// Stamp the script's file name onto a LangError that escaped the
+/// lexer/parser/interpreter (their internals only know line/col).
+[[noreturn]] void rethrowWithFile(const LangError& e, const std::string& file) {
+  util::Diag d = e.diag();
+  if (d.loc.file.empty()) d.loc.file = file;
+  throw LangError(std::move(d));
 }
 
-void Interpreter::run(const std::string& source) {
-  Program prog = parseSource(source);
-  for (EntityDecl& e : prog.entities) {
-    entities_.erase(std::remove_if(entities_.begin(), entities_.end(),
-                                   [&](const EntityDecl& x) { return x.name == e.name; }),
-                    entities_.end());
-    entities_.push_back(std::move(e));
+}  // namespace
+
+void Interpreter::load(const std::string& source, const std::string& sourceName) {
+  try {
+    Program prog = parseSource(source);
+    for (EntityDecl& e : prog.entities) {
+      e.file = sourceName;
+      // Later declarations shadow earlier ones (remove the old).
+      entities_.erase(
+          std::remove_if(entities_.begin(), entities_.end(),
+                         [&](const EntityDecl& x) { return x.name == e.name; }),
+          entities_.end());
+      entities_.push_back(std::move(e));
+    }
+    if (!prog.top.empty())
+      throw LangError(util::Diag{
+          "AMG-INTERP-013", "load(): script has top-level statements; use run()",
+          {"", prog.top.front().line, prog.top.front().col},
+          "load() registers entities only; move the calling sequence to run()"});
+  } catch (const LangError& e) {
+    rethrowWithFile(e, sourceName);
   }
-  Impl impl(*this);
-  impl.execTop(prog.top);
+}
+
+void Interpreter::loadEntities(const std::string& source,
+                               const std::string& sourceName) {
+  try {
+    Program prog = parseSource(source);
+    for (EntityDecl& e : prog.entities) {
+      e.file = sourceName;
+      entities_.erase(
+          std::remove_if(entities_.begin(), entities_.end(),
+                         [&](const EntityDecl& x) { return x.name == e.name; }),
+          entities_.end());
+      entities_.push_back(std::move(e));
+    }
+  } catch (const LangError& e) {
+    rethrowWithFile(e, sourceName);
+  }
+}
+
+void Interpreter::run(const std::string& source, const std::string& sourceName) {
+  try {
+    Program prog = parseSource(source);
+    for (EntityDecl& e : prog.entities) {
+      e.file = sourceName;
+      entities_.erase(
+          std::remove_if(entities_.begin(), entities_.end(),
+                         [&](const EntityDecl& x) { return x.name == e.name; }),
+          entities_.end());
+      entities_.push_back(std::move(e));
+    }
+    Impl impl(*this);
+    impl.execTop(prog.top);
+  } catch (const LangError& e) {
+    rethrowWithFile(e, sourceName);
+  }
 }
 
 db::Module Interpreter::instantiate(
     const std::string& entity, const std::vector<std::pair<std::string, Value>>& args) {
   const auto it = std::find_if(entities_.begin(), entities_.end(),
                                [&](const EntityDecl& e) { return e.name == entity; });
-  if (it == entities_.end())
-    throw LangError("unknown entity '" + entity + "'", 0);
+  if (it == entities_.end()) {
+    util::Diag d;
+    d.code = "AMG-INTERP-002";
+    d.message = "unknown entity '" + entity + "'";
+    d.hint = "load a script declaring it first";
+    throw LangError(std::move(d));
+  }
   Impl impl(*this);
-  return impl.instantiate(*it, args, it->line);
+  try {
+    return impl.instantiate(*it, args, it->line);
+  } catch (const LangError& e) {
+    rethrowWithFile(e, it->file);
+  }
 }
 
 const Value* Interpreter::global(const std::string& name) const {

@@ -68,10 +68,19 @@ class Interpreter {
 
   /// Parse and register a script: entities are added to the registry, the
   /// top-level statements (the "calling sequence") run immediately.
-  void run(const std::string& source);
+  /// `sourceName` is stamped onto every diagnostic the script raises
+  /// (LangError carries file:line:col, see util/diag.h).
+  void run(const std::string& source, const std::string& sourceName = "<script>");
 
-  /// Register entities only (no top-level execution).
-  void load(const std::string& source);
+  /// Register entities only; a script with top-level statements is an
+  /// error (AMG-INTERP-013).
+  void load(const std::string& source, const std::string& sourceName = "<script>");
+
+  /// Register entities and silently ignore any top-level calling
+  /// sequence — how the batch engine (gen/) reuses a runnable script as an
+  /// entity library.
+  void loadEntities(const std::string& source,
+                    const std::string& sourceName = "<script>");
 
   /// Instantiate an entity with named arguments.
   db::Module instantiate(const std::string& entity,

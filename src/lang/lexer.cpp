@@ -28,10 +28,19 @@ std::vector<Token> lex(const std::string& src) {
   std::vector<Token> out;
   int line = 1;
   std::size_t i = 0;
+  std::size_t lineStart = 0;  // index of the current line's first char
   const std::size_t n = src.size();
 
+  // 1-based column of source index `at` within the current line.
+  auto colOf = [&](std::size_t at) { return static_cast<int>(at - lineStart) + 1; };
+
   auto push = [&](Tok k, std::string text = {}, double num = 0) {
-    out.push_back(Token{k, std::move(text), num, line});
+    out.push_back(Token{k, std::move(text), num, line, colOf(i)});
+  };
+
+  auto fail = [&](std::string code, std::string msg, std::string hint) {
+    throw LangError(util::Diag{std::move(code), std::move(msg),
+                               {"", line, colOf(i)}, std::move(hint)});
   };
 
   while (i < n) {
@@ -41,6 +50,7 @@ std::vector<Token> lex(const std::string& src) {
       if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
       ++line;
       ++i;
+      lineStart = i;
       continue;
     }
     if (c == ';') {
@@ -67,7 +77,8 @@ std::vector<Token> lex(const std::string& src) {
       }
       const std::string text = src.substr(i, end - i);
       if (dots > 1 || text.back() == '.')
-        throw LangError("malformed number '" + text + "'", line);
+        fail("AMG-LEX-001", "malformed number '" + text + "'",
+             "number literals are decimal micrometres, e.g. 2 or 0.8");
       push(Tok::Number, text, std::stod(text));
       i = end;
       continue;
@@ -90,7 +101,8 @@ std::vector<Token> lex(const std::string& src) {
       std::size_t end = i + 1;
       while (end < n && src[end] != '"' && src[end] != '\n') ++end;
       if (end >= n || src[end] != '"')
-        throw LangError("unterminated string literal", line);
+        fail("AMG-LEX-002", "unterminated string literal",
+             "close the string with '\"' before the end of the line");
       push(Tok::String, src.substr(i + 1, end - i - 1));
       i = end + 1;
       continue;
@@ -114,7 +126,8 @@ std::vector<Token> lex(const std::string& src) {
       case '<': push(Tok::Lt); break;
       case '>': push(Tok::Gt); break;
       default:
-        throw LangError(std::string("unexpected character '") + c + "'", line);
+        fail("AMG-LEX-003", std::string("unexpected character '") + c + "'",
+             "see docs/LANGUAGE.md for the lexical rules");
     }
     ++i;
   }

@@ -28,9 +28,18 @@ class Parser {
   bool at(Tok k) const { return cur().kind == k; }
   const Token& advance() { return toks_[pos_++]; }
   int line() const { return cur().line; }
+  int col() const { return cur().col; }
+
+  [[noreturn]] void fail(std::string code, std::string msg, std::string hint,
+                         int atLine, int atCol) {
+    throw LangError(util::Diag{std::move(code), std::move(msg),
+                               {"", atLine, atCol}, std::move(hint)});
+  }
 
   const Token& expect(Tok k, const char* what) {
-    if (!at(k)) throw LangError(std::string("expected ") + what, line());
+    if (!at(k))
+      fail("AMG-PARSE-001", std::string("expected ") + what,
+           "see docs/LANGUAGE.md for the statement grammar", line(), col());
     return advance();
   }
 
@@ -101,6 +110,7 @@ class Parser {
       Stmt s;
       s.kind = Stmt::Kind::Assign;
       s.line = line();
+      s.col = col();
       s.name = advance().text;
       advance();  // '='
       s.expr = parseExpr();
@@ -110,6 +120,7 @@ class Parser {
     Stmt s;
     s.kind = Stmt::Kind::ExprStmt;
     s.line = line();
+    s.col = col();
     s.expr = parseExpr();
     endStatement();
     return s;
@@ -119,13 +130,16 @@ class Parser {
     Stmt s;
     s.kind = Stmt::Kind::If;
     s.line = line();
+    s.col = col();
     expect(Tok::KwIf, "IF");
     s.expr = parseExpr();
     expect(Tok::KwThen, "THEN");
     endStatement();
     skipNewlines();
     while (!at(Tok::KwElse) && !at(Tok::KwEndif)) {
-      if (at(Tok::End)) throw LangError("IF without ENDIF", s.line);
+      if (at(Tok::End))
+        fail("AMG-PARSE-002", "IF without ENDIF",
+             "close the IF block with ENDIF", s.line, s.col);
       s.body.push_back(parseStatement());
       skipNewlines();
     }
@@ -134,7 +148,9 @@ class Parser {
       endStatement();
       skipNewlines();
       while (!at(Tok::KwEndif)) {
-        if (at(Tok::End)) throw LangError("ELSE without ENDIF", s.line);
+        if (at(Tok::End))
+          fail("AMG-PARSE-002", "ELSE without ENDIF",
+               "close the IF/ELSE block with ENDIF", s.line, s.col);
         s.elseBody.push_back(parseStatement());
         skipNewlines();
       }
@@ -148,6 +164,7 @@ class Parser {
     Stmt s;
     s.kind = Stmt::Kind::For;
     s.line = line();
+    s.col = col();
     expect(Tok::KwFor, "FOR");
     s.name = expect(Tok::Ident, "loop variable").text;
     expect(Tok::Assign, "'='");
@@ -158,7 +175,9 @@ class Parser {
     endStatement();
     skipNewlines();
     while (!at(Tok::KwEndfor)) {
-      if (at(Tok::End)) throw LangError("FOR without ENDFOR", s.line);
+      if (at(Tok::End))
+        fail("AMG-PARSE-003", "FOR without ENDFOR",
+             "close the loop body with ENDFOR", s.line, s.col);
       s.body.push_back(parseStatement());
       skipNewlines();
     }
@@ -171,6 +190,7 @@ class Parser {
     Stmt s;
     s.kind = Stmt::Kind::Variant;
     s.line = line();
+    s.col = col();
     if (at(Tok::KwBest)) {
       advance();
       s.rated = true;
@@ -180,7 +200,9 @@ class Parser {
     s.branches.emplace_back();
     skipNewlines();
     while (!at(Tok::KwEndvariant)) {
-      if (at(Tok::End)) throw LangError("VARIANT without ENDVARIANT", s.line);
+      if (at(Tok::End))
+        fail("AMG-PARSE-004", "VARIANT without ENDVARIANT",
+             "close the branch list with ENDVARIANT", s.line, s.col);
       if (at(Tok::KwOr)) {
         advance();
         endStatement();
@@ -200,6 +222,7 @@ class Parser {
     Stmt s;
     s.kind = Stmt::Kind::Error;
     s.line = line();
+    s.col = col();
     expect(Tok::KwError, "ERROR");
     expect(Tok::LParen, "'('");
     s.expr = parseExpr();
@@ -219,6 +242,7 @@ class Parser {
       auto b = std::make_unique<Expr>();
       b->kind = Expr::Kind::Binary;
       b->line = line();
+      b->col = col();
       b->op = advance().kind;
       b->lhs = std::move(e);
       b->rhs = parseAdditive();
@@ -233,6 +257,7 @@ class Parser {
       auto b = std::make_unique<Expr>();
       b->kind = Expr::Kind::Binary;
       b->line = line();
+      b->col = col();
       b->op = advance().kind;
       b->lhs = std::move(e);
       b->rhs = parseMultiplicative();
@@ -247,6 +272,7 @@ class Parser {
       auto b = std::make_unique<Expr>();
       b->kind = Expr::Kind::Binary;
       b->line = line();
+      b->col = col();
       b->op = advance().kind;
       b->lhs = std::move(e);
       b->rhs = parseUnary();
@@ -258,14 +284,17 @@ class Parser {
   ExprPtr parseUnary() {
     if (at(Tok::Minus)) {
       const int ln = line();
+      const int cl = col();
       advance();
       auto zero = std::make_unique<Expr>();
       zero->kind = Expr::Kind::Number;
       zero->line = ln;
+      zero->col = cl;
       zero->number = 0;
       auto b = std::make_unique<Expr>();
       b->kind = Expr::Kind::Binary;
       b->line = ln;
+      b->col = cl;
       b->op = Tok::Minus;
       b->lhs = std::move(zero);
       b->rhs = parseUnary();
@@ -277,6 +306,7 @@ class Parser {
   ExprPtr parsePrimary() {
     auto e = std::make_unique<Expr>();
     e->line = line();
+    e->col = col();
     switch (cur().kind) {
       case Tok::Number:
         e->kind = Expr::Kind::Number;
@@ -324,7 +354,9 @@ class Parser {
         return e;
       }
       default:
-        throw LangError("expected an expression", line());
+        fail("AMG-PARSE-005", "expected an expression",
+             "a value, variable, call, or parenthesized expression must follow here",
+             line(), col());
     }
   }
 

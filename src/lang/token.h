@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "geom/coord.h"
+#include "util/diag.h"
 
 namespace amg::lang {
 
@@ -32,19 +33,24 @@ struct Token {
   Tok kind = Tok::End;
   std::string text;   ///< identifier / string payload
   double number = 0;  ///< numeric payload
-  int line = 0;
+  int line = 0;       ///< 1-based source line
+  int col = 0;        ///< 1-based source column of the token's first char
 };
 
-/// Diagnostic with a source location, the language counterpart of the
-/// paper's "an error message occurs".
-class LangError : public Error {
+/// Diagnostic with a source location and error code, the language
+/// counterpart of the paper's "an error message occurs".  The script's
+/// file name is filled in at the Interpreter::run()/load() boundary, so
+/// lexer/parser/interpreter internals only supply line/col.
+class LangError : public util::DiagError {
  public:
-  LangError(const std::string& what, int line)
-      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
-  int line() const { return line_; }
+  /// Full structured form.
+  explicit LangError(util::Diag d) : util::DiagError(std::move(d)) {}
 
- private:
-  int line_;
+  /// Line-only compatibility form (code AMG-LANG-000, no column).
+  LangError(const std::string& what, int line)
+      : LangError(util::Diag{"AMG-LANG-000", what, {"", line, 0}, ""}) {}
+
+  int line() const { return diag().loc.line; }
 };
 
 /// Tokenize a complete source text; '//' starts a line comment.

@@ -1,11 +1,21 @@
 #include "primitives/primitives.h"
 
+#include "util/diag.h"
+
 #include <algorithm>
 
 #include "obs/obs.h"
 
 namespace amg::prim {
 namespace {
+
+/// Rule failure with structured payload: still a DesignRuleError (so the
+/// interpreter's VARIANT backtracking catches it), plus a stable
+/// AMG-PRIM-* code and a remediation hint for batch reports.
+[[noreturn]] void fail(const char* code, std::string msg, std::string hint) {
+  throw util::DesignRuleDiag(util::Diag{code, std::move(msg), {}, std::move(hint)});
+}
+
 
 using tech::LayerKind;
 using tech::Technology;
@@ -34,9 +44,10 @@ std::pair<Coord, Coord> minDims(const Technology& t, LayerId layer) {
 void checkRequestedDim(const Technology& t, LayerId layer, const char* what,
                        std::optional<Coord> req, Coord min) {
   if (req && *req < min)
-    throw DesignRuleError(std::string("layer '") + t.info(layer).name + "': requested " +
-                          what + " " + std::to_string(*req) +
-                          " is below the minimum of " + std::to_string(min));
+    fail("AMG-PRIM-001",
+         std::string("layer '") + t.info(layer).name + "': requested " + what + " " +
+             std::to_string(*req) + " is below the minimum of " + std::to_string(min),
+         "raise the requested dimension or omit it to take the rule minimum");
 }
 
 // Equidistant 1-D placement of `n` elements of size `sz` over [lo, hi]
@@ -86,8 +97,11 @@ void expandOuters(Module& m, const std::vector<ShapeId>& outers, LayerId innerLa
   for (ShapeId id : outers) {
     db::Shape& s = m.shape(id);
     if (t.info(s.layer).kind == LayerKind::Cut)
-      throw DesignRuleError("cannot expand fixed-size cut rectangle on layer '" +
-                            t.info(s.layer).name + "'");
+      fail("AMG-PRIM-002",
+           "cannot expand fixed-size cut rectangle on layer '" +
+               t.info(s.layer).name + "'",
+           "cuts have a technology-fixed footprint; enlarge the enclosing "
+           "rectangles instead");
     const Coord margin = t.enclosure(s.layer, innerLayer).value_or(0);
     s.box = s.box.unite(needed.expanded(margin));
   }
@@ -141,8 +155,9 @@ ShapeId around(Module& m, LayerId layer, std::vector<ShapeId> targets, Coord ext
   OBS_COUNT("prim.around.calls");
   if (targets.empty()) targets = m.shapeIds();
   if (targets.empty())
-    throw DesignRuleError("AROUND on layer '" + t.info(layer).name +
-                          "': no structure to surround");
+    fail("AMG-PRIM-003",
+         "AROUND on layer '" + t.info(layer).name + "': no structure to surround",
+         "draw at least one rectangle (e.g. INBOX) before calling AROUND");
   Box b;
   for (ShapeId id : targets) {
     const db::Shape& s = m.shape(id);
@@ -163,13 +178,15 @@ std::vector<ShapeId> array(Module& m, LayerId cutLayer, std::vector<ShapeId> con
                            NetId net) {
   const Technology& t = m.technology();
   if (t.info(cutLayer).kind != LayerKind::Cut)
-    throw DesignRuleError("ARRAY: layer '" + t.info(cutLayer).name +
-                          "' is not a cut layer");
+    fail("AMG-PRIM-004",
+         "ARRAY: layer '" + t.info(cutLayer).name + "' is not a cut layer",
+         "ARRAY places contact/via cuts; pass a layer of kind 'cut'");
   OBS_COUNT("prim.array.calls");
   containers = resolveOuters(m, std::move(containers));
   if (containers.empty())
-    throw DesignRuleError("ARRAY on layer '" + t.info(cutLayer).name +
-                          "': no containing rectangles");
+    fail("AMG-PRIM-004",
+         "ARRAY on layer '" + t.info(cutLayer).name + "': no containing rectangles",
+         "draw the container rectangles (e.g. INBOX) before calling ARRAY");
 
   const auto [cw, ch] = t.cutSize(cutLayer);
   const Coord gap = t.minSpacing(cutLayer, cutLayer).value_or(0);
@@ -206,8 +223,10 @@ std::vector<ShapeId> polygon(Module& m, LayerId layer, const geom::Polygon& poly
   for (const Box& b : geom::decompose(poly))
     out.push_back(m.addShape(db::makeShape(b, layer, net)));
   if (out.empty())
-    throw DesignRuleError("POLYGON: empty decomposition on layer '" +
-                          m.technology().info(layer).name + "'");
+    fail("AMG-PRIM-005",
+         "POLYGON: empty decomposition on layer '" +
+             m.technology().info(layer).name + "'",
+         "the outline must be a closed rectilinear loop with non-zero area");
   return out;
 }
 
@@ -246,8 +265,9 @@ std::vector<ShapeId> ring(Module& m, LayerId layer, std::optional<Coord> width,
   OBS_COUNT("prim.ring.calls");
   if (targets.empty()) targets = m.shapeIds();
   if (targets.empty())
-    throw DesignRuleError("RING on layer '" + t.info(layer).name +
-                          "': no structure to surround");
+    fail("AMG-PRIM-003",
+         "RING on layer '" + t.info(layer).name + "': no structure to surround",
+         "draw at least one rectangle (e.g. INBOX) before calling RING");
   const Coord wd = width.value_or(minDims(t, layer).first);
   checkRequestedDim(t, layer, "ring width", width, minDims(t, layer).first);
 
@@ -274,11 +294,15 @@ std::pair<ShapeId, ShapeId> tworects(Module& m, LayerId layerA, LayerId layerB,
                                      Coord chanW, Coord chanL, NetId netA, NetId netB) {
   const Technology& t = m.technology();
   if (chanL < t.minWidth(layerA))
-    throw DesignRuleError("TWORECTS: channel length " + std::to_string(chanL) +
-                          " below minimum width of '" + t.info(layerA).name + "'");
+    fail("AMG-PRIM-006",
+         "TWORECTS: channel length " + std::to_string(chanL) +
+             " below minimum width of '" + t.info(layerA).name + "'",
+         "the L parameter must be at least the gate layer's minimum width");
   if (chanW < t.minWidth(layerB))
-    throw DesignRuleError("TWORECTS: channel width " + std::to_string(chanW) +
-                          " below minimum width of '" + t.info(layerB).name + "'");
+    fail("AMG-PRIM-006",
+         "TWORECTS: channel width " + std::to_string(chanW) +
+             " below minimum width of '" + t.info(layerB).name + "'",
+         "the W parameter must be at least the diffusion layer's minimum width");
   const Coord endcap = t.extension(layerA, layerB).value_or(0);
   const Coord overhang = t.extension(layerB, layerA).value_or(0);
   // Channel occupies [0, chanL] x [0, chanW]; gate is the vertical stripe.
@@ -296,7 +320,8 @@ std::pair<ShapeId, ShapeId> angleAdaptor(Module& m, LayerId layer, Point corner,
   const Coord wd = width.value_or(t.minWidth(layer));
   checkRequestedDim(t, layer, "wire width", width, t.minWidth(layer));
   if (lenH == 0 || lenV == 0)
-    throw DesignRuleError("angle adaptor: both arm lengths must be non-zero");
+    fail("AMG-PRIM-007", "angle adaptor: both arm lengths must be non-zero",
+         "pass non-zero lenH and lenV (they may be negative for direction)");
 
   const Coord hx2 = corner.x + lenH + (lenH > 0 ? wd / 2 : -wd / 2);
   const Box harm = Box::fromCorners(corner.x - (lenH > 0 ? wd / 2 : -wd / 2), corner.y - wd / 2,

@@ -6,10 +6,20 @@
 #include <sstream>
 #include <vector>
 
+#include "util/diag.h"
+
 namespace amg::tech {
 namespace {
 
-LayerKind kindFromName(const std::string& s, const std::string& where) {
+/// Structured parse failure: every techfile diagnostic carries the file
+/// name, the 1-based line, a stable AMG-TECH-* code, and a hint.
+[[noreturn]] void fail(std::string code, std::string msg, const std::string& file,
+                       int line, std::string hint) {
+  throw util::DiagError(util::Diag{std::move(code), std::move(msg),
+                                   {file, line, 0}, std::move(hint)});
+}
+
+LayerKind kindFromName(const std::string& s, const std::string& file, int line) {
   static const std::map<std::string, LayerKind> kKinds = {
       {"well", LayerKind::Well},         {"diffusion", LayerKind::Diffusion},
       {"poly", LayerKind::Poly},         {"metal", LayerKind::Metal},
@@ -17,7 +27,9 @@ LayerKind kindFromName(const std::string& s, const std::string& where) {
       {"marker", LayerKind::Marker},
   };
   auto it = kKinds.find(s);
-  if (it == kKinds.end()) throw Error(where + ": unknown layer kind '" + s + "'");
+  if (it == kKinds.end())
+    fail("AMG-TECH-004", "unknown layer kind '" + s + "'", file, line,
+         "kinds are: well diffusion poly metal cut implant marker");
   return it->second;
 }
 
@@ -48,14 +60,15 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
-Coord parseValue(const std::string& s, const std::string& where) {
+Coord parseValue(const std::string& s, const std::string& file, int line) {
   try {
     std::size_t pos = 0;
     const long long v = std::stoll(s, &pos);
     if (pos != s.size()) throw std::invalid_argument(s);
     return static_cast<Coord>(v);
   } catch (const std::exception&) {
-    throw Error(where + ": expected an integer rule value, got '" + s + "'");
+    fail("AMG-TECH-005", "expected an integer rule value, got '" + s + "'", file,
+         line, "rule values are whole nanometres (unit nm)");
   }
 }
 
@@ -75,15 +88,28 @@ Technology parseTechFile(std::istream& in, const std::string& sourceName) {
   std::string line;
   int lineNo = 0;
 
-  auto where = [&] { return sourceName + ":" + std::to_string(lineNo); };
   auto need = [&](const std::vector<std::string>& toks, std::size_t n) {
     if (toks.size() < n)
-      throw Error(where() + ": directive '" + toks[0] + "' needs " +
-                  std::to_string(n - 1) + " arguments");
+      fail("AMG-TECH-002",
+           "directive '" + toks[0] + "' needs " + std::to_string(n - 1) +
+               " arguments",
+           sourceName, lineNo, "see docs/TECHFILE.md for every directive's form");
   };
   auto techRef = [&]() -> Technology& {
-    if (!tech) throw Error(where() + ": 'tech <name>' must be the first directive");
+    if (!tech)
+      fail("AMG-TECH-003", "'tech <name>' must be the first directive", sourceName,
+           lineNo, "start the file with a line like 'tech mytech'");
     return *tech;
+  };
+  // Resolve a layer name, turning the unknown-layer DesignRuleError into a
+  // located diagnostic.
+  auto layerRef = [&](const std::string& name) -> LayerId {
+    try {
+      return techRef().layer(name);
+    } catch (const DesignRuleError&) {
+      fail("AMG-TECH-006", "unknown layer '" + name + "'", sourceName, lineNo,
+           "declare it with a 'layer " + name + " <kind> ...' directive first");
+    }
   };
 
   while (std::getline(in, line)) {
@@ -94,17 +120,22 @@ Technology parseTechFile(std::istream& in, const std::string& sourceName) {
 
     if (cmd == "tech") {
       need(toks, 2);
-      if (tech) throw Error(where() + ": duplicate 'tech' directive");
+      if (tech)
+        fail("AMG-TECH-003", "duplicate 'tech' directive", sourceName, lineNo,
+             "a deck declares its name exactly once");
       tech.emplace(toks[1]);
     } else if (cmd == "unit") {
       need(toks, 2);
-      if (toks[1] != "nm") throw Error(where() + ": only 'unit nm' is supported");
+      if (toks[1] != "nm")
+        fail("AMG-TECH-003", "only 'unit nm' is supported", sourceName, lineNo,
+             "express rule values in nanometres and declare 'unit nm'");
     } else if (cmd == "layer") {
       need(toks, 3);
       LayerInfo li;
       li.name = toks[1];
-      li.kind = kindFromName(toks[2], where());
-      if (auto v = attr(toks, "cif")) li.cifId = static_cast<int>(parseValue(*v, where()));
+      li.kind = kindFromName(toks[2], sourceName, lineNo);
+      if (auto v = attr(toks, "cif"))
+        li.cifId = static_cast<int>(parseValue(*v, sourceName, lineNo));
       li.color = attr(toks, "color").value_or("#888888");
       li.pattern = attr(toks, "pattern").value_or("solid");
       for (const auto& t : toks)
@@ -112,42 +143,46 @@ Technology parseTechFile(std::istream& in, const std::string& sourceName) {
       techRef().addLayer(std::move(li));
     } else if (cmd == "width") {
       need(toks, 3);
-      techRef().setMinWidth(techRef().layer(toks[1]), parseValue(toks[2], where()));
+      techRef().setMinWidth(layerRef(toks[1]), parseValue(toks[2], sourceName, lineNo));
     } else if (cmd == "space") {
       need(toks, 4);
-      techRef().setMinSpacing(techRef().layer(toks[1]), techRef().layer(toks[2]),
-                              parseValue(toks[3], where()));
+      techRef().setMinSpacing(layerRef(toks[1]), layerRef(toks[2]),
+                              parseValue(toks[3], sourceName, lineNo));
     } else if (cmd == "enclose") {
       need(toks, 4);
-      techRef().setEnclosure(techRef().layer(toks[1]), techRef().layer(toks[2]),
-                             parseValue(toks[3], where()));
+      techRef().setEnclosure(layerRef(toks[1]), layerRef(toks[2]),
+                             parseValue(toks[3], sourceName, lineNo));
     } else if (cmd == "extend") {
       need(toks, 4);
-      techRef().setExtension(techRef().layer(toks[1]), techRef().layer(toks[2]),
-                             parseValue(toks[3], where()));
+      techRef().setExtension(layerRef(toks[1]), layerRef(toks[2]),
+                             parseValue(toks[3], sourceName, lineNo));
     } else if (cmd == "cutsize") {
       need(toks, 4);
-      techRef().setCutSize(techRef().layer(toks[1]), parseValue(toks[2], where()),
-                           parseValue(toks[3], where()));
+      techRef().setCutSize(layerRef(toks[1]), parseValue(toks[2], sourceName, lineNo),
+                           parseValue(toks[3], sourceName, lineNo));
     } else if (cmd == "connect") {
       need(toks, 4);
-      techRef().addCutConnection(techRef().layer(toks[1]), techRef().layer(toks[2]),
-                                 techRef().layer(toks[3]));
+      techRef().addCutConnection(layerRef(toks[1]), layerRef(toks[2]),
+                                 layerRef(toks[3]));
     } else if (cmd == "latchup") {
       need(toks, 2);
-      techRef().setLatchUpRadius(parseValue(toks[1], where()));
+      techRef().setLatchUpRadius(parseValue(toks[1], sourceName, lineNo));
     } else if (cmd == "guard") {
       need(toks, 2);
-      techRef().setGuardLayer(techRef().layer(toks[1]));
+      techRef().setGuardLayer(layerRef(toks[1]));
     } else if (cmd == "tie") {
       need(toks, 2);
-      techRef().setSubstrateTieLayer(techRef().layer(toks[1]));
+      techRef().setSubstrateTieLayer(layerRef(toks[1]));
     } else {
-      throw Error(where() + ": unknown directive '" + cmd + "'");
+      fail("AMG-TECH-001", "unknown directive '" + cmd + "'", sourceName, lineNo,
+           "directives: tech unit layer width space enclose extend cutsize "
+           "connect latchup guard tie (docs/TECHFILE.md)");
     }
   }
 
-  if (!tech) throw Error(sourceName + ": empty technology file");
+  if (!tech)
+    fail("AMG-TECH-003", "empty technology file", sourceName, 0,
+         "a deck needs at least a 'tech <name>' directive");
   return std::move(*tech);
 }
 
@@ -158,7 +193,14 @@ Technology parseTechString(const std::string& text, const std::string& sourceNam
 
 Technology loadTechFile(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw Error("cannot open technology file '" + path + "'");
+  if (!f) {
+    util::Diag d;
+    d.code = "AMG-TECH-007";
+    d.message = "cannot open technology file '" + path + "'";
+    d.loc.file = path;
+    d.hint = "check the path; shipped decks live in tech/";
+    throw util::DiagError(std::move(d));
+  }
   return parseTechFile(f, path);
 }
 

@@ -1,0 +1,69 @@
+#include "util/diag.h"
+
+#include <sstream>
+
+namespace amg::util {
+
+std::string SourceLoc::str() const {
+  if (file.empty() && line <= 0) return {};
+  std::string out = file;
+  if (line > 0) {
+    out += ':';
+    out += std::to_string(line);
+    if (col > 0) {
+      out += ':';
+      out += std::to_string(col);
+    }
+  }
+  return out;
+}
+
+std::string Diag::str() const {
+  std::string out;
+  const std::string where = loc.str();
+  if (!where.empty()) out += where + ": ";
+  out += "error";
+  if (!code.empty()) out += " [" + code + "]";
+  out += ": " + message;
+  if (!hint.empty()) out += "\nhint: " + hint;
+  return out;
+}
+
+std::string renderDiag(const Diag& d, std::string_view source) {
+  if (!d.loc.known()) return d.str();
+
+  // Find the 1-based line the location points at.
+  std::size_t begin = 0;
+  int line = 1;
+  while (line < d.loc.line) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) return d.str();  // out of range
+    begin = nl + 1;
+    ++line;
+  }
+  std::size_t end = source.find('\n', begin);
+  if (end == std::string_view::npos) end = source.size();
+  const std::string_view text = source.substr(begin, end - begin);
+
+  std::ostringstream os;
+  const std::string where = d.loc.str();
+  os << where << ": error";
+  if (!d.code.empty()) os << " [" << d.code << "]";
+  os << ": " << d.message << "\n";
+
+  char gutter[16];
+  std::snprintf(gutter, sizeof gutter, "%5d | ", d.loc.line);
+  os << gutter << text << "\n";
+  if (d.loc.col > 0 && static_cast<std::size_t>(d.loc.col) <= text.size() + 1) {
+    os << "      | ";
+    // Mirror tabs so the caret lines up under tab-indented source.
+    for (int i = 1; i < d.loc.col; ++i)
+      os << (text[static_cast<std::size_t>(i - 1)] == '\t' ? '\t' : ' ');
+    os << "^";
+    os << "\n";
+  }
+  if (!d.hint.empty()) os << "hint: " << d.hint << "\n";
+  return os.str();
+}
+
+}  // namespace amg::util

@@ -1,0 +1,87 @@
+// Structured diagnostics: every error the environment reports carries a
+// source location (file:line:col), a stable error code, and a remediation
+// hint.
+//
+// The paper's promise — "if a rule cannot be fulfilled an error message
+// occurs" — is not enough for a batch service: when one job out of a
+// 500-job sweep fails, the report must say *which* input, *where* in it,
+// and *what to do about it*, without a debugger.  Every user-facing error
+// path (lexer, parser, interpreter, technology-file parser, primitives,
+// batch manifest) now throws an exception carrying a Diag; the batch
+// engine (gen/engine.h) captures Diags per job instead of aborting, and
+// dsl_runner renders them caret-style against the offending source line.
+//
+// Error-code registry (stable identifiers, referenced from docs/CLI.md):
+//   AMG-LEX-*    tokenizer           AMG-PARSE-*  parser
+//   AMG-INTERP-* interpreter         AMG-TECH-*   technology file
+//   AMG-PRIM-*   primitive shapes    AMG-MAN-*    batch manifest
+//   AMG-IO-*     layout serializer   AMG-GEN-*    batch engine
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "geom/coord.h"
+
+namespace amg::util {
+
+/// Where in which input an error happened.  line/col are 1-based; 0 means
+/// "unknown" (e.g. a primitive called from C++ has no source position).
+struct SourceLoc {
+  std::string file;  ///< script/tech/manifest path, or "<string>"
+  int line = 0;
+  int col = 0;
+
+  bool known() const { return line > 0; }
+  /// "file:line:col" (parts with value 0 are omitted).
+  std::string str() const;
+};
+
+/// One structured diagnostic.
+struct Diag {
+  std::string code;     ///< stable identifier, e.g. "AMG-LEX-002"
+  std::string message;  ///< what went wrong, one sentence
+  SourceLoc loc;        ///< where (may be unknown)
+  std::string hint;     ///< how to fix it (may be empty)
+
+  /// One-line rendering: "file:line:col: error [CODE]: message".  The
+  /// location prefix is dropped when unknown, the code when empty.
+  std::string str() const;
+};
+
+/// Exception carrying a Diag.  what() returns Diag::str(), so existing
+/// catch (const Error&) sites keep printing sensible messages.
+class DiagError : public Error {
+ public:
+  explicit DiagError(Diag d) : Error(d.str()), diag_(std::move(d)) {}
+  const Diag& diag() const { return diag_; }
+
+ private:
+  Diag diag_;
+};
+
+/// A design-rule violation with structured payload: still a
+/// DesignRuleError, so the interpreter's VARIANT backtracking (which
+/// catches DesignRuleError) keeps working, but batch reports can recover
+/// the code/hint.
+class DesignRuleDiag : public DesignRuleError {
+ public:
+  explicit DesignRuleDiag(Diag d) : DesignRuleError(d.str()), diag_(std::move(d)) {}
+  const Diag& diag() const { return diag_; }
+
+ private:
+  Diag diag_;
+};
+
+/// Render `d` caret-style against the source text it points into:
+///
+///   script.amg:3:22: error [AMG-INTERP-001]: unknown variable 'Wx'
+///       3 | r = ContactRow(W = Wx)
+///         |                    ^
+///   hint: assign it first or declare it as an entity parameter
+///
+/// Falls back to the one-line form when the location is unknown or out of
+/// range for `source`.
+std::string renderDiag(const Diag& d, std::string_view source);
+
+}  // namespace amg::util
