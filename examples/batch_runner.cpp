@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "gen/engine.h"
 #include "gen/manifest.h"
 #include "io/svg.h"
@@ -38,21 +39,14 @@ void usage(const char* argv0, std::FILE* out) {
       "  --tech T        override the manifest technology: bicmos1u, cmos2u"
       " or a .tech path\n"
       "  --no-cache      disable the result cache (every job generates)\n"
+      "  --no-preflight  skip the static-analysis pre-flight (jobs that"
+      " would be rejected fail at runtime instead)\n"
       "  --cache-mb N    in-memory cache budget in MiB (default 64)\n"
       "  --cache-dir D   also keep cache entries on disk under directory D\n"
       "  --report FILE   write the aggregate JSON report to FILE\n"
       "  --svg PREFIX    write each successful layout as PREFIX_<job>.svg\n"
       "  --help          show this help and exit\n%s",
       argv0, obs::cliUsage());
-}
-
-/// Resolve a technology spec: builtin deck name or .tech file path.
-const tech::Technology* resolveTech(const std::string& spec,
-                                    std::vector<tech::Technology>& owned) {
-  if (spec.empty() || spec == "bicmos1u") return &tech::bicmos1u();
-  if (spec == "cmos2u") return &tech::cmos2u();
-  owned.push_back(tech::loadTechFile(spec));
-  return &owned.back();
 }
 
 }  // namespace
@@ -85,6 +79,8 @@ int main(int argc, char** argv) {
       svgPrefix = v6;
     else if (std::strcmp(argv[i], "--no-cache") == 0)
       cfg.useCache = false;
+    else if (std::strcmp(argv[i], "--no-preflight") == 0)
+      cfg.preflight = false;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
@@ -103,8 +99,8 @@ int main(int argc, char** argv) {
   const tech::Technology* tech = nullptr;
   try {
     manifest = gen::loadManifest(positional[0]);
-    tech = resolveTech(techOverride.empty() ? manifest.techSpec : techOverride,
-                       ownedTech);
+    tech = cli::resolveTech(
+        techOverride.empty() ? manifest.techSpec : techOverride, ownedTech);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -129,19 +125,21 @@ int main(int argc, char** argv) {
       if (!svgPrefix.empty())
         io::writeSvg(*r.layout, svgPrefix + "_" + r.name + ".svg");
     } else {
-      std::printf("%-28s %-6s %-9.2f %s\n", r.name.c_str(), "FAIL", r.wallMs,
+      std::printf("%-28s %-6s %-9.2f %s\n", r.name.c_str(),
+                  r.rejected ? "REJECT" : "FAIL", r.wallMs,
                   r.diag->code.c_str());
       // Caret rendering against the job's own script source.
-      std::fprintf(stderr, "%s\n",
-                   util::renderDiag(*r.diag, manifest.jobs[i].script).c_str());
+      cli::printDiag(*r.diag, manifest.jobs[i].script);
     }
   }
   const gen::LayoutCache::Stats cs = engine.cache().stats();
   std::printf(
-      "batch: %zu jobs, %zu ok, %zu failed, %zu cache hits in %.1f ms "
+      "batch: %zu jobs, %zu ok, %zu failed (%zu rejected in pre-flight, "
+      "%.2f ms), %zu cache hits in %.1f ms "
       "(cache: %llu hit, %llu disk, %llu miss, %llu evicted)\n",
-      report.jobs.size(), report.succeeded, report.failed, report.cacheHits,
-      report.wallMs, static_cast<unsigned long long>(cs.hits),
+      report.jobs.size(), report.succeeded, report.failed, report.rejected,
+      report.preflightMs, report.cacheHits, report.wallMs,
+      static_cast<unsigned long long>(cs.hits),
       static_cast<unsigned long long>(cs.diskHits),
       static_cast<unsigned long long>(cs.misses),
       static_cast<unsigned long long>(cs.evictions));
@@ -155,9 +153,11 @@ int main(int argc, char** argv) {
     w.metric("jobs", static_cast<double>(report.jobs.size()));
     w.metric("succeeded", static_cast<double>(report.succeeded));
     w.metric("failed", static_cast<double>(report.failed));
+    w.metric("rejected", static_cast<double>(report.rejected));
     w.metric("cache_hits", static_cast<double>(report.cacheHits));
     w.metric("cache_evictions", static_cast<double>(cs.evictions));
     w.metric("wall_ms", report.wallMs);
+    w.metric("preflight_ms", report.preflightMs);
     w.flag("all_ok", report.failed == 0);
     if (!w.write(reportPath))
       std::fprintf(stderr, "cannot write report '%s'\n", reportPath.c_str());

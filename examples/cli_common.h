@@ -1,0 +1,41 @@
+// Helpers shared by the example CLIs (dsl_runner, batch_runner, amg_lint).
+// Header-only on purpose: examples/ builds each tool as its own target and
+// none of this belongs in the installed libraries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tech/builtin.h"
+#include "tech/techfile.h"
+#include "util/diag.h"
+
+namespace amg::cli {
+
+/// Render a diagnostic caret-style against the source it points into and
+/// print it to `out`, e.g.
+///
+///   scripts/foo.amg:3:9: error [AMG-L001]: unknown entity 'Contct'
+///       3 | c = Contct(W = 4)
+///         |         ^
+///   hint: entities must be declared with ENT ...
+inline void printDiag(const util::Diag& d, std::string_view source,
+                      std::string_view severity = "error",
+                      std::FILE* out = stderr) {
+  std::fprintf(out, "%s\n", util::renderDiag(d, source, severity).c_str());
+}
+
+/// Resolve a technology spec — a builtin deck name ("bicmos1u", "cmos2u")
+/// or a .tech file path.  File-loaded decks are kept alive in `owned`.
+/// Throws amg::Error on an unreadable/invalid tech file.
+inline const tech::Technology* resolveTech(const std::string& spec,
+                                           std::vector<tech::Technology>& owned) {
+  if (spec.empty() || spec == "bicmos1u") return &tech::bicmos1u();
+  if (spec == "cmos2u") return &tech::cmos2u();
+  owned.push_back(tech::loadTechFile(spec));
+  return &owned.back();
+}
+
+}  // namespace amg::cli

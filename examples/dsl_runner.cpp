@@ -8,8 +8,10 @@
 //   $ ./dsl_runner --trace run.json --stats ../scripts/variants.amg
 //
 // --jobs N checks the produced objects' design rules on N threads
-// (0 = all hardware threads; default 1).  The observability flags
-// (--trace/--stats/--log-level) are shared with full_flow; see obs/obs.h.
+// (0 = all hardware threads; default 1).  --lint statically analyzes the
+// script first (see docs/LINT.md); errors stop the run before any
+// geometry is built.  The observability flags (--trace/--stats/
+// --log-level) are shared with full_flow; see obs/obs.h.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +19,8 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "cli_common.h"
 #include "drc/drc.h"
 #include "io/svg.h"
 #include "lang/interp.h"
@@ -32,6 +36,8 @@ void usage(const char* argv0, std::FILE* out) {
                "usage: %s [options] <script.amg> [output-prefix]\n"
                "  --jobs N        check design rules on N threads (0 = all"
                " hardware threads; default 1)\n"
+               "  --lint          statically analyze the script before running"
+               " it; lint errors stop the run (docs/LINT.md)\n"
                "  --help          show this help and exit\n%s",
                argv0, amg::obs::cliUsage());
 }
@@ -41,6 +47,7 @@ void usage(const char* argv0, std::FILE* out) {
 int main(int argc, char** argv) {
   using namespace amg;
   std::size_t jobs = 1;
+  bool lint = false;
   obs::CliOptions obsOpts;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -48,6 +55,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atol(argv[i] + 7));
     else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--lint") == 0)
+      lint = true;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
@@ -70,12 +79,27 @@ int main(int argc, char** argv) {
   const std::string prefix = positional.size() > 1 ? positional[1] : "dsl";
 
   const tech::Technology& t = tech::bicmos1u();
+
+  if (lint) {
+    analysis::Options opt;
+    opt.tech = &t;
+    const analysis::Report rep =
+        analysis::analyzeSource(src.str(), positional[0], opt);
+    for (const analysis::Finding& fd : rep.findings)
+      cli::printDiag(fd.diag, src.str(), analysis::severityName(fd.severity));
+    if (rep.errors > 0) {
+      std::fprintf(stderr, "lint: %zu error(s), %zu warning(s); not running\n",
+                   rep.errors, rep.warnings);
+      return 1;
+    }
+  }
+
   lang::Interpreter in(t);
   try {
     in.run(src.str(), positional[0]);
   } catch (const util::DiagError& e) {
     // Caret-style rendering against the offending source line.
-    std::fprintf(stderr, "%s\n", util::renderDiag(e.diag(), src.str()).c_str());
+    cli::printDiag(e.diag(), src.str());
     return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

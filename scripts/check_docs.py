@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs-drift and link checker.
 
-Two checks, both run by CI (.github/workflows/ci.yml):
+Three checks, all run by CI (.github/workflows/ci.yml):
 
 1. CLI drift: run every documented binary with --help and verify that
    each long flag it advertises appears in docs/CLI.md.  A flag added to
@@ -9,6 +9,10 @@ Two checks, both run by CI (.github/workflows/ci.yml):
 
 2. Markdown links: every relative link in README.md, DESIGN.md and
    docs/*.md must point at an existing file (anchors are stripped).
+
+3. Lint-code registry: every AMG-L* finding code emitted by
+   src/analysis must have a row in docs/LINT.md, and every code row in
+   docs/LINT.md must still exist in the analyzer (no stale docs).
 
 Usage:
     python3 scripts/check_docs.py [--bin-dir build/examples]
@@ -26,7 +30,7 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Binaries whose every --help flag must be documented in docs/CLI.md.
-DOCUMENTED_BINARIES = ["dsl_runner", "full_flow", "batch_runner"]
+DOCUMENTED_BINARIES = ["dsl_runner", "full_flow", "batch_runner", "amg_lint"]
 
 # Markdown files whose relative links must resolve.
 LINKED_DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
@@ -109,6 +113,40 @@ def check_links():
     return errors
 
 
+LINT_CODE_RE = re.compile(r'"(AMG-L\d{3})"')
+LINT_DOC_ROW_RE = re.compile(r"^\|\s*`(AMG-L\d{3})`", re.M)
+
+
+def check_lint_registry():
+    """src/analysis emits <-> docs/LINT.md documents, both directions."""
+    errors = []
+    emitted = set()
+    analysis = os.path.join(REPO, "src", "analysis")
+    for entry in sorted(os.listdir(analysis)):
+        if not entry.endswith((".cpp", ".h")):
+            continue
+        with open(os.path.join(analysis, entry), encoding="utf-8") as f:
+            emitted.update(LINT_CODE_RE.findall(f.read()))
+    if not emitted:
+        return ["no AMG-L* codes found under src/analysis; registry check "
+                "would be vacuous"]
+
+    lint_md = os.path.join(REPO, "docs", "LINT.md")
+    try:
+        with open(lint_md, encoding="utf-8") as f:
+            documented = set(LINT_DOC_ROW_RE.findall(f.read()))
+    except OSError as e:
+        return [f"cannot read docs/LINT.md: {e}"]
+
+    for code in sorted(emitted - documented):
+        errors.append(f"lint code {code} is emitted by src/analysis but has "
+                      "no registry row in docs/LINT.md")
+    for code in sorted(documented - emitted):
+        errors.append(f"docs/LINT.md documents {code} but src/analysis never "
+                      "emits it (stale registry row?)")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin-dir", default=os.path.join("build", "examples"),
@@ -123,9 +161,11 @@ def main():
 
     errors = [] if args.skip_cli else check_cli_drift(bin_dir)
     errors += check_links()
+    errors += check_lint_registry()
     if errors:
         return fail(errors)
-    print("check_docs: OK (CLI flags documented, markdown links resolve)")
+    print("check_docs: OK (CLI flags documented, markdown links resolve, "
+          "lint-code registry in sync)")
     return 0
 
 

@@ -1,0 +1,242 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+#include "analysis/internal.h"
+#include "obs/obs.h"
+
+namespace amg::analysis {
+
+using lang::Body;
+using lang::EntityDecl;
+using lang::Expr;
+using lang::Stmt;
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "?";
+}
+
+const Finding* Report::firstError(bool werror) const {
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::Error) return &f;
+    if (werror && f.severity == Severity::Warning) return &f;
+  }
+  return nullptr;
+}
+
+const EntitySig* Report::findEntity(const std::string& name) const {
+  const auto it = std::find_if(entities.begin(), entities.end(),
+                               [&](const EntitySig& e) { return e.name == name; });
+  return it == entities.end() ? nullptr : &*it;
+}
+
+// --------------------------------------------------------------------------
+// AST walk utilities
+// --------------------------------------------------------------------------
+
+namespace detail {
+
+void walkExpr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  if (e.lhs) walkExpr(*e.lhs, fn);
+  if (e.rhs) walkExpr(*e.rhs, fn);
+  for (const lang::Arg& a : e.args)
+    if (a.value) walkExpr(*a.value, fn);
+}
+
+void walkStmts(const Body& body, const std::function<void(const Stmt&)>& fn) {
+  for (const Stmt& s : body) {
+    fn(s);
+    walkStmts(s.body, fn);
+    walkStmts(s.elseBody, fn);
+    for (const Body& b : s.branches) walkStmts(b, fn);
+  }
+}
+
+void walkExprs(const Body& body, const std::function<void(const Expr&)>& fn) {
+  walkStmts(body, [&](const Stmt& s) {
+    if (s.expr) walkExpr(*s.expr, fn);
+    if (s.expr2) walkExpr(*s.expr2, fn);
+  });
+}
+
+std::unordered_set<std::string> assignedNames(const Body& body) {
+  std::unordered_set<std::string> names;
+  walkStmts(body, [&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::Assign || s.kind == Stmt::Kind::For)
+      names.insert(s.name);
+  });
+  return names;
+}
+
+BoundCall bindCall(const Expr& call, const lang::BuiltinSig& sig) {
+  BoundCall b;
+  b.slotArgs.assign(sig.slots.size(), nullptr);
+  std::size_t nextPos = 0;
+  for (const lang::Arg& a : call.args) {
+    if (a.name) {
+      for (std::size_t i = 0; i < sig.slots.size(); ++i)
+        if (*a.name == sig.slots[i].name) {
+          b.slotArgs[i] = a.value.get();
+          break;
+        }
+      continue;
+    }
+    while (nextPos < b.slotArgs.size() && b.slotArgs[nextPos]) ++nextPos;
+    if (nextPos < b.slotArgs.size())
+      b.slotArgs[nextPos++] = a.value.get();
+    else if (sig.variadic)
+      b.extras.push_back(a.value.get());
+  }
+  return b;
+}
+
+void collectSymbols(Context& cx) {
+  // Which unit first declared each entity name: a re-declaration only
+  // warns when it happens in the SAME file — across files, shadowing is
+  // the normal library-accumulation idiom (each self-contained script
+  // carries its own copy of ContactRow, and loadEntities keeps the last).
+  std::unordered_map<std::string, const std::string*> declFile;
+  for (const Unit& u : cx.units) {
+    for (const EntityDecl& ent : u.prog->entities) {
+      // Duplicate parameter names: the interpreter binds by name, so the
+      // second declaration is unreachable.
+      for (std::size_t i = 0; i < ent.params.size(); ++i)
+        for (std::size_t j = i + 1; j < ent.params.size(); ++j)
+          if (ent.params[i].name == ent.params[j].name)
+            cx.emit(Severity::Error, "AMG-L008",
+                    "entity '" + ent.name + "' declares parameter '" +
+                        ent.params[j].name + "' twice",
+                    *u.file, ent.params[j].line ? ent.params[j].line : ent.line,
+                    ent.params[j].col, "rename or remove one of them");
+      const auto [it, inserted] = cx.entities.emplace(ent.name, &ent);
+      if (!inserted) {
+        if (declFile[ent.name] == u.file)
+          cx.emit(Severity::Warning, "AMG-L002",
+                  "duplicate declaration of entity '" + ent.name +
+                      "' (the earlier one is shadowed)",
+                  *u.file, ent.line, ent.col,
+                  "the interpreter keeps the last declaration of a name; "
+                  "remove or rename the unused one");
+        it->second = &ent;  // later declaration wins, like the interpreter
+      }
+      declFile[ent.name] = u.file;
+      for (const auto& p : ent.params) cx.assignedAnywhere.insert(p.name);
+      for (const std::string& n : assignedNames(ent.body))
+        cx.assignedAnywhere.insert(n);
+    }
+    for (const std::string& n : assignedNames(u.prog->top)) {
+      cx.globals.insert(n);
+      cx.assignedAnywhere.insert(n);
+    }
+  }
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------------------
+// Analyzer driver
+// --------------------------------------------------------------------------
+
+Analyzer::Analyzer(Options opt) : opt_(opt) {}
+Analyzer::~Analyzer() = default;
+Analyzer::Analyzer(Analyzer&&) noexcept = default;
+Analyzer& Analyzer::operator=(Analyzer&&) noexcept = default;
+
+void Analyzer::addSource(const std::string& source, const std::string& file) {
+  try {
+    units_.push_back(Unit{lang::parseSource(source), file});
+  } catch (const lang::LangError& e) {
+    // The lexer/parser diagnostic becomes an error finding with its
+    // original AMG-LEX/AMG-PARSE code; the unit cannot be analyzed.
+    util::Diag d = e.diag();
+    if (d.loc.file.empty()) d.loc.file = file;
+    pre_.push_back(Finding{Severity::Error, std::move(d)});
+  }
+}
+
+Report Analyzer::run() {
+  obs::Span span("analysis.run");
+  span.arg("units", static_cast<std::uint64_t>(units_.size()));
+  OBS_COUNT_N("analysis.files", units_.size() + pre_.size());
+
+  Report rep;
+  rep.findings = pre_;
+
+  detail::Context cx{opt_, {}, {}, {}, {}, &rep.findings};
+  cx.units.reserve(units_.size());
+  for (const Unit& u : units_) cx.units.push_back(detail::Unit{&u.prog, &u.file});
+
+  detail::collectSymbols(cx);
+  {
+    obs::Span p("analysis.symbols");
+    detail::symbolPass(cx);
+  }
+  {
+    obs::Span p("analysis.calls");
+    detail::callPass(cx);
+  }
+  {
+    obs::Span p("analysis.tech");
+    detail::techPass(cx);
+  }
+  {
+    obs::Span p("analysis.flow");
+    detail::flowPass(cx);
+  }
+
+  // Deterministic report order: by location, then code.
+  std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.diag.loc.file != b.diag.loc.file)
+                       return a.diag.loc.file < b.diag.loc.file;
+                     if (a.diag.loc.line != b.diag.loc.line)
+                       return a.diag.loc.line < b.diag.loc.line;
+                     if (a.diag.loc.col != b.diag.loc.col)
+                       return a.diag.loc.col < b.diag.loc.col;
+                     return a.diag.code < b.diag.code;
+                   });
+  for (const Finding& f : rep.findings) {
+    switch (f.severity) {
+      case Severity::Error: ++rep.errors; break;
+      case Severity::Warning: ++rep.warnings; break;
+      case Severity::Note: ++rep.notes; break;
+    }
+  }
+  OBS_COUNT_N("analysis.findings.error", rep.errors);
+  OBS_COUNT_N("analysis.findings.warning", rep.warnings);
+  OBS_COUNT_N("analysis.findings.note", rep.notes);
+
+  // Harvest the callable surface for pre-flight consumers.
+  for (const auto& [name, decl] : cx.entities) {
+    EntitySig sig;
+    sig.name = name;
+    sig.line = decl->line;
+    for (const auto& p : decl->params)
+      sig.params.push_back(
+          EntitySig::Param{p.name, p.optional, p.defaultValue != nullptr});
+    rep.entities.push_back(std::move(sig));
+  }
+  std::sort(rep.entities.begin(), rep.entities.end(),
+            [](const EntitySig& a, const EntitySig& b) { return a.name < b.name; });
+  rep.globals.assign(cx.globals.begin(), cx.globals.end());
+  std::sort(rep.globals.begin(), rep.globals.end());
+
+  span.arg("errors", static_cast<std::uint64_t>(rep.errors))
+      .arg("warnings", static_cast<std::uint64_t>(rep.warnings));
+  return rep;
+}
+
+Report analyzeSource(const std::string& source, const std::string& file,
+                     const Options& opt) {
+  Analyzer a(opt);
+  a.addSource(source, file);
+  return a.run();
+}
+
+}  // namespace amg::analysis

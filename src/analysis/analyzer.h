@@ -1,0 +1,126 @@
+// Static semantic analysis (linting) of layout-description-language
+// programs.
+//
+// The paper's environment discovers an ill-formed module — an undefined
+// entity, a wrong-arity call, a layer the deck does not know, a VARIANT
+// branch that can never fire — only while interpreting it, potentially
+// after minutes of backtracking and compaction.  The analyzer runs four
+// passes over the parsed AST *before* any geometry is built:
+//
+//   1. symbol resolution   undefined/duplicate entities, undefined
+//                          variables, unused parameters/locals,
+//                          caller-scope reliance, call-graph cycles
+//   2. call checking       arity and named-parameter validity against
+//                          EntityDecl and the builtin signature table
+//                          (lang/builtins.h), constant-argument types
+//   3. tech compatibility  layer-name constants (including those flowing
+//                          through entity parameters) validated against a
+//                          tech::Technology deck
+//   4. flow analysis       constant folding + interval analysis: dead
+//                          conditionals, non-positive trip counts,
+//                          unreachable / can-never-succeed VARIANT
+//                          branches, constant division by zero
+//
+// Findings are util::Diags with stable AMG-L* codes (registry in
+// docs/LINT.md) and a severity; errors are defects that would fail at
+// runtime if reached, warnings are almost-certainly-unintended code.
+// Consumers: the amg_lint CLI, dsl_runner --lint, and the batch engine's
+// pre-flight gate (gen::BatchEngine rejects error-jobs before scheduling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "util/diag.h"
+
+namespace amg::tech {
+class Technology;
+}
+
+namespace amg::analysis {
+
+enum class Severity : std::uint8_t { Error, Warning, Note };
+
+/// "error" / "warning" / "note" — feeds util::renderDiag's label.
+const char* severityName(Severity s);
+
+struct Finding {
+  Severity severity = Severity::Error;
+  util::Diag diag;
+};
+
+struct Options {
+  /// Deck to validate layer names against; nullptr skips the tech pass.
+  const tech::Technology* tech = nullptr;
+  /// Emit the unused-parameter / unused-local warnings (AMG-L005/L006).
+  bool warnUnused = true;
+};
+
+/// An entity's callable surface, harvested during analysis — lets callers
+/// (the batch engine's pre-flight) validate a request against the script
+/// without re-parsing it.
+struct EntitySig {
+  struct Param {
+    std::string name;
+    bool optional = false;    ///< <name>
+    bool hasDefault = false;  ///< name = expr
+  };
+  std::string name;
+  std::vector<Param> params;
+  int line = 0;
+};
+
+struct Report {
+  /// All findings, sorted by (file, line, col, code).
+  std::vector<Finding> findings;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+
+  /// Entities declared across all analyzed sources (last declaration of a
+  /// name wins, matching interpreter shadowing).
+  std::vector<EntitySig> entities;
+  /// Names assigned anywhere at top level (the calling sequence's
+  /// exports), sorted.
+  std::vector<std::string> globals;
+
+  bool clean(bool werror = false) const {
+    return errors == 0 && (!werror || warnings == 0);
+  }
+  /// First finding that fails the run under the given -Werror policy;
+  /// nullptr when clean.
+  const Finding* firstError(bool werror = false) const;
+  const EntitySig* findEntity(const std::string& name) const;
+};
+
+/// Multi-source analyzer: add each source (entities accumulate across
+/// sources, like Interpreter::loadEntities), then run().  A source that
+/// fails to lex/parse contributes its AMG-LEX/AMG-PARSE diagnostic as an
+/// error finding and is otherwise skipped.
+class Analyzer {
+ public:
+  explicit Analyzer(Options opt = {});
+  ~Analyzer();
+  Analyzer(Analyzer&&) noexcept;
+  Analyzer& operator=(Analyzer&&) noexcept;
+
+  void addSource(const std::string& source, const std::string& file);
+  Report run();
+
+ private:
+  struct Unit {
+    lang::Program prog;
+    std::string file;
+  };
+  Options opt_;
+  std::vector<Unit> units_;
+  std::vector<Finding> pre_;  ///< lex/parse-stage findings
+};
+
+/// One-shot convenience: analyze a single source.
+Report analyzeSource(const std::string& source, const std::string& file,
+                     const Options& opt = {});
+
+}  // namespace amg::analysis

@@ -1,0 +1,310 @@
+// Pass 2: call checking.
+//
+// Every Call expression is validated against its callee's declared shape —
+// an EntityDecl for entities, the lang/builtins.h signature table for
+// builtins.  The binding simulation mirrors interp.cpp exactly (positional
+// arguments fill slots left to right skipping name-bound ones; entity
+// positionals advance independently of named bindings), so an error here
+// is precisely a call that would throw AMG-INTERP-003/004/005/007 at
+// runtime, and a warning is a binding the interpreter resolves silently
+// but almost certainly not as intended (the same slot bound twice).
+#include "analysis/internal.h"
+
+namespace amg::analysis::detail {
+
+using lang::Arg;
+using lang::Body;
+using lang::BuiltinSig;
+using lang::EntityDecl;
+using lang::Expr;
+using lang::SlotType;
+
+namespace {
+
+std::string signatureOf(const BuiltinSig& sig) {
+  std::string s = sig.name;
+  s += '(';
+  for (std::size_t i = 0; i < sig.slots.size(); ++i) {
+    if (i) s += ", ";
+    s += sig.slots[i].name;
+  }
+  if (sig.variadic) s += sig.slots.empty() ? "..." : ", ...";
+  s += ')';
+  return s;
+}
+
+std::string signatureOf(const EntityDecl& ent) {
+  std::string s = ent.name;
+  s += '(';
+  for (std::size_t i = 0; i < ent.params.size(); ++i) {
+    if (i) s += ", ";
+    if (ent.params[i].optional) s += '<';
+    s += ent.params[i].name;
+    if (ent.params[i].optional) s += '>';
+  }
+  s += ')';
+  return s;
+}
+
+/// Does a *literal* expression satisfy a slot type?  Non-literal arguments
+/// (variables, calls, arithmetic) are never flagged — their runtime type is
+/// unknown here.
+bool literalMatches(const Expr& e, SlotType t) {
+  switch (e.kind) {
+    case Expr::Kind::Number:
+      return t == SlotType::Number || t == SlotType::Any;
+    case Expr::Kind::String:
+      return t == SlotType::String || t == SlotType::Layer ||
+             t == SlotType::Net || t == SlotType::Any;
+    case Expr::Kind::Dir:
+      return t == SlotType::Dir || t == SlotType::Any;
+    default:
+      return true;  // not a literal: can't judge statically
+  }
+}
+
+const char* literalKindName(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::Number: return "a number";
+    case Expr::Kind::String: return "a string";
+    case Expr::Kind::Dir: return "a direction";
+    default: return "a value";
+  }
+}
+
+void checkSlotLiteral(const Context& cx, const std::string& file,
+                      const BuiltinSig& sig, const char* slotName, SlotType type,
+                      const Expr& arg) {
+  if (!literalMatches(arg, type)) {
+    cx.emit(Severity::Error, "AMG-L014",
+            std::string(sig.name) + "(): argument '" + slotName + "' wants " +
+                lang::slotTypeName(type) + ", got " + literalKindName(arg),
+            file, arg.line, arg.col, "the signature is " + signatureOf(sig));
+    return;
+  }
+  // Enumerated string constants: varedge's side is the only one.
+  if (std::string_view(sig.name) == "varedge" &&
+      std::string_view(slotName) == "side" && arg.kind == Expr::Kind::String &&
+      arg.text != "left" && arg.text != "right" && arg.text != "top" &&
+      arg.text != "bottom" && arg.text != "all") {
+    cx.emit(Severity::Error, "AMG-L015",
+            "varedge(): bad side '" + arg.text + "'", file, arg.line, arg.col,
+            "sides are left|right|top|bottom|all");
+  }
+}
+
+/// POLY(layer, x1, y1, ...): bound by hand in the interpreter, so checked
+/// by hand here, reproducing its exact failure conditions.
+void checkPoly(const Context& cx, const std::string& file, const Expr& e,
+               const BuiltinSig& sig) {
+  std::size_t positional = 0;
+  for (const Arg& a : e.args) {
+    if (a.name) {
+      if (*a.name != "net")
+        cx.emit(Severity::Error, "AMG-L011",
+                "POLY(): unknown named argument '" + *a.name + "'", file,
+                a.value->line, a.value->col,
+                "POLY takes coordinates plus an optional net=...");
+      continue;
+    }
+    ++positional;
+    if (positional == 1) {
+      checkSlotLiteral(cx, file, sig, "layer", SlotType::Layer, *a.value);
+    } else if (!literalMatches(*a.value, SlotType::Number)) {
+      cx.emit(Severity::Error, "AMG-L014",
+              "POLY(): coordinates must be numbers, got " +
+                  std::string(literalKindName(*a.value)),
+              file, a.value->line, a.value->col, "vertices are x,y pairs");
+    }
+  }
+  // The interpreter gates on the raw argument count, then on pairing.
+  if (e.args.size() < 7)
+    cx.emit(Severity::Error, "AMG-L012",
+            "POLY(layer, x1, y1, ...) needs at least 3 vertices", file, e.line,
+            e.col, "pass the layer and then at least three x,y pairs");
+  else if (positional > 0 && (positional - 1) % 2 != 0)
+    cx.emit(Severity::Error, "AMG-L012", "POLY(): odd number of coordinates",
+            file, e.line, e.col, "vertices are x,y pairs");
+}
+
+/// compact(obj, dir, [layers...]): positional-only variadic.
+void checkCompact(const Context& cx, const std::string& file, const Expr& e,
+                  const BuiltinSig& sig) {
+  for (const Arg& a : e.args)
+    if (a.name) {
+      cx.emit(Severity::Error, "AMG-L012",
+              "compact() takes positional arguments only", file, a.value->line,
+              a.value->col, "write compact(obj, WEST) without names");
+      return;
+    }
+  if (e.args.size() < 2) {
+    cx.emit(Severity::Error, "AMG-L012",
+            "compact() needs an object and a direction", file, e.line, e.col,
+            "e.g. compact(row, WEST)");
+    return;
+  }
+  checkSlotLiteral(cx, file, sig, "obj", SlotType::Object, *e.args[0].value);
+  checkSlotLiteral(cx, file, sig, "dir", SlotType::Dir, *e.args[1].value);
+  for (std::size_t i = 2; i < e.args.size(); ++i)
+    if (!literalMatches(*e.args[i].value, SlotType::Layer))
+      cx.emit(Severity::Error, "AMG-L014",
+              "compact(): ignore-list entries must be layer names", file,
+              e.args[i].value->line, e.args[i].value->col,
+              "e.g. compact(row, WEST, \"metal1\")");
+}
+
+void checkBuiltinCall(const Context& cx, const std::string& file, const Expr& e,
+                      const BuiltinSig& sig, bool topLevel) {
+  if (sig.geometry && topLevel)
+    cx.emit(Severity::Error, "AMG-L016",
+            std::string(sig.name) +
+                "() builds geometry and cannot be called outside an entity body",
+            file, e.line, e.col,
+            "move this call into an ENT body; the calling sequence only "
+            "instantiates entities");
+
+  if (std::string_view(sig.name) == "POLY") return checkPoly(cx, file, e, sig);
+  if (std::string_view(sig.name) == "compact")
+    return checkCompact(cx, file, e, sig);
+
+  // Simulate the interpreter's bindArgs().
+  std::vector<const Expr*> bound(sig.slots.size(), nullptr);
+  std::size_t nextPos = 0;
+  for (const Arg& a : e.args) {
+    if (a.name) {
+      std::size_t idx = sig.slots.size();
+      for (std::size_t i = 0; i < sig.slots.size(); ++i)
+        if (*a.name == sig.slots[i].name) { idx = i; break; }
+      if (idx == sig.slots.size()) {
+        cx.emit(Severity::Error, "AMG-L011",
+                std::string(sig.name) + "() has no parameter '" + *a.name + "'",
+                file, a.value->line, a.value->col,
+                "the signature is " + signatureOf(sig));
+        continue;
+      }
+      if (bound[idx])
+        cx.emit(Severity::Warning, "AMG-L013",
+                std::string(sig.name) + "(): argument '" + *a.name +
+                    "' is bound twice (the last binding wins)",
+                file, a.value->line, a.value->col,
+                "drop one of the bindings");
+      bound[idx] = a.value.get();
+      continue;
+    }
+    while (nextPos < bound.size() && bound[nextPos]) ++nextPos;
+    if (nextPos >= bound.size()) {
+      if (!sig.variadic) {
+        cx.emit(Severity::Error, "AMG-L010",
+                "too many arguments for " + std::string(sig.name) + "() (takes " +
+                    std::to_string(sig.slots.size()) + ")",
+                file, a.value->line, a.value->col,
+                "the signature is " + signatureOf(sig));
+        break;
+      }
+      if (!literalMatches(*a.value, sig.variadicType))
+        cx.emit(Severity::Error, "AMG-L014",
+                std::string(sig.name) + "(): extra arguments must each be " +
+                    lang::slotTypeName(sig.variadicType),
+                file, a.value->line, a.value->col,
+                "the signature is " + signatureOf(sig));
+      continue;
+    }
+    bound[nextPos] = a.value.get();
+  }
+
+  for (std::size_t i = 0; i < sig.required; ++i)
+    if (!bound[i])
+      cx.emit(Severity::Error, "AMG-L012",
+              std::string(sig.name) + "(): required argument '" +
+                  sig.slots[i].name + "' missing",
+              file, e.line, e.col,
+              "pass it positionally or as " + std::string(sig.slots[i].name) +
+                  "=...");
+
+  for (std::size_t i = 0; i < bound.size(); ++i)
+    if (bound[i])
+      checkSlotLiteral(cx, file, sig, sig.slots[i].name, sig.slots[i].type,
+                       *bound[i]);
+}
+
+void checkEntityCall(const Context& cx, const std::string& file, const Expr& e,
+                     const EntityDecl& ent) {
+  std::vector<bool> filled(ent.params.size(), false);
+  std::size_t positional = 0;  // advances independently of named bindings,
+                               // exactly like the interpreter's counter
+  for (const Arg& a : e.args) {
+    if (a.name) {
+      std::size_t idx = ent.params.size();
+      for (std::size_t i = 0; i < ent.params.size(); ++i)
+        if (*a.name == ent.params[i].name) { idx = i; break; }
+      if (idx == ent.params.size()) {
+        cx.emit(Severity::Error, "AMG-L011",
+                "entity '" + ent.name + "' has no parameter '" + *a.name + "'",
+                file, a.value->line, a.value->col,
+                "the declaration is " + signatureOf(ent) + " on line " +
+                    std::to_string(ent.line));
+        continue;
+      }
+      if (filled[idx])
+        cx.emit(Severity::Warning, "AMG-L013",
+                "entity '" + ent.name + "': parameter '" + *a.name +
+                    "' is bound twice (the last binding wins)",
+                file, a.value->line, a.value->col, "drop one of the bindings");
+      filled[idx] = true;
+      continue;
+    }
+    if (positional >= ent.params.size()) {
+      cx.emit(Severity::Error, "AMG-L010",
+              "too many arguments for entity '" + ent.name + "' (takes " +
+                  std::to_string(ent.params.size()) + ")",
+              file, a.value->line, a.value->col,
+              "drop the extra arguments or name them");
+      break;
+    }
+    if (filled[positional])
+      cx.emit(Severity::Warning, "AMG-L013",
+              "entity '" + ent.name + "': parameter '" +
+                  ent.params[positional].name +
+                  "' is bound twice (the last binding wins)",
+              file, a.value->line, a.value->col,
+              "positional arguments fill parameters in declaration order even "
+              "when earlier ones were named; name this argument too");
+    filled[positional++] = true;
+  }
+
+  for (std::size_t i = 0; i < ent.params.size(); ++i) {
+    const auto& p = ent.params[i];
+    if (filled[i] || p.optional || p.defaultValue) continue;
+    cx.emit(Severity::Error, "AMG-L012",
+            "entity '" + ent.name + "': required parameter '" + p.name +
+                "' missing",
+            file, e.line, e.col,
+            "pass " + p.name + "=... at the call, or declare it optional as <" +
+                p.name + ">");
+  }
+}
+
+void checkBody(const Context& cx, const std::string& file, const Body& body,
+               bool topLevel) {
+  walkExprs(body, [&](const Expr& e) {
+    if (e.kind != Expr::Kind::Call) return;
+    // Entities shadow builtins, exactly as in Interpreter::evalCall.
+    if (const EntityDecl* ent = cx.findEntity(e.text))
+      return checkEntityCall(cx, file, e, *ent);
+    if (const BuiltinSig* sig = lang::findBuiltin(e.text))
+      return checkBuiltinCall(cx, file, e, *sig, topLevel);
+    // Unknown callee: the symbol pass already reported AMG-L001.
+  });
+}
+
+}  // namespace
+
+void callPass(Context& cx) {
+  for (const Unit& u : cx.units) {
+    checkBody(cx, *u.file, u.prog->top, /*topLevel=*/true);
+    for (const EntityDecl& ent : u.prog->entities)
+      checkBody(cx, *u.file, ent.body, /*topLevel=*/false);
+  }
+}
+
+}  // namespace amg::analysis::detail

@@ -1,0 +1,479 @@
+// Pass 4: constant folding and interval analysis.
+//
+// A tiny abstract interpreter over the statement language: every variable
+// holds an abstract value (for numbers, an interval [lo, hi]) plus an
+// assignment state (no / maybe / yes).  Statements update an environment;
+// IF joins its arms; FOR widens whatever the body assigns; VARIANT
+// analyzes each branch against the same entry state, mirroring the
+// interpreter's snapshot/rollback.
+//
+// This answers reachability questions the runtime only answers the slow
+// way: a condition that can never be false (AMG-L030/L031), a FOR loop
+// whose trip count is never positive (AMG-L032), a VARIANT branch that
+// raises ERROR on every path (AMG-L033), a branch that is never even
+// tried because an earlier one cannot fail (AMG-L034), a division whose
+// divisor folds to exactly zero (AMG-L035), and a variable read before
+// any path has assigned it (AMG-L004).
+//
+// The analysis also *suppresses*: statements proven unreachable (the dead
+// arm of a constant IF, the body of a zero-trip FOR) are not analyzed, so
+// they produce no secondary findings.
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "analysis/internal.h"
+
+namespace amg::analysis::detail {
+
+using lang::Body;
+using lang::EntityDecl;
+using lang::Expr;
+using lang::Stmt;
+using lang::Tok;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// The interpreter's FOR epsilon: the loop runs while i <= hi + 1e-9.
+constexpr double kForEps = 1e-9;
+
+/// Abstract value: a type tag plus, for numbers, an interval.
+struct AbsVal {
+  enum class Kind { Any, Num, Str, Dir, Obj };
+  Kind kind = Kind::Any;
+  double lo = -kInf, hi = kInf;  // meaningful when kind == Num
+  bool maybeUnset = false;       // an optional <param> that may stay unset
+
+  static AbsVal any() { return {}; }
+  static AbsVal num(double lo, double hi) {
+    return {Kind::Num, lo, hi, false};
+  }
+  static AbsVal exactly(double v) { return num(v, v); }
+  static AbsVal of(Kind k) { return {k, -kInf, kInf, false}; }
+};
+
+enum class Assigned : std::uint8_t { Maybe, Yes };  // absent from env = No
+
+struct VarState {
+  AbsVal val;
+  Assigned assigned = Assigned::Yes;
+};
+
+using Env = std::map<std::string, VarState>;
+
+AbsVal joinVal(const AbsVal& a, const AbsVal& b) {
+  AbsVal r;
+  if (a.kind == b.kind) {
+    r.kind = a.kind;
+    if (r.kind == AbsVal::Kind::Num) {
+      r.lo = std::min(a.lo, b.lo);
+      r.hi = std::max(a.hi, b.hi);
+    }
+  }  // else Kind::Any
+  r.maybeUnset = a.maybeUnset || b.maybeUnset;
+  return r;
+}
+
+/// Merge the environments of two paths that both reach the join point.
+Env joinEnv(const Env& a, const Env& b) {
+  Env r;
+  for (const auto& [name, sa] : a) {
+    const auto it = b.find(name);
+    if (it == b.end()) {
+      r[name] = VarState{sa.val, Assigned::Maybe};
+    } else {
+      r[name] = VarState{joinVal(sa.val, it->second.val),
+                         (sa.assigned == Assigned::Yes &&
+                          it->second.assigned == Assigned::Yes)
+                             ? Assigned::Yes
+                             : Assigned::Maybe};
+    }
+  }
+  for (const auto& [name, sb] : b)
+    if (!a.count(name)) r[name] = VarState{sb.val, Assigned::Maybe};
+  return r;
+}
+
+// NaN-free interval endpoint arithmetic (0 * inf is pinned to 0, which is
+// always inside the true result interval for the endpoint sets we form).
+double mulSafe(double a, double b) {
+  if (a == 0 || b == 0) return 0;
+  return a * b;
+}
+
+AbsVal fromCandidates(std::initializer_list<double> cs) {
+  double lo = kInf, hi = -kInf;
+  for (double c : cs) {
+    if (std::isnan(c)) continue;
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  if (lo > hi) return AbsVal::any();
+  return AbsVal::num(lo, hi);
+}
+
+/// How a statement sequence can end.
+struct FlowExit {
+  bool fallthrough = true;  ///< some path reaches the end
+  bool mayFail = false;     ///< some path may raise a DesignRuleError
+};
+
+/// Abstract interpretation of one scope (the top-level body or one entity
+/// body).
+class Flow {
+ public:
+  Flow(const Context& cx, const std::string& file, const Body& body,
+       const EntityDecl* decl)
+      : cx_(cx), file_(file), topLevel_(decl == nullptr),
+        local_(assignedNames(body)) {
+    if (decl)
+      for (const auto& p : decl->params) {
+        AbsVal v = AbsVal::any();
+        v.maybeUnset = p.optional;  // <p> may stay unset; isset(p) is 0 or 1
+        env_[p.name] = VarState{v, Assigned::Yes};
+      }
+  }
+
+  void run(const Body& body) { (void)execBody(body, env_); }
+
+ private:
+  const Context& cx_;
+  const std::string& file_;
+  const bool topLevel_;
+  Env env_;
+  std::unordered_set<std::string> local_;          // names this scope assigns
+  std::unordered_set<std::string> reportedUnset_;  // one L004 per name
+
+  // --- expressions --------------------------------------------------------
+
+  AbsVal eval(const Expr& e, Env& env, FlowExit& exit) {
+    switch (e.kind) {
+      case Expr::Kind::Number: return AbsVal::exactly(e.number);
+      case Expr::Kind::String: return AbsVal::of(AbsVal::Kind::Str);
+      case Expr::Kind::Dir: return AbsVal::of(AbsVal::Kind::Dir);
+      case Expr::Kind::Var: return evalVar(e, env);
+      case Expr::Kind::Binary: return evalBinary(e, env, exit);
+      case Expr::Kind::Call: return evalCall(e, env, exit);
+    }
+    return AbsVal::any();
+  }
+
+  AbsVal evalVar(const Expr& e, Env& env) {
+    const auto it = env.find(e.text);
+    if (it != env.end()) return it->second.val;
+    // Not assigned on this path.  If the scope assigns it later (and no
+    // outer scope can plausibly supply it), the read sees an unset value.
+    if (local_.count(e.text) && (topLevel_ || !cx_.globals.count(e.text)) &&
+        reportedUnset_.insert(e.text).second) {
+      cx_.emit(Severity::Warning, "AMG-L004",
+               "variable '" + e.text +
+                   "' may be read before it is assigned in this scope",
+               file_, e.line, e.col,
+               topLevel_
+                   ? "move the assignment above this use"
+                   : "move the assignment above this use (or pass the value "
+                     "in as a parameter; today only a caller's scope could "
+                     "supply it here)");
+    }
+    env[e.text] = VarState{AbsVal::any(), Assigned::Maybe};
+    return AbsVal::any();
+  }
+
+  AbsVal evalBinary(const Expr& e, Env& env, FlowExit& exit) {
+    const AbsVal a = eval(*e.lhs, env, exit);
+    const AbsVal b = eval(*e.rhs, env, exit);
+    // String concatenation is the only non-numeric operator use.
+    if (a.kind == AbsVal::Kind::Str || b.kind == AbsVal::Kind::Str)
+      return e.op == Tok::Plus ? AbsVal::of(AbsVal::Kind::Str) : AbsVal::any();
+    if (a.kind != AbsVal::Kind::Num || b.kind != AbsVal::Kind::Num) {
+      if (e.op == Tok::Slash) checkDivisor(e, b);
+      return isComparison(e.op) ? AbsVal::num(0, 1) : AbsVal::any();
+    }
+    switch (e.op) {
+      case Tok::Plus: return fromCandidates({a.lo + b.lo, a.hi + b.hi});
+      case Tok::Minus: return fromCandidates({a.lo - b.hi, a.hi - b.lo});
+      case Tok::Star:
+        return fromCandidates({mulSafe(a.lo, b.lo), mulSafe(a.lo, b.hi),
+                               mulSafe(a.hi, b.lo), mulSafe(a.hi, b.hi)});
+      case Tok::Slash: {
+        checkDivisor(e, b);
+        if (b.lo <= 0 && b.hi >= 0) return AbsVal::any();  // divisor spans 0
+        return fromCandidates(
+            {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi});
+      }
+      case Tok::Lt: return decide(a.hi < b.lo, a.lo >= b.hi);
+      case Tok::Gt: return decide(a.lo > b.hi, a.hi <= b.lo);
+      case Tok::Le: return decide(a.hi <= b.lo, a.lo > b.hi);
+      case Tok::Ge: return decide(a.lo >= b.hi, a.hi < b.lo);
+      case Tok::EqEq:
+        return decide(a.lo == a.hi && b.lo == b.hi && a.lo == b.lo,
+                      a.hi < b.lo || a.lo > b.hi);
+      case Tok::Ne:
+        return decide(a.hi < b.lo || a.lo > b.hi,
+                      a.lo == a.hi && b.lo == b.hi && a.lo == b.lo);
+      default: return AbsVal::any();
+    }
+  }
+
+  static bool isComparison(Tok op) {
+    return op == Tok::Lt || op == Tok::Gt || op == Tok::Le || op == Tok::Ge ||
+           op == Tok::EqEq || op == Tok::Ne;
+  }
+
+  /// Comparison result as an interval: provably-true / provably-false /
+  /// undecided.
+  static AbsVal decide(bool alwaysTrue, bool alwaysFalse) {
+    if (alwaysTrue) return AbsVal::exactly(1);
+    if (alwaysFalse) return AbsVal::exactly(0);
+    return AbsVal::num(0, 1);
+  }
+
+  void checkDivisor(const Expr& e, const AbsVal& b) {
+    if (b.kind == AbsVal::Kind::Num && b.lo == 0 && b.hi == 0)
+      cx_.emit(Severity::Error, "AMG-L035", "division by zero", file_,
+               e.rhs->line, e.rhs->col,
+               "the divisor is the constant 0 on every path; the runtime "
+               "raises AMG-INTERP-008 here");
+  }
+
+  AbsVal evalCall(const Expr& e, Env& env, FlowExit& exit) {
+    // isset() is the legal way to probe an unset variable — fold it before
+    // evaluating arguments, so the probe itself never reports AMG-L004.
+    if (e.text == "isset" && !cx_.findEntity(e.text)) return foldIsset(e, env);
+
+    std::vector<AbsVal> args;
+    args.reserve(e.args.size());
+    for (const lang::Arg& a : e.args) args.push_back(eval(*a.value, env, exit));
+
+    if (cx_.findEntity(e.text)) {
+      // Instantiation can violate a design rule anywhere inside.
+      exit.mayFail = true;
+      return AbsVal::of(AbsVal::Kind::Obj);
+    }
+    const lang::BuiltinSig* sig = lang::findBuiltin(e.text);
+    if (!sig) return AbsVal::any();
+    // Geometry raises design-rule errors; so does any layer lookup with a
+    // name the deck might not know (minwidth of a computed name).
+    if (sig->geometry || std::string_view(sig->name) == "minwidth")
+      exit.mayFail = true;
+
+    const std::string_view f = sig->name;
+    if (f == "floor" && !args.empty() && args[0].kind == AbsVal::Kind::Num)
+      return fromCandidates({std::floor(args[0].lo), std::floor(args[0].hi)});
+    if ((f == "min" || f == "max") && args.size() >= 2 &&
+        args[0].kind == AbsVal::Kind::Num && args[1].kind == AbsVal::Kind::Num)
+      return f == "min" ? AbsVal::num(std::min(args[0].lo, args[1].lo),
+                                      std::min(args[0].hi, args[1].hi))
+                        : AbsVal::num(std::max(args[0].lo, args[1].lo),
+                                      std::max(args[0].hi, args[1].hi));
+    if (f == "area" || f == "width" || f == "height" || f == "minwidth")
+      return AbsVal::num(0, kInf);
+    if (f == "mirrorx" || f == "mirrory" || f == "rot180")
+      return AbsVal::of(AbsVal::Kind::Obj);
+    return AbsVal::any();
+  }
+
+  /// isset(x): 0 when x is on no path, 1 when definitely assigned, [0,1]
+  /// when only some paths (or an optional parameter / a caller) supply it.
+  AbsVal foldIsset(const Expr& e, const Env& env) {
+    if (e.args.size() != 1 || e.args[0].value->kind != Expr::Kind::Var)
+      return AbsVal::num(0, 1);
+    const std::string& name = e.args[0].value->text;
+    const auto it = env.find(name);
+    if (it == env.end()) return AbsVal::num(0, 1);
+    if (it->second.assigned == Assigned::Yes && !it->second.val.maybeUnset)
+      return AbsVal::exactly(1);
+    return AbsVal::num(0, 1);
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  FlowExit execBody(const Body& body, Env& env) {
+    FlowExit exit;
+    for (const Stmt& s : body) {
+      const FlowExit r = execStmt(s, env);
+      exit.mayFail = exit.mayFail || r.mayFail;
+      if (!r.fallthrough) {
+        // Nothing after this statement is reachable; don't analyze it.
+        exit.fallthrough = false;
+        return exit;
+      }
+    }
+    return exit;
+  }
+
+  FlowExit execStmt(const Stmt& s, Env& env) {
+    FlowExit exit;
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        AbsVal v = eval(*s.expr, env, exit);
+        v.maybeUnset = false;
+        env[s.name] = VarState{v, Assigned::Yes};
+        return exit;
+      }
+      case Stmt::Kind::ExprStmt:
+        (void)eval(*s.expr, env, exit);
+        return exit;
+      case Stmt::Kind::Error:
+        (void)eval(*s.expr, env, exit);
+        exit.fallthrough = false;
+        exit.mayFail = true;
+        return exit;
+      case Stmt::Kind::If: return execIf(s, env);
+      case Stmt::Kind::For: return execFor(s, env);
+      case Stmt::Kind::Variant: return execVariant(s, env);
+    }
+    return exit;
+  }
+
+  FlowExit execIf(const Stmt& s, Env& env) {
+    FlowExit exit;
+    const AbsVal c = eval(*s.expr, env, exit);
+    // Runtime truth is `value != 0`.
+    const bool alwaysTrue =
+        c.kind == AbsVal::Kind::Num && (c.lo > 0 || c.hi < 0);
+    const bool alwaysFalse = c.kind == AbsVal::Kind::Num && c.lo == 0 && c.hi == 0;
+
+    if (alwaysTrue)
+      cx_.emit(Severity::Warning, "AMG-L030",
+               "condition is always true; the ELSE branch never runs", file_,
+               s.expr->line, s.expr->col,
+               "every value this expression can take is nonzero");
+    if (alwaysFalse)
+      cx_.emit(Severity::Warning, "AMG-L031",
+               "condition is always false; the THEN branch never runs", file_,
+               s.expr->line, s.expr->col,
+               "this expression folds to 0 on every path");
+
+    if (alwaysTrue || alwaysFalse) {
+      // Only the live arm is analyzed; the dead one is suppressed.
+      const FlowExit r = execBody(alwaysTrue ? s.body : s.elseBody, env);
+      return FlowExit{r.fallthrough, exit.mayFail || r.mayFail};
+    }
+    Env thenEnv = env;
+    Env elseEnv = env;
+    const FlowExit rt = execBody(s.body, thenEnv);
+    const FlowExit re = execBody(s.elseBody, elseEnv);
+    exit.mayFail = exit.mayFail || rt.mayFail || re.mayFail;
+    exit.fallthrough = rt.fallthrough || re.fallthrough;
+    if (rt.fallthrough && re.fallthrough)
+      env = joinEnv(thenEnv, elseEnv);
+    else if (rt.fallthrough)
+      env = std::move(thenEnv);
+    else if (re.fallthrough)
+      env = std::move(elseEnv);
+    return exit;
+  }
+
+  FlowExit execFor(const Stmt& s, Env& env) {
+    FlowExit exit;
+    const AbsVal lo = eval(*s.expr, env, exit);
+    const AbsVal hi = eval(*s.expr2, env, exit);
+
+    if (lo.kind == AbsVal::Kind::Num && hi.kind == AbsVal::Kind::Num &&
+        lo.lo > hi.hi + kForEps) {
+      cx_.emit(Severity::Warning, "AMG-L032",
+               "FOR loop never executes (lower bound always exceeds upper)",
+               file_, s.line, s.col,
+               "the body is dead code; the loop runs while var <= upper");
+      return exit;  // body suppressed, env untouched
+    }
+
+    // Widen everything the body assigns: after (or during) any iteration
+    // the exact value is unknown, and the body may run zero times.
+    for (const std::string& name : assignedNames(s.body)) {
+      const auto it = env.find(name);
+      if (it == env.end())
+        env[name] = VarState{AbsVal::any(), Assigned::Maybe};
+      else
+        it->second.val = AbsVal::any();
+    }
+    env[s.name] =
+        VarState{lo.kind == AbsVal::Kind::Num && hi.kind == AbsVal::Kind::Num
+                     ? AbsVal::num(lo.lo, std::max(lo.hi, hi.hi + 1))
+                     : AbsVal::any(),
+                 Assigned::Yes};
+
+    const FlowExit r = execBody(s.body, env);
+    exit.mayFail = exit.mayFail || r.mayFail;
+    // One abstract iteration isn't the loop-exit state; re-widen.
+    for (const std::string& name : assignedNames(s.body)) {
+      const auto it = env.find(name);
+      if (it != env.end()) it->second.val = AbsVal::any();
+    }
+    env[s.name].val = AbsVal::any();
+    return exit;
+  }
+
+  FlowExit execVariant(const Stmt& s, Env& env) {
+    FlowExit exit;
+    std::vector<Env> outs;
+    std::vector<FlowExit> results;
+    results.reserve(s.branches.size());
+    int infallible = -1;  // first branch that can neither fail nor ERROR
+    for (std::size_t i = 0; i < s.branches.size(); ++i) {
+      Env b = env;  // each branch starts from the snapshot, like the runtime
+      const FlowExit r = execBody(s.branches[i], b);
+      results.push_back(r);
+      if (r.fallthrough) outs.push_back(std::move(b));
+
+      const int line = s.branches[i].empty() ? s.line : s.branches[i].front().line;
+      const int col = s.branches[i].empty() ? s.col : s.branches[i].front().col;
+      if (!r.fallthrough)
+        cx_.emit(Severity::Warning, "AMG-L033",
+                 "VARIANT branch " + std::to_string(i + 1) +
+                     " can never succeed (every path raises ERROR)",
+                 file_, line, col,
+                 "the branch always rolls back; remove it or guard the ERROR");
+      if (infallible < 0 && r.fallthrough && !r.mayFail)
+        infallible = static_cast<int>(i);
+    }
+
+    // A non-rated VARIANT commits to the first branch that completes; if
+    // branch k cannot fail, branches after k are never tried.  BEST
+    // VARIANT rates every feasible branch, so all of them run.
+    if (!s.rated && infallible >= 0 &&
+        static_cast<std::size_t>(infallible) + 1 < s.branches.size()) {
+      const Body& next = s.branches[static_cast<std::size_t>(infallible) + 1];
+      cx_.emit(Severity::Warning, "AMG-L034",
+               "unreachable VARIANT branch: branch " +
+                   std::to_string(infallible + 1) +
+                   " always succeeds, so later branches are never tried",
+               file_, next.empty() ? s.line : next.front().line,
+               next.empty() ? s.col : next.front().col,
+               "reorder the branches, or make the earlier one fallible");
+    }
+
+    if (outs.empty()) {
+      // Every branch always fails: the VARIANT itself always throws.
+      exit.fallthrough = false;
+      exit.mayFail = true;
+      return exit;
+    }
+    Env joined = std::move(outs.front());
+    for (std::size_t i = 1; i < outs.size(); ++i) joined = joinEnv(joined, outs[i]);
+    env = std::move(joined);
+    // The whole statement can fail unless some reachable branch cannot.
+    exit.mayFail = infallible < 0;
+    return exit;
+  }
+};
+
+}  // namespace
+
+void flowPass(Context& cx) {
+  for (const Unit& u : cx.units) {
+    {
+      Flow f(cx, *u.file, u.prog->top, nullptr);
+      f.run(u.prog->top);
+    }
+    for (const EntityDecl& ent : u.prog->entities) {
+      if (cx.entities.at(ent.name) != &ent) continue;  // shadowed: dead code
+      Flow f(cx, *u.file, ent.body, &ent);
+      f.run(ent.body);
+    }
+  }
+}
+
+}  // namespace amg::analysis::detail

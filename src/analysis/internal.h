@@ -1,0 +1,109 @@
+// Shared state of the analyzer passes.  Not installed; include only from
+// src/analysis/*.cpp.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "lang/builtins.h"
+
+namespace amg::analysis::detail {
+
+/// One parsed source participating in the analysis.
+struct Unit {
+  const lang::Program* prog;
+  const std::string* file;
+};
+
+/// Pass-shared context: the symbol tables the collect step builds, and the
+/// findings sink.
+struct Context {
+  const Options& opt;
+  std::vector<Unit> units;
+
+  /// Entity name -> declaration; later declarations shadow earlier ones
+  /// (interpreter semantics).
+  std::unordered_map<std::string, const lang::EntityDecl*> entities;
+  /// Names assigned anywhere at top level of any unit; entity bodies can
+  /// read them through the interpreter's dynamic scoping.
+  std::unordered_set<std::string> globals;
+  /// Names assigned in any scope of the program (used to distinguish
+  /// "never defined anywhere" from "defined in a different scope").
+  std::unordered_set<std::string> assignedAnywhere;
+
+  std::vector<Finding>* out;
+
+  void emit(Severity sev, const char* code, std::string msg,
+            const std::string& file, int line, int col, std::string hint) const {
+    out->push_back(Finding{
+        sev, util::Diag{code, std::move(msg), {file, line, col}, std::move(hint)}});
+  }
+
+  const lang::EntityDecl* findEntity(const std::string& name) const {
+    const auto it = entities.find(name);
+    return it == entities.end() ? nullptr : it->second;
+  }
+};
+
+/// Build the symbol tables and report declaration-level findings
+/// (duplicate entities L002, duplicate parameters L008).
+void collectSymbols(Context& cx);
+
+/// Pass 1: symbol resolution — L001 (undefined entity/function), L003
+/// (undefined variable), L005/L006 (unused parameter/local), L007
+/// (call-graph cycle), L009 (caller-scope variable).
+void symbolPass(Context& cx);
+
+/// Pass 2: call checking against EntityDecl / the builtin table — L010
+/// (too many positional), L011 (unknown named argument), L012 (required
+/// missing / malformed variadic call), L013 (argument bound twice), L014
+/// (constant of the wrong type), L015 (bad enumerated constant), L016
+/// (geometry call outside an entity body).
+void callPass(Context& cx);
+
+/// Pass 3: tech compatibility — L020 (unknown layer name, including
+/// constants flowing through layer-typed entity parameters), L021
+/// (minwidth() of a layer without a width rule).  No-op without a deck.
+void techPass(Context& cx);
+
+/// Pass 4: constant folding + interval analysis — L004 (may be read
+/// before assignment), L030/L031 (condition always true/false), L032
+/// (loop never executes), L033 (VARIANT branch can never succeed), L034
+/// (unreachable VARIANT branch), L035 (constant division by zero).
+void flowPass(Context& cx);
+
+// --- small AST utilities shared by the passes ----------------------------
+
+/// Preorder walk over every statement of `body`, including nested bodies.
+void walkStmts(const lang::Body& body,
+               const std::function<void(const lang::Stmt&)>& fn);
+
+/// Preorder walk over every expression reachable from `body` (statement
+/// expressions and nested call arguments alike).
+void walkExprs(const lang::Body& body,
+               const std::function<void(const lang::Expr&)>& fn);
+
+/// Preorder walk over one expression tree.
+void walkExpr(const lang::Expr& e,
+              const std::function<void(const lang::Expr&)>& fn);
+
+/// Names assigned by any statement in `body` (Assign targets and FOR loop
+/// variables), including nested bodies.
+std::unordered_set<std::string> assignedNames(const lang::Body& body);
+
+/// Best-effort structural binding of a call's arguments onto a builtin's
+/// slots: slotArgs[i] is the expression bound to slot i (nullptr when
+/// unbound), extras are variadic arguments past the table.  Malformed
+/// calls (unknown names, overflow) simply leave slots unbound — the call
+/// pass reports those; other passes just consume what did bind.
+struct BoundCall {
+  std::vector<const lang::Expr*> slotArgs;
+  std::vector<const lang::Expr*> extras;
+};
+BoundCall bindCall(const lang::Expr& call, const lang::BuiltinSig& sig);
+
+}  // namespace amg::analysis::detail

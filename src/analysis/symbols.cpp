@@ -1,0 +1,192 @@
+// Pass 1: symbol resolution.
+//
+// What "defined" means here mirrors the interpreter exactly: entities may
+// be declared before or after use (registration precedes execution),
+// entities shadow builtins, and variable lookup is *dynamic* — an entity
+// body can read a name assigned by any caller up the instantiation chain.
+// The pass is therefore conservative about variables: a read is an error
+// only when the name is assigned nowhere in the whole program (AMG-L003);
+// a name that exists only in some other scope is a warning (AMG-L009),
+// because the module then silently depends on who calls it.
+#include <map>
+
+#include "analysis/internal.h"
+
+namespace amg::analysis::detail {
+
+using lang::Body;
+using lang::EntityDecl;
+using lang::Expr;
+using lang::Stmt;
+
+namespace {
+
+/// Variable reads in `body` plus, for entities, the default-value
+/// expressions of the declaration (a later parameter's default may read an
+/// earlier parameter).
+std::unordered_set<std::string> readNames(const Body& body,
+                                          const EntityDecl* decl) {
+  std::unordered_set<std::string> reads;
+  const auto visit = [&](const Expr& e) {
+    if (e.kind == Expr::Kind::Var) reads.insert(e.text);
+  };
+  walkExprs(body, visit);
+  if (decl)
+    for (const auto& p : decl->params)
+      if (p.defaultValue) walkExpr(*p.defaultValue, visit);
+  return reads;
+}
+
+/// First assignment of `name` in `body` (for the unused-local location).
+const Stmt* firstAssign(const Body& body, const std::string& name) {
+  const Stmt* found = nullptr;
+  walkStmts(body, [&](const Stmt& s) {
+    if (!found && s.kind == Stmt::Kind::Assign && s.name == name) found = &s;
+  });
+  return found;
+}
+
+void checkScope(const Context& cx, const Body& body, const EntityDecl* decl,
+                const std::string& file) {
+  // The names this scope can resolve without dynamic scoping: its own
+  // parameters, anything it assigns (before or after the read — flow
+  // order is the flow pass's business), and the top-level globals.
+  std::unordered_set<std::string> local = assignedNames(body);
+  if (decl)
+    for (const auto& p : decl->params) local.insert(p.name);
+
+  walkExprs(body, [&](const Expr& e) {
+    if (e.kind != Expr::Kind::Var) return;
+    if (local.count(e.text) || cx.globals.count(e.text)) return;
+    if (cx.assignedAnywhere.count(e.text)) {
+      cx.emit(Severity::Warning, "AMG-L009",
+              "variable '" + e.text + "' is not defined in this " +
+                  (decl ? "entity" : "scope") +
+                  "; it resolves only through the caller's scope at runtime",
+              file, e.line, e.col,
+              "pass it as a parameter instead of relying on dynamic scoping");
+    } else {
+      cx.emit(Severity::Error, "AMG-L003",
+              "undefined variable '" + e.text + "'", file, e.line, e.col,
+              "assign it first, or declare it as an entity parameter");
+    }
+  });
+
+  if (!decl || !cx.opt.warnUnused) return;
+  const std::unordered_set<std::string> reads = readNames(body, decl);
+
+  for (const auto& p : decl->params)
+    if (!reads.count(p.name))
+      cx.emit(Severity::Warning, "AMG-L005",
+              "parameter '" + p.name + "' of entity '" + decl->name +
+                  "' is never used",
+              file, p.line ? p.line : decl->line, p.col,
+              "remove it, or use it in the body");
+
+  // Unused locals: assigned in the body, never read.  FOR variables are
+  // exempt (a loop used purely for repetition is idiomatic), and so are
+  // names that exist as globals — assigning those mutates the global, a
+  // visible effect.
+  std::unordered_set<std::string> loopVars;
+  walkStmts(body, [&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::For) loopVars.insert(s.name);
+  });
+  for (const std::string& name : assignedNames(body)) {
+    if (reads.count(name) || loopVars.count(name) || cx.globals.count(name))
+      continue;
+    const Stmt* at = firstAssign(body, name);
+    cx.emit(Severity::Warning, "AMG-L006",
+            "local variable '" + name + "' in entity '" + decl->name +
+                "' is assigned but never used",
+            file, at ? at->line : decl->line, at ? at->col : 0,
+            "remove the assignment, or use the value");
+  }
+}
+
+/// Call-graph cycle detection: recursion is legal (the interpreter caps
+/// depth at 64) but almost never intended in layout code, so a cycle is a
+/// warning pinned to the entity that closes it.
+void checkCycles(const Context& cx) {
+  // entity -> entities it calls (sorted for deterministic reporting).
+  std::map<std::string, std::vector<std::string>> graph;
+  std::map<std::string, const EntityDecl*> decls;
+  std::map<std::string, const std::string*> files;
+  for (const Unit& u : cx.units) {
+    for (const EntityDecl& ent : u.prog->entities) {
+      if (cx.entities.at(ent.name) != &ent) continue;  // shadowed decl
+      decls[ent.name] = &ent;
+      files[ent.name] = u.file;
+      auto& edges = graph[ent.name];
+      walkExprs(ent.body, [&](const Expr& e) {
+        if (e.kind == Expr::Kind::Call && cx.entities.count(e.text))
+          edges.push_back(e.text);
+      });
+    }
+  }
+
+  enum class Color { White, Grey, Black };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+
+  const std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = Color::Grey;
+    stack.push_back(n);
+    for (const std::string& m : graph[n]) {
+      if (color[m] == Color::Black) continue;
+      if (color[m] == Color::Grey) {
+        // Reconstruct the cycle m -> ... -> n -> m.
+        std::string chain = m;
+        bool in = false;
+        for (const std::string& s : stack) {
+          if (s == m) in = true;
+          if (in && s != m) chain += " -> " + s;
+        }
+        chain += " -> " + m;
+        const EntityDecl* d = decls[n];
+        cx.emit(Severity::Warning, "AMG-L007",
+                "entity '" + n + "' participates in a call cycle (" + chain + ")",
+                *files[n], d->line, d->col,
+                "recursion depth is capped at 64 (AMG-INTERP-006); make sure "
+                "a conditional terminates it");
+        continue;
+      }
+      dfs(m);
+    }
+    stack.pop_back();
+    color[n] = Color::Black;
+  };
+  for (const auto& [name, edges] : graph) {
+    (void)edges;
+    if (color[name] == Color::White) dfs(name);
+  }
+}
+
+}  // namespace
+
+void symbolPass(Context& cx) {
+  // Undefined entity/function: any call that is neither a declared entity
+  // nor a builtin fails at runtime with AMG-INTERP-002.
+  for (const Unit& u : cx.units) {
+    const auto checkCalls = [&](const Body& body) {
+      walkExprs(body, [&](const Expr& e) {
+        if (e.kind != Expr::Kind::Call) return;
+        if (cx.entities.count(e.text) || lang::findBuiltin(e.text)) return;
+        cx.emit(Severity::Error, "AMG-L001",
+                "unknown entity or function '" + e.text + "'", *u.file, e.line,
+                e.col,
+                "entities must be declared with ENT (before or after use); "
+                "builtins are listed in docs/LANGUAGE.md");
+      });
+    };
+    checkCalls(u.prog->top);
+    for (const EntityDecl& ent : u.prog->entities) checkCalls(ent.body);
+
+    checkScope(cx, u.prog->top, nullptr, *u.file);
+    for (const EntityDecl& ent : u.prog->entities)
+      checkScope(cx, ent.body, &ent, *u.file);
+  }
+
+  checkCycles(cx);
+}
+
+}  // namespace amg::analysis::detail

@@ -1,0 +1,170 @@
+// Pass 3: technology compatibility.
+//
+// Layer names are plain strings in the language; the interpreter resolves
+// them through tech::Technology::layer(), which throws a DesignRuleError
+// on a typo — possibly deep inside a VARIANT, where backtracking silently
+// swallows it and the module just "has no feasible variant".  This pass
+// checks every layer-name constant against the deck up front.
+//
+// Constants don't only appear at the builtin call itself: scripts routinely
+// route a layer through an entity parameter (ContactRow(layer = "poly")).
+// A small fixpoint infers which entity parameters are layer-typed — a
+// parameter is layer-typed when its body passes it, as a bare variable,
+// into a Layer slot of a builtin or into an already-layer-typed parameter
+// of another entity — and call-site constants bound to those parameters
+// are validated too.
+#include "analysis/internal.h"
+#include "tech/tech.h"
+
+namespace amg::analysis::detail {
+
+using lang::Arg;
+using lang::Body;
+using lang::BuiltinSig;
+using lang::EntityDecl;
+using lang::Expr;
+using lang::SlotType;
+
+namespace {
+
+/// Per-parameter argument expressions at an entity call, bound with the
+/// interpreter's rules (named by name, positionals in declaration order).
+std::vector<const Expr*> bindEntityArgs(const Expr& call, const EntityDecl& ent) {
+  std::vector<const Expr*> bound(ent.params.size(), nullptr);
+  std::size_t positional = 0;
+  for (const Arg& a : call.args) {
+    if (a.name) {
+      for (std::size_t i = 0; i < ent.params.size(); ++i)
+        if (*a.name == ent.params[i].name) {
+          bound[i] = a.value.get();
+          break;
+        }
+      continue;
+    }
+    if (positional < bound.size()) bound[positional++] = a.value.get();
+  }
+  return bound;
+}
+
+/// Which parameters of each entity end up used as layer names.
+using LayerParams = std::unordered_map<std::string, std::vector<bool>>;
+
+LayerParams inferLayerParams(const Context& cx) {
+  LayerParams lp;
+  for (const auto& [name, decl] : cx.entities)
+    lp[name].assign(decl->params.size(), false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, decl] : cx.entities) {
+      std::vector<bool>& mine = lp[name];
+      const auto markVar = [&](const Expr* arg) {
+        if (!arg || arg->kind != Expr::Kind::Var) return;
+        for (std::size_t i = 0; i < decl->params.size(); ++i)
+          if (decl->params[i].name == arg->text && !mine[i]) {
+            mine[i] = true;
+            changed = true;
+          }
+      };
+      walkExprs(decl->body, [&](const Expr& e) {
+        if (e.kind != Expr::Kind::Call) return;
+        if (const EntityDecl* callee = cx.findEntity(e.text)) {
+          const std::vector<bool>& theirs = lp[callee->name];
+          const auto bound = bindEntityArgs(e, *callee);
+          for (std::size_t i = 0; i < bound.size(); ++i)
+            if (theirs[i]) markVar(bound[i]);
+          return;
+        }
+        const BuiltinSig* sig = lang::findBuiltin(e.text);
+        if (!sig) return;
+        const BoundCall b = bindCall(e, *sig);
+        for (std::size_t i = 0; i < sig->slots.size(); ++i)
+          if (sig->slots[i].type == SlotType::Layer) markVar(b.slotArgs[i]);
+        if (sig->variadic && sig->variadicType == SlotType::Layer)
+          for (const Expr* x : b.extras) markVar(x);
+      });
+    }
+  }
+  return lp;
+}
+
+struct DeckInfo {
+  const tech::Technology* tech;
+  std::string layerList;  // for the hint
+};
+
+void checkLayerConst(const Context& cx, const DeckInfo& deck,
+                     const std::string& file, const Expr& arg,
+                     const std::string& where) {
+  if (arg.kind != Expr::Kind::String) return;
+  if (deck.tech->findLayer(arg.text)) return;
+  cx.emit(Severity::Error, "AMG-L020",
+          "unknown layer '" + arg.text + "' (deck '" + deck.tech->name() +
+              "') " + where,
+          file, arg.line, arg.col, "the deck's layers are " + deck.layerList);
+}
+
+void checkBody(const Context& cx, const DeckInfo& deck, const LayerParams& lp,
+               const std::string& file, const Body& body) {
+  walkExprs(body, [&](const Expr& e) {
+    if (e.kind != Expr::Kind::Call) return;
+    if (const EntityDecl* ent = cx.findEntity(e.text)) {
+      const std::vector<bool>& theirs = lp.at(ent->name);
+      const auto bound = bindEntityArgs(e, *ent);
+      for (std::size_t i = 0; i < bound.size(); ++i)
+        if (theirs[i] && bound[i])
+          checkLayerConst(cx, deck, file, *bound[i],
+                          "passed to parameter '" + ent->params[i].name +
+                              "' of entity '" + ent->name + "'");
+      return;
+    }
+    const BuiltinSig* sig = lang::findBuiltin(e.text);
+    if (!sig) return;
+    const BoundCall b = bindCall(e, *sig);
+    for (std::size_t i = 0; i < sig->slots.size(); ++i) {
+      if (sig->slots[i].type != SlotType::Layer || !b.slotArgs[i]) continue;
+      const Expr& arg = *b.slotArgs[i];
+      checkLayerConst(cx, deck, file, arg,
+                      "in " + std::string(sig->name) + "()");
+      // minwidth() of a layer that has no width rule returns nothing
+      // useful — the runtime throws AMG-TECH when asked.
+      if (std::string_view(sig->name) == "minwidth" &&
+          arg.kind == Expr::Kind::String) {
+        if (const auto layer = deck.tech->findLayer(arg.text);
+            layer && !deck.tech->findMinWidth(*layer))
+          cx.emit(Severity::Warning, "AMG-L021",
+                  "layer '" + arg.text + "' has no minimum-width rule in deck '" +
+                      deck.tech->name() + "'; minwidth() will fail at runtime",
+                  file, arg.line, arg.col,
+                  "marker layers carry no width rule; use a drawn layer here");
+      }
+    }
+    if (sig->variadic && sig->variadicType == SlotType::Layer)
+      for (const Expr* x : b.extras)
+        if (x)
+          checkLayerConst(cx, deck, file, *x,
+                          "in " + std::string(sig->name) + "()");
+  });
+}
+
+}  // namespace
+
+void techPass(Context& cx) {
+  if (!cx.opt.tech) return;  // no deck, nothing to validate against
+
+  DeckInfo deck{cx.opt.tech, {}};
+  for (std::size_t l = 0; l < cx.opt.tech->layerCount(); ++l) {
+    if (!deck.layerList.empty()) deck.layerList += ", ";
+    deck.layerList += cx.opt.tech->info(static_cast<tech::LayerId>(l)).name;
+  }
+
+  const LayerParams lp = inferLayerParams(cx);
+  for (const Unit& u : cx.units) {
+    checkBody(cx, deck, lp, *u.file, u.prog->top);
+    for (const EntityDecl& ent : u.prog->entities)
+      checkBody(cx, deck, lp, *u.file, ent.body);
+  }
+}
+
+}  // namespace amg::analysis::detail

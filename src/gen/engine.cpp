@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
+#include "analysis/analyzer.h"
 #include "gen/fingerprint.h"
 #include "io/layout.h"
 #include "lang/interp.h"
@@ -121,14 +123,124 @@ JobResult BatchEngine::runOne(const Job& job) {
   return res;
 }
 
+// Pre-flight: statically analyze each job before it reaches a worker.
+// Returns the diagnostic to reject with, or nullopt when the job may run.
+// Analyses are memoized on the *raw* script text (not the canonicalized
+// form the cache keys on): two scripts that differ only in comments would
+// share findings but not line numbers.
+std::optional<util::Diag> BatchEngine::preflightOne(
+    const Job& job,
+    std::unordered_map<std::uint64_t, std::shared_ptr<const analysis::Report>>&
+        memo) const {
+  std::uint64_t h = fnv1a(kEngineVersion, kFnvBasis);
+  h = fnv1a(techFp_, h);
+  h = fnv1a(job.script, h);
+  std::shared_ptr<const analysis::Report> rep;
+  if (const auto it = memo.find(h); it != memo.end()) {
+    rep = it->second;
+    OBS_COUNT("gen.preflight.cached");
+  } else {
+    analysis::Options opt;
+    opt.tech = tech_;
+    rep = std::make_shared<const analysis::Report>(
+        analysis::analyzeSource(job.script, "", opt));
+    memo.emplace(h, rep);
+    OBS_COUNT("gen.preflight.analyses");
+  }
+
+  if (const analysis::Finding* f = rep->firstError(cfg_.preflightWerror))
+    return f->diag;
+
+  const auto diag = [](const char* code, std::string msg, int line,
+                       std::string hint) {
+    util::Diag d;
+    d.code = code;
+    d.message = std::move(msg);
+    d.loc.line = line;
+    d.hint = std::move(hint);
+    return d;
+  };
+
+  // The script is statically sound; now check the request against it,
+  // reusing the codes the interpreter would raise for the same defect.
+  if (!job.entity.empty()) {
+    const analysis::EntitySig* sig = rep->findEntity(job.entity);
+    if (!sig)
+      return diag("AMG-INTERP-002",
+                  "unknown entity or function '" + job.entity + "'", 0,
+                  "entities must be declared with ENT before or after use; "
+                  "builtins are listed in docs/LANGUAGE.md");
+    for (const auto& [k, v] : job.params) {
+      (void)v;
+      const bool known =
+          std::any_of(sig->params.begin(), sig->params.end(),
+                      [&](const auto& p) { return p.name == k; });
+      if (!known)
+        return diag("AMG-INTERP-003",
+                    "entity '" + job.entity + "' has no parameter '" + k + "'",
+                    sig->line,
+                    "the declaration is 'ENT " + job.entity + "(...)' on line " +
+                        std::to_string(sig->line));
+    }
+    for (const auto& p : sig->params) {
+      if (p.optional || p.hasDefault) continue;
+      const bool bound =
+          std::any_of(job.params.begin(), job.params.end(),
+                      [&](const auto& kv) { return kv.first == p.name; });
+      if (!bound)
+        return diag("AMG-INTERP-005",
+                    "entity '" + job.entity + "': required parameter '" +
+                        p.name + "' missing",
+                    sig->line,
+                    "pass " + p.name +
+                        "=... in the job, or declare it optional as <" +
+                        p.name + ">");
+    }
+  } else if (std::find(rep->globals.begin(), rep->globals.end(),
+                       job.resultVar) == rep->globals.end()) {
+    return diag("AMG-GEN-002",
+                "script never assigns the result variable '" + job.resultVar +
+                    "'",
+                0,
+                "script-mode jobs return the top-level global named by "
+                "result=...; assign it in the calling sequence");
+  }
+  return std::nullopt;
+}
+
 BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
   obs::Span span("gen.batch");
   span.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
   BatchReport report;
   report.jobs.resize(jobs.size());
 
-  for (std::size_t i = 0; i < jobs.size(); ++i)
+  if (cfg_.preflight) {
+    obs::Span pf("gen.preflight");
+    std::unordered_map<std::uint64_t, std::shared_ptr<const analysis::Report>>
+        memo;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::optional<util::Diag> reject = preflightOne(jobs[i], memo);
+      if (!reject) continue;
+      JobResult& res = report.jobs[i];
+      res.name = jobs[i].name;
+      res.key = keyOf(jobs[i]);
+      res.rejected = true;
+      if (reject->loc.file.empty())
+        reject->loc.file =
+            jobs[i].scriptPath.empty() ? "<script>" : jobs[i].scriptPath;
+      res.diag = std::move(reject);
+      OBS_COUNT("gen.preflight.rejected");
+      OBS_LOG(Warn, "gen.preflight",
+              jobs[i].name + " rejected: " + res.diag->str());
+    }
+    report.preflightMs = pf.elapsedSeconds() * 1e3;
+    pf.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (report.jobs[i].rejected) continue;
     pool_.run([this, &jobs, &report, i] { report.jobs[i] = runOne(jobs[i]); });
+  }
   pool_.wait();
 
   for (const JobResult& r : report.jobs) {
@@ -136,6 +248,10 @@ BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
       ++report.succeeded;
     else
       ++report.failed;
+    if (r.rejected) {
+      ++report.rejected;
+      continue;  // never ran: no wall-time sample
+    }
     if (r.cacheHit) ++report.cacheHits;
     OBS_HIST("gen.job.wall_us", static_cast<std::uint64_t>(r.wallMs * 1e3));
   }

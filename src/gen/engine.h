@@ -12,11 +12,17 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <unordered_map>
 
 #include "gen/cache.h"
 #include "gen/job.h"
 #include "tech/tech.h"
 #include "util/thread_pool.h"
+
+namespace amg::analysis {
+struct Report;
+}
 
 namespace amg::gen {
 
@@ -24,6 +30,14 @@ struct EngineConfig {
   std::size_t threads = 0;  ///< worker count; 0 = hardware concurrency
   bool useCache = true;     ///< false: always generate (bench cold runs)
   CacheConfig cache;        ///< memory budget + optional disk tier
+  /// Statically analyze each job's script before scheduling (src/analysis)
+  /// and reject jobs that would fail at runtime — an undefined entity, a
+  /// wrong-arity call, a layer the deck does not know.  Rejected jobs
+  /// carry the first finding as their diagnostic and never occupy a
+  /// worker.  Analyses are memoized per distinct script text.
+  bool preflight = true;
+  /// Treat pre-flight warnings as rejections too (lint --Werror).
+  bool preflightWerror = false;
 };
 
 class BatchEngine {
@@ -44,6 +58,10 @@ class BatchEngine {
 
  private:
   JobResult runOne(const Job& job);
+  std::optional<util::Diag> preflightOne(
+      const Job& job,
+      std::unordered_map<std::uint64_t,
+                         std::shared_ptr<const analysis::Report>>& memo) const;
 
   const tech::Technology* tech_;
   EngineConfig cfg_;

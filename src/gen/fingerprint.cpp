@@ -60,6 +60,22 @@ std::string canonicalizeSource(const std::string& source) {
       while (i < n && source[i] != '\n') ++i;
       continue;
     }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      // Block comments are whitespace to the lexer; an embedded newline
+      // still separates statements, so preserve it here.
+      i += 2;
+      bool newline = false;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') newline = true;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      if (newline)
+        endLine();
+      else
+        pendingSpace = true;
+      continue;
+    }
     if (c == ' ' || c == '\t' || c == '\r') {
       pendingSpace = true;
       ++i;

@@ -36,6 +36,9 @@ struct JobResult {
   std::string name;
   bool ok = false;
   bool cacheHit = false;        ///< served from the cache (either tier)
+  /// Rejected by the pre-flight static analysis: the job never reached a
+  /// worker thread (counts as failed; `diag` holds the first finding).
+  bool rejected = false;
   std::uint64_t key = 0;        ///< content-address of the request
   double wallMs = 0;
   std::optional<db::Module> layout;  ///< present when ok
@@ -47,9 +50,11 @@ struct JobResult {
 struct BatchReport {
   std::vector<JobResult> jobs;  ///< same order as the submitted jobs
   std::size_t succeeded = 0;
-  std::size_t failed = 0;
+  std::size_t failed = 0;       ///< includes the rejected jobs
+  std::size_t rejected = 0;     ///< failed in pre-flight, never scheduled
   std::size_t cacheHits = 0;
-  double wallMs = 0;  ///< whole-batch wall time
+  double wallMs = 0;       ///< whole-batch wall time
+  double preflightMs = 0;  ///< static-analysis pre-flight time (serial)
 };
 
 }  // namespace amg::gen

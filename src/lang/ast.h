@@ -80,11 +80,14 @@ struct EntityDecl {
     std::string name;
     bool optional = false;   ///< <name>: may stay unset (rule defaults)
     ExprPtr defaultValue;    ///< name = expr: evaluated when omitted
+    int line = 0;            ///< declaration position (for analyzer findings)
+    int col = 0;
   };
   std::string name;
   std::vector<Param> params;
   Body body;
   int line = 0;
+  int col = 0;
   /// Source file the declaration came from; stamped by
   /// Interpreter::run()/load() so instantiate() diagnostics can name it.
   std::string file;

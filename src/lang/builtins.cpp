@@ -1,0 +1,120 @@
+#include "lang/builtins.h"
+
+namespace amg::lang {
+
+const char* slotTypeName(SlotType t) {
+  switch (t) {
+    case SlotType::Number: return "number";
+    case SlotType::String: return "string";
+    case SlotType::Layer: return "layer name";
+    case SlotType::Net: return "net name";
+    case SlotType::Dir: return "direction";
+    case SlotType::Object: return "layout object";
+    case SlotType::Any: return "any value";
+    case SlotType::None: return "nothing";
+  }
+  return "?";
+}
+
+const std::vector<BuiltinSig>& builtinSignatures() {
+  using T = SlotType;
+  // `required` counts and slot names must match the interpreter's binding
+  // calls exactly — interp.cpp binds through this table, so a mismatch
+  // would show up as a test failure, not silent drift.
+  static const std::vector<BuiltinSig> sigs = {
+      // --- primitive shape functions (geometry, need an ENT body) -------
+      {"INBOX",
+       {{"layer", T::Layer}, {"W", T::Number}, {"L", T::Number}, {"net", T::Net}},
+       1, false, T::Any, true, T::None},
+      {"AROUND",
+       {{"layer", T::Layer}, {"margin", T::Number}, {"net", T::Net}},
+       1, false, T::Any, true, T::None},
+      {"ARRAY", {{"layer", T::Layer}, {"net", T::Net}}, 1, false, T::Any, true,
+       T::None},
+      {"RING",
+       {{"layer", T::Layer}, {"W", T::Number}, {"gap", T::Number}, {"net", T::Net}},
+       1, false, T::Any, true, T::None},
+      {"TWORECTS",
+       {{"layerA", T::Layer},
+        {"layerB", T::Layer},
+        {"W", T::Number},
+        {"L", T::Number},
+        {"netA", T::Net},
+        {"netB", T::Net}},
+       4, false, T::Any, true, T::None},
+      {"ANGLE",
+       {{"layer", T::Layer},
+        {"x", T::Number},
+        {"y", T::Number},
+        {"lenH", T::Number},
+        {"lenV", T::Number},
+        {"W", T::Number},
+        {"net", T::Net}},
+       5, false, T::Any, true, T::None},
+      // POLY(layer, x1, y1, x2, y2, ... [, net = ...]): bound by hand in
+      // the interpreter; the analyzer checks the vertex-pair rules itself.
+      {"POLY", {{"layer", T::Layer}}, 1, true, T::Number, true, T::None},
+      {"WIRE",
+       {{"layer", T::Layer},
+        {"x1", T::Number},
+        {"y1", T::Number},
+        {"x2", T::Number},
+        {"y2", T::Number},
+        {"W", T::Number},
+        {"net", T::Net}},
+       5, false, T::Any, true, T::None},
+      {"VIA",
+       {{"x", T::Number},
+        {"y", T::Number},
+        {"from", T::Layer},
+        {"to", T::Layer},
+        {"net", T::Net}},
+       4, false, T::Any, true, T::None},
+      // compact(obj, direction, [ignored layers...]): positional only.
+      {"compact", {{"obj", T::Object}, {"dir", T::Dir}}, 2, true, T::Layer, true,
+       T::None},
+      {"PIN",
+       {{"name", T::String},
+        {"x", T::Number},
+        {"y", T::Number},
+        {"layer", T::Layer},
+        {"net", T::Net}},
+       4, false, T::Any, true, T::None},
+
+      // --- shape/net property edits (still need the entity) --------------
+      {"setnet", {{"layer", T::Layer}, {"net", T::Net}}, 2, false, T::Any, true,
+       T::None},
+      {"renamenet", {{"old", T::Net}, {"new", T::Net}}, 2, false, T::Any, true,
+       T::None},
+      {"varedge", {{"layer", T::Layer}, {"side", T::String}}, 2, false, T::Any,
+       true, T::None},
+      {"avoidoverlap", {{"layer", T::Layer}}, 1, false, T::Any, true, T::None},
+
+      // --- pure object/value functions ------------------------------------
+      {"mirrorx", {{"obj", T::Object}, {"axis", T::Number}}, 1, false, T::Any,
+       false, T::Object},
+      {"mirrory", {{"obj", T::Object}, {"axis", T::Number}}, 1, false, T::Any,
+       false, T::Object},
+      {"rot180", {{"obj", T::Object}}, 1, false, T::Any, false, T::Object},
+      {"area", {{"obj", T::Object}}, 1, false, T::Any, false, T::Number},
+      {"width", {{"obj", T::Object}}, 1, false, T::Any, false, T::Number},
+      {"height", {{"obj", T::Object}}, 1, false, T::Any, false, T::Number},
+      {"minwidth", {{"layer", T::Layer}}, 1, false, T::Any, false, T::Number},
+      {"floor", {{"x", T::Number}}, 1, false, T::Any, false, T::Number},
+      {"min", {{"x", T::Number}, {"y", T::Number}}, 2, false, T::Any, false,
+       T::Number},
+      {"max", {{"x", T::Number}, {"y", T::Number}}, 2, false, T::Any, false,
+       T::Number},
+      {"isset", {{"x", T::Any}}, 0, false, T::Any, false, T::Number},
+      {"print", {}, 0, true, T::Any, false, T::None},
+  };
+  return sigs;
+}
+
+const BuiltinSig* findBuiltin(std::string_view name) {
+  for (const BuiltinSig& s : builtinSignatures())
+    if (name == s.name) return &s;
+  return nullptr;
+}
+
+}  // namespace amg::lang

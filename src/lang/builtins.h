@@ -1,0 +1,61 @@
+// Signature metadata for the language's builtin functions.
+//
+// One table shared by the interpreter (argument binding, lang/interp.cpp)
+// and the static analyzer (arity/type/layer checking, src/analysis) — a
+// builtin added here is automatically known to both, and the two can never
+// disagree about a slot name or a required count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace amg::lang {
+
+/// What a builtin expects in one argument slot (or produces as a result).
+/// Layer/Net are strings at runtime; the distinction lets the analyzer
+/// validate layer names against a technology deck.
+enum class SlotType : std::uint8_t {
+  Number,  ///< micrometres (or a count)
+  String,  ///< plain text (PIN name, varedge side)
+  Layer,   ///< a layer name, resolved via tech::Technology::layer()
+  Net,     ///< a net name, interned per module
+  Dir,     ///< WEST/EAST/SOUTH/NORTH
+  Object,  ///< a layout object (entity instance)
+  Any,     ///< unconstrained (isset, print)
+  None,    ///< result only: the builtin returns nothing
+};
+
+const char* slotTypeName(SlotType t);
+
+struct SlotSig {
+  const char* name;
+  SlotType type;
+};
+
+/// One builtin's declared shape.  `slots` are the named positional slots;
+/// the first `required` of them must be bound at the call.  `variadic`
+/// builtins (POLY, compact, print) accept arguments beyond the table and
+/// are bound by hand in the interpreter; `variadicType` is what those
+/// extra arguments are.
+struct BuiltinSig {
+  const char* name;
+  std::vector<SlotSig> slots;
+  std::size_t required = 0;
+  bool variadic = false;
+  SlotType variadicType = SlotType::Any;
+  /// Builds the entity under construction: legal only inside an ENT body,
+  /// and may raise a design-rule error (so a VARIANT branch containing one
+  /// can fail and backtrack).
+  bool geometry = false;
+  SlotType result = SlotType::None;
+};
+
+/// All builtins, in dispatch order.  Stable across a process lifetime.
+const std::vector<BuiltinSig>& builtinSignatures();
+
+/// Look one up by name; nullptr when `name` is not a builtin.
+const BuiltinSig* findBuiltin(std::string_view name);
+
+}  // namespace amg::lang

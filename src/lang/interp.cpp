@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "compact/compactor.h"
+#include "lang/builtins.h"
 #include "obs/obs.h"
 #include "opt/rating.h"
 #include "primitives/primitives.h"
@@ -390,10 +391,14 @@ class Interpreter::Impl {
     return builtin(e);
   }
 
-  /// Bind a builtin's arguments against its declared slot names.
-  std::vector<Value> bindArgs(const Expr& e, std::initializer_list<const char*> slots,
-                              std::size_t required) {
-    std::vector<std::string> names(slots.begin(), slots.end());
+  /// Bind a builtin's arguments against its declared signature (the shared
+  /// table in lang/builtins.h — the analyzer checks calls against the same
+  /// slots).
+  std::vector<Value> bindArgs(const Expr& e, const BuiltinSig& sig) {
+    std::vector<std::string> names;
+    names.reserve(sig.slots.size());
+    for (const SlotSig& s : sig.slots) names.emplace_back(s.name);
+    const std::size_t required = sig.required;
     std::vector<Value> vals(names.size());
     std::vector<bool> filled(names.size(), false);
     std::size_t nextPos = 0;
@@ -449,36 +454,42 @@ class Interpreter::Impl {
 
   Value builtin(const Expr& e) {
     const std::string& f = e.text;
+    const BuiltinSig* sig = findBuiltin(f);
+    if (!sig)
+      fail("AMG-INTERP-002", "unknown entity or function '" + f + "'", e.line,
+           e.col,
+           "entities must be declared with ENT before or after use; builtins "
+           "are listed in docs/LANGUAGE.md");
     try {
       if (f == "INBOX") {
-        auto a = bindArgs(e, {"layer", "W", "L", "net"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         prim::inbox(m, layerOf(a[0], e.line), optCoord(a[1]), optCoord(a[2]),
                     optNet(m, a[3]));
         return Value{};
       }
       if (f == "AROUND") {
-        auto a = bindArgs(e, {"layer", "margin", "net"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         prim::around(m, layerOf(a[0], e.line), {}, optCoord(a[1]).value_or(0),
                      optNet(m, a[2]));
         return Value{};
       }
       if (f == "ARRAY") {
-        auto a = bindArgs(e, {"layer", "net"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         prim::array(m, layerOf(a[0], e.line), {}, optNet(m, a[1]));
         return Value{};
       }
       if (f == "RING") {
-        auto a = bindArgs(e, {"layer", "W", "gap", "net"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         prim::ring(m, layerOf(a[0], e.line), optCoord(a[1]), optCoord(a[2]), {},
                    optNet(m, a[3]));
         return Value{};
       }
       if (f == "TWORECTS") {
-        auto a = bindArgs(e, {"layerA", "layerB", "W", "L", "netA", "netB"}, 4);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         prim::tworects(m, layerOf(a[0], e.line), layerOf(a[1], e.line),
                        toCoord(a[2].asNumber()), toCoord(a[3].asNumber()),
@@ -486,7 +497,7 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "ANGLE") {
-        auto a = bindArgs(e, {"layer", "x", "y", "lenH", "lenV", "W", "net"}, 5);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         prim::angleAdaptor(m, layerOf(a[0], e.line),
                            Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
@@ -532,7 +543,7 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "WIRE") {
-        auto a = bindArgs(e, {"layer", "x1", "y1", "x2", "y2", "W", "net"}, 5);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         route::wireStraight(m, layerOf(a[0], e.line),
                             Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
@@ -541,7 +552,7 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "VIA") {
-        auto a = bindArgs(e, {"x", "y", "from", "to", "net"}, 4);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         route::viaStack(m, Point{toCoord(a[0].asNumber()), toCoord(a[1].asNumber())},
                         layerOf(a[2], e.line), layerOf(a[3], e.line), optNet(m, a[4]));
@@ -569,7 +580,7 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "PIN") {
-        auto a = bindArgs(e, {"name", "x", "y", "layer", "net"}, 4);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         m.addPort(a[0].asString(),
                   Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
@@ -577,7 +588,7 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "setnet") {
-        auto a = bindArgs(e, {"layer", "net"}, 2);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         const auto layer = layerOf(a[0], e.line);
         const db::NetId net = m.net(a[1].asString());
@@ -585,14 +596,14 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "renamenet") {
-        auto a = bindArgs(e, {"old", "new"}, 2);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         if (auto old = m.findNet(a[0].asString()))
           m.moveNet(*old, m.net(a[1].asString()));
         return Value{};
       }
       if (f == "varedge") {
-        auto a = bindArgs(e, {"layer", "side"}, 2);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         const auto layer = layerOf(a[0], e.line);
         const std::string side = a[1].asString();
@@ -611,14 +622,14 @@ class Interpreter::Impl {
         return Value{};
       }
       if (f == "avoidoverlap") {
-        auto a = bindArgs(e, {"layer"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module& m = self(e.line);
         for (db::ShapeId id : m.shapesOn(layerOf(a[0], e.line)))
           m.shape(id).avoidOverlap = true;
         return Value{};
       }
       if (f == "mirrorx") {
-        auto a = bindArgs(e, {"obj", "axis"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module m = a[0].asObject();
         const Coord axis =
             a[1].isNone() ? m.bboxAll().center().x : toCoord(a[1].asNumber());
@@ -626,7 +637,7 @@ class Interpreter::Impl {
         return Value::object(std::move(m));
       }
       if (f == "mirrory") {
-        auto a = bindArgs(e, {"obj", "axis"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module m = a[0].asObject();
         const Coord axis =
             a[1].isNone() ? m.bboxAll().center().y : toCoord(a[1].asNumber());
@@ -634,45 +645,45 @@ class Interpreter::Impl {
         return Value::object(std::move(m));
       }
       if (f == "rot180") {
-        auto a = bindArgs(e, {"obj"}, 1);
+        auto a = bindArgs(e, *sig);
         db::Module m = a[0].asObject();
         m.transform(geom::Transform::rotate180(m.bboxAll().center()));
         return Value::object(std::move(m));
       }
       if (f == "area") {
-        auto a = bindArgs(e, {"obj"}, 1);
+        auto a = bindArgs(e, *sig);
         const Box bb = a[0].asObject().bbox();
         return Value::number(static_cast<double>(bb.area()) / (kMicron * kMicron));
       }
       if (f == "width") {
-        auto a = bindArgs(e, {"obj"}, 1);
+        auto a = bindArgs(e, *sig);
         return Value::number(static_cast<double>(a[0].asObject().bbox().width()) /
                              kMicron);
       }
       if (f == "height") {
-        auto a = bindArgs(e, {"obj"}, 1);
+        auto a = bindArgs(e, *sig);
         return Value::number(static_cast<double>(a[0].asObject().bbox().height()) /
                              kMicron);
       }
       if (f == "minwidth") {
-        auto a = bindArgs(e, {"layer"}, 1);
+        auto a = bindArgs(e, *sig);
         return Value::number(
             static_cast<double>(tech_.minWidth(layerOf(a[0], e.line))) / kMicron);
       }
       if (f == "floor") {
-        auto a = bindArgs(e, {"x"}, 1);
+        auto a = bindArgs(e, *sig);
         return Value::number(std::floor(a[0].asNumber()));
       }
       if (f == "min") {
-        auto a = bindArgs(e, {"x", "y"}, 2);
+        auto a = bindArgs(e, *sig);
         return Value::number(std::min(a[0].asNumber(), a[1].asNumber()));
       }
       if (f == "max") {
-        auto a = bindArgs(e, {"x", "y"}, 2);
+        auto a = bindArgs(e, *sig);
         return Value::number(std::max(a[0].asNumber(), a[1].asNumber()));
       }
       if (f == "isset") {
-        auto a = bindArgs(e, {"x"}, 0);
+        auto a = bindArgs(e, *sig);
         return Value::number(a[0].isNone() ? 0.0 : 1.0);
       }
       if (f == "print") {
@@ -702,9 +713,10 @@ class Interpreter::Impl {
       fail("AMG-INTERP-012", std::string(err.what()) + " (in " + f + "())", e.line,
            e.col, "");
     }
-    fail("AMG-INTERP-002", "unknown entity or function '" + f + "'", e.line, e.col,
-         "entities must be declared with ENT before or after use; builtins are "
-         "listed in docs/LANGUAGE.md");
+    // The table and the dispatch above cover the same set; reaching here
+    // means a signature was added without an implementation.
+    fail("AMG-INTERP-011", "builtin '" + f + "' has no implementation", e.line,
+         e.col, "");
   }
 
   Interpreter& host_;

@@ -43,18 +43,33 @@ std::vector<Token> lex(const std::string& src) {
                                {"", line, colOf(i)}, std::move(hint)});
   };
 
+  auto newlineToken = [&] {
+    // Collapse runs of newlines into one separator.
+    if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+  };
+
   while (i < n) {
     const char c = src[i];
     if (c == '\n') {
-      // Collapse runs of newlines into one separator.
-      if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+      newlineToken();
       ++line;
       ++i;
       lineStart = i;
       continue;
     }
+    if (c == '\r') {
+      // CRLF counts as the single newline handled above; a bare CR
+      // (classic-Mac line ending) separates lines on its own, keeping
+      // line/col numbers correct either way.
+      ++i;
+      if (i < n && src[i] == '\n') continue;
+      newlineToken();
+      ++line;
+      lineStart = i;
+      continue;
+    }
     if (c == ';') {
-      if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+      newlineToken();
       ++i;
       continue;
     }
@@ -63,7 +78,39 @@ std::vector<Token> lex(const std::string& src) {
       continue;
     }
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      while (i < n && src[i] != '\n') ++i;
+      while (i < n && src[i] != '\n' && src[i] != '\r') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      // Block comment: equivalent to the whitespace it replaces, so a
+      // newline inside it still separates statements.
+      const int startLine = line;
+      const int startCol = colOf(i);
+      i += 2;
+      bool closed = false;
+      bool sawNewline = false;
+      while (i < n) {
+        if (src[i] == '\n' || src[i] == '\r') {
+          if (src[i] == '\r' && i + 1 < n && src[i + 1] == '\n') ++i;
+          sawNewline = true;
+          ++line;
+          ++i;
+          lineStart = i;
+          continue;
+        }
+        if (src[i] == '*' && i + 1 < n && src[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed)
+        throw LangError(util::Diag{"AMG-LEX-005",
+                                   "unterminated block comment",
+                                   {"", startLine, startCol},
+                                   "close the comment with '*/'"});
+      if (sawNewline) newlineToken();
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -79,7 +126,15 @@ std::vector<Token> lex(const std::string& src) {
       if (dots > 1 || text.back() == '.')
         fail("AMG-LEX-001", "malformed number '" + text + "'",
              "number literals are decimal micrometres, e.g. 2 or 0.8");
-      push(Tok::Number, text, std::stod(text));
+      double num = 0;
+      try {
+        num = std::stod(text);
+      } catch (const std::exception&) {
+        fail("AMG-LEX-004", "number literal '" + text + "' out of range",
+             "coordinates are micrometres stored as doubles; this value "
+             "cannot be represented");
+      }
+      push(Tok::Number, text, num);
       i = end;
       continue;
     }
@@ -99,7 +154,8 @@ std::vector<Token> lex(const std::string& src) {
     }
     if (c == '"') {
       std::size_t end = i + 1;
-      while (end < n && src[end] != '"' && src[end] != '\n') ++end;
+      while (end < n && src[end] != '"' && src[end] != '\n' && src[end] != '\r')
+        ++end;
       if (end >= n || src[end] != '"')
         fail("AMG-LEX-002", "unterminated string literal",
              "close the string with '\"' before the end of the line");

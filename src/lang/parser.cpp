@@ -57,12 +57,15 @@ class Parser {
   EntityDecl parseEntity() {
     EntityDecl ent;
     ent.line = line();
+    ent.col = col();
     expect(Tok::KwEnt, "ENT");
     ent.name = expect(Tok::Ident, "entity name").text;
     expect(Tok::LParen, "'('");
     if (!at(Tok::RParen)) {
       for (;;) {
         EntityDecl::Param p;
+        p.line = line();
+        p.col = col();
         if (at(Tok::Lt)) {
           advance();
           p.optional = true;

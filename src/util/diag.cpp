@@ -18,11 +18,11 @@ std::string SourceLoc::str() const {
   return out;
 }
 
-std::string Diag::str() const {
+std::string Diag::str(std::string_view severity) const {
   std::string out;
   const std::string where = loc.str();
   if (!where.empty()) out += where + ": ";
-  out += "error";
+  out += severity;
   if (!code.empty()) out += " [" + code + "]";
   out += ": " + message;
   if (!hint.empty()) out += "\nhint: " + hint;
@@ -30,14 +30,19 @@ std::string Diag::str() const {
 }
 
 std::string renderDiag(const Diag& d, std::string_view source) {
-  if (!d.loc.known()) return d.str();
+  return renderDiag(d, source, "error");
+}
+
+std::string renderDiag(const Diag& d, std::string_view source,
+                       std::string_view severity) {
+  if (!d.loc.known()) return d.str(severity);
 
   // Find the 1-based line the location points at.
   std::size_t begin = 0;
   int line = 1;
   while (line < d.loc.line) {
     const std::size_t nl = source.find('\n', begin);
-    if (nl == std::string_view::npos) return d.str();  // out of range
+    if (nl == std::string_view::npos) return d.str(severity);  // out of range
     begin = nl + 1;
     ++line;
   }
@@ -47,7 +52,7 @@ std::string renderDiag(const Diag& d, std::string_view source) {
 
   std::ostringstream os;
   const std::string where = d.loc.str();
-  os << where << ": error";
+  os << where << ": " << severity;
   if (!d.code.empty()) os << " [" << d.code << "]";
   os << ": " << d.message << "\n";
 

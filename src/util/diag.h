@@ -46,7 +46,11 @@ struct Diag {
 
   /// One-line rendering: "file:line:col: error [CODE]: message".  The
   /// location prefix is dropped when unknown, the code when empty.
-  std::string str() const;
+  std::string str() const { return str("error"); }
+  /// Same, with an explicit severity label ("error", "warning", "note") —
+  /// the analyzer (src/analysis) reports non-fatal findings through the
+  /// same rendering.
+  std::string str(std::string_view severity) const;
 };
 
 /// Exception carrying a Diag.  what() returns Diag::str(), so existing
@@ -83,5 +87,9 @@ class DesignRuleDiag : public DesignRuleError {
 /// Falls back to the one-line form when the location is unknown or out of
 /// range for `source`.
 std::string renderDiag(const Diag& d, std::string_view source);
+
+/// Same, with an explicit severity label instead of "error".
+std::string renderDiag(const Diag& d, std::string_view source,
+                       std::string_view severity);
 
 }  // namespace amg::util

@@ -1,0 +1,523 @@
+// Static semantic analysis of layout-description-language programs: one
+// regression per AMG-L* finding code, the clean negatives that keep the
+// analyzer honest on real scripts, and the meta-test that every shipped
+// script and built-in module lints clean under --Werror semantics.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef AMG_REPO_DIR
+#define AMG_REPO_DIR "."
+#endif
+
+#include "analysis/analyzer.h"
+#include "modules/dsl_sources.h"
+#include "tech/builtin.h"
+
+namespace amg::analysis {
+namespace {
+
+Report analyze(const std::string& src) { return analyzeSource(src, "t.amg"); }
+
+Report analyzeTech(const std::string& src) {
+  Options opt;
+  opt.tech = &tech::bicmos1u();
+  return analyzeSource(src, "t.amg", opt);
+}
+
+/// Number of findings carrying the given code.
+std::size_t count(const Report& rep, std::string_view code) {
+  std::size_t n = 0;
+  for (const Finding& f : rep.findings)
+    if (f.diag.code == code) ++n;
+  return n;
+}
+
+/// First finding with the given code, or nullptr.
+const Finding* find(const Report& rep, std::string_view code) {
+  for (const Finding& f : rep.findings)
+    if (f.diag.code == code) return &f;
+  return nullptr;
+}
+
+std::string dump(const Report& rep) {
+  std::ostringstream os;
+  for (const Finding& f : rep.findings)
+    os << severityName(f.severity) << " " << f.diag.code << " "
+       << f.diag.loc.file << ":" << f.diag.loc.line << ":" << f.diag.loc.col
+       << " " << f.diag.message << "\n";
+  return os.str();
+}
+
+// --------------------------------------------------------------------------
+// Pass 1: symbol resolution
+// --------------------------------------------------------------------------
+
+TEST(Symbols, UndefinedEntityIsL001) {
+  const Report rep = analyze("x = Contct(layer = \"poly\")\n");
+  ASSERT_EQ(count(rep, "AMG-L001"), 1u) << dump(rep);
+  const Finding* f = find(rep, "AMG-L001");
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_EQ(f->diag.loc.line, 1);
+  EXPECT_NE(f->diag.message.find("Contct"), std::string::npos);
+}
+
+TEST(Symbols, DeclaredEntitiesAndBuiltinsResolve) {
+  const Report rep = analyze(
+      "x = Row(\"poly\")\n"
+      "ENT Row(layer)\n"
+      "  INBOX(layer, 2, 2)\n");
+  EXPECT_EQ(count(rep, "AMG-L001"), 0u) << dump(rep);
+  EXPECT_EQ(rep.errors, 0u) << dump(rep);
+}
+
+TEST(Symbols, SameFileDuplicateEntityIsL002) {
+  const Report rep = analyze(
+      "ENT A(p)\n  INBOX(\"poly\", p, p)\n"
+      "ENT A(p)\n  INBOX(\"metal1\", p, p)\n");
+  ASSERT_EQ(count(rep, "AMG-L002"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L002")->severity, Severity::Warning);
+}
+
+TEST(Symbols, CrossFileShadowingIsTheLibraryIdiomNotL002) {
+  // Self-contained scripts each carry their own ContactRow; the
+  // interpreter keeps the last declaration, so this must stay silent.
+  Analyzer a;
+  a.addSource("ENT A(p)\n  INBOX(\"poly\", p, p)\n", "one.amg");
+  a.addSource("ENT A(p)\n  INBOX(\"metal1\", p, p)\n", "two.amg");
+  const Report rep = a.run();
+  EXPECT_EQ(count(rep, "AMG-L002"), 0u) << dump(rep);
+}
+
+TEST(Symbols, UndefinedVariableIsL003) {
+  const Report rep = analyze("ENT A()\n  INBOX(\"poly\", nowhere, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L003"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L003")->severity, Severity::Error);
+  EXPECT_NE(find(rep, "AMG-L003")->diag.message.find("nowhere"),
+            std::string::npos);
+}
+
+TEST(Symbols, UnusedParameterIsL005) {
+  const Report rep = analyze("ENT A(used, spare)\n  INBOX(\"poly\", used, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L005"), 1u) << dump(rep);
+  const Finding* f = find(rep, "AMG-L005");
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->diag.message.find("spare"), std::string::npos);
+}
+
+TEST(Symbols, WarnUnusedFalseSuppressesL005AndL006) {
+  Options opt;
+  opt.warnUnused = false;
+  const Report rep = analyzeSource(
+      "ENT A(spare)\n  scratch = 4\n  INBOX(\"poly\", 2, 2)\n", "t.amg", opt);
+  EXPECT_EQ(count(rep, "AMG-L005"), 0u) << dump(rep);
+  EXPECT_EQ(count(rep, "AMG-L006"), 0u) << dump(rep);
+}
+
+TEST(Symbols, UnusedLocalIsL006ButForVarsAndGlobalsAreExempt) {
+  const Report rep = analyze(
+      "top_scratch = 7\n"  // top-level names are the script's exports
+      "ENT A(n)\n"
+      "  scratch = 4\n"  // never read: L006
+      "  FOR i = 1 TO n DO\n"  // loop counter never read: exempt
+      "    INBOX(\"poly\", 2, 2)\n"
+      "  ENDFOR\n");
+  ASSERT_EQ(count(rep, "AMG-L006"), 1u) << dump(rep);
+  EXPECT_NE(find(rep, "AMG-L006")->diag.message.find("scratch"),
+            std::string::npos);
+}
+
+TEST(Symbols, CallCycleIsL007) {
+  const Report rep = analyze(
+      "ENT A(n)\n  x = B(n)\n"
+      "ENT B(n)\n  x = A(n)\n");
+  ASSERT_GE(count(rep, "AMG-L007"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L007")->severity, Severity::Warning);
+}
+
+TEST(Symbols, DuplicateParameterIsL008) {
+  const Report rep = analyze("ENT A(p, p)\n  INBOX(\"poly\", p, p)\n");
+  ASSERT_EQ(count(rep, "AMG-L008"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L008")->severity, Severity::Error);
+}
+
+TEST(Symbols, CallerScopeRelianceIsL009) {
+  // 'w' exists only because some caller assigned it: dynamic scoping the
+  // interpreter permits but the analyzer flags.
+  const Report rep = analyze(
+      "w = 4\n"
+      "ENT A(x)\n  w = x\n  y = B()\n"
+      "ENT B()\n  INBOX(\"poly\", hidden, 2)\n"
+      "ENT C()\n  hidden = 1\n  z = B()\n");
+  ASSERT_EQ(count(rep, "AMG-L009"), 1u) << dump(rep);
+  const Finding* f = find(rep, "AMG-L009");
+  EXPECT_EQ(f->severity, Severity::Warning);
+  EXPECT_NE(f->diag.message.find("hidden"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Pass 2: call checking
+// --------------------------------------------------------------------------
+
+TEST(Calls, TooManyPositionalArgsIsL010) {
+  const Report entity = analyze(
+      "x = Row(\"poly\", 2, 3, 4)\n"
+      "ENT Row(layer, <W>, <L>)\n  INBOX(layer, W, L)\n");
+  ASSERT_EQ(count(entity, "AMG-L010"), 1u) << dump(entity);
+
+  // mirrorx(obj, axis) takes two slots and is not variadic.
+  const Report builtin = analyze(
+      "ENT A()\n  m = Row()\n  n = mirrorx(m, 0, 9)\n"
+      "ENT Row()\n  INBOX(\"poly\", 2, 2)\n");
+  ASSERT_EQ(count(builtin, "AMG-L010"), 1u) << dump(builtin);
+}
+
+TEST(Calls, UnknownNamedArgumentIsL011) {
+  const Report rep = analyze(
+      "x = Row(layer = \"poly\", bogus = 2)\n"
+      "ENT Row(layer, <W>)\n  INBOX(layer, W, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L011"), 1u) << dump(rep);
+  EXPECT_NE(find(rep, "AMG-L011")->diag.message.find("bogus"),
+            std::string::npos);
+}
+
+TEST(Calls, MissingRequiredArgumentIsL012) {
+  const Report entity = analyze(
+      "x = Row()\n"
+      "ENT Row(layer, <W>)\n  INBOX(layer, W, 2)\n");
+  ASSERT_EQ(count(entity, "AMG-L012"), 1u) << dump(entity);
+  EXPECT_NE(find(entity, "AMG-L012")->diag.message.find("layer"),
+            std::string::npos);
+
+  const Report builtin = analyze("ENT A()\n  INBOX()\n");
+  ASSERT_EQ(count(builtin, "AMG-L012"), 1u) << dump(builtin);
+}
+
+TEST(Calls, MalformedPolyIsL012) {
+  // POLY needs a layer plus at least three x/y pairs; five coordinates is
+  // an odd count, so the interpreter would reject both forms.
+  const Report few = analyze("ENT A()\n  POLY(\"poly\", 0, 0, 4, 0)\n");
+  ASSERT_GE(count(few, "AMG-L012"), 1u) << dump(few);
+  const Report odd =
+      analyze("ENT A()\n  POLY(\"poly\", 0, 0, 4, 0, 4, 4, 2)\n");
+  ASSERT_GE(count(odd, "AMG-L012"), 1u) << dump(odd);
+}
+
+TEST(Calls, ArgumentBoundTwiceIsL013) {
+  const Report rep = analyze(
+      "x = Row(\"poly\", layer = \"metal1\")\n"
+      "ENT Row(layer, <W>)\n  INBOX(layer, W, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L013"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L013")->severity, Severity::Warning);
+}
+
+TEST(Calls, LiteralTypeMismatchIsL014) {
+  // INBOX's W slot is a Number; a string literal can never satisfy it.
+  const Report rep = analyze("ENT A()\n  INBOX(\"poly\", \"wide\", 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L014"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L014")->severity, Severity::Error);
+
+  // A number where a layer name belongs is equally hopeless.
+  const Report layer = analyze("ENT A()\n  INBOX(7, 2, 2)\n");
+  ASSERT_EQ(count(layer, "AMG-L014"), 1u) << dump(layer);
+}
+
+TEST(Calls, BadVaredgeSideIsL015) {
+  const Report rep = analyze("ENT A()\n  INBOX(\"poly\", 2, 2)\n  varedge(\"poly\", \"diagonal\")\n");
+  ASSERT_EQ(count(rep, "AMG-L015"), 1u) << dump(rep);
+  EXPECT_NE(find(rep, "AMG-L015")->diag.hint.find("left"), std::string::npos);
+
+  const Report ok = analyze("ENT A()\n  INBOX(\"poly\", 2, 2)\n  varedge(\"poly\", \"left\")\n");
+  EXPECT_EQ(count(ok, "AMG-L015"), 0u) << dump(ok);
+}
+
+TEST(Calls, GeometryOutsideAnEntityIsL016) {
+  const Report rep = analyze("INBOX(\"poly\", 2, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L016"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L016")->severity, Severity::Error);
+}
+
+// --------------------------------------------------------------------------
+// Pass 3: tech compatibility
+// --------------------------------------------------------------------------
+
+TEST(Tech, UnknownLayerConstantIsL020) {
+  const Report rep = analyzeTech("ENT A()\n  INBOX(\"polly\", 2, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L020"), 1u) << dump(rep);
+  const Finding* f = find(rep, "AMG-L020");
+  EXPECT_EQ(f->severity, Severity::Error);
+  EXPECT_NE(f->diag.message.find("polly"), std::string::npos);
+  // The hint enumerates the deck so the typo is easy to fix.
+  EXPECT_NE(f->diag.hint.find("poly"), std::string::npos);
+}
+
+TEST(Tech, LayerFlowingThroughEntityParametersIsChecked) {
+  // The bad constant is at the CALL site; the layer-typedness of 'layer'
+  // is inferred from its use inside Row (and transitively through Mid).
+  const Report rep = analyzeTech(
+      "x = Mid(layer = \"no_such_layer\")\n"
+      "ENT Mid(layer)\n  y = Row(layer)\n"
+      "ENT Row(layer)\n  INBOX(layer, 2, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L020"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L020")->diag.loc.line, 1);
+}
+
+TEST(Tech, KnownLayersAreCleanAndNoTechSkipsThePass) {
+  const Report clean = analyzeTech("ENT A()\n  INBOX(\"metal2\", 2, 2)\n");
+  EXPECT_EQ(count(clean, "AMG-L020"), 0u) << dump(clean);
+  // Without a deck the same typo cannot be validated.
+  const Report noTech = analyze("ENT A()\n  INBOX(\"polly\", 2, 2)\n");
+  EXPECT_EQ(count(noTech, "AMG-L020"), 0u) << dump(noTech);
+}
+
+TEST(Tech, MinwidthOnRulelessLayerIsL021) {
+  // bicmos1u declares the 'guard' marker layer but gives it no
+  // minimum-width rule (cut layers fall back to their cut size), so
+  // minwidth("guard") raises a design-rule error at runtime.
+  const Report rep = analyzeTech("w = minwidth(\"guard\")\nx = w + 1\n");
+  ASSERT_EQ(count(rep, "AMG-L021"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L021")->severity, Severity::Warning);
+
+  const Report ok = analyzeTech("w = minwidth(\"poly\")\nx = w + 1\n");
+  EXPECT_EQ(count(ok, "AMG-L021"), 0u) << dump(ok);
+}
+
+// --------------------------------------------------------------------------
+// Pass 4: flow analysis (constant folding + intervals)
+// --------------------------------------------------------------------------
+
+TEST(Flow, ReadBeforeAssignIsL004) {
+  const Report rep = analyze(
+      "ENT A()\n  w = h + 1\n  h = 2\n  INBOX(\"poly\", w, h)\n");
+  ASSERT_EQ(count(rep, "AMG-L004"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L004")->severity, Severity::Warning);
+  EXPECT_NE(find(rep, "AMG-L004")->diag.message.find("h"), std::string::npos);
+}
+
+TEST(Flow, IssetGuardedOptionalParamIsNotL004) {
+  // The canonical "<L> defaults to W" idiom from the paper's Fig. 2
+  // entities must stay silent.
+  const Report rep = analyze(
+      "ENT A(W, <L>)\n"
+      "  IF isset(L) THEN\n    len = L\n  ELSE\n    len = W\n  ENDIF\n"
+      "  INBOX(\"poly\", W, len)\n");
+  EXPECT_EQ(count(rep, "AMG-L004"), 0u) << dump(rep);
+  EXPECT_EQ(rep.errors, 0u) << dump(rep);
+}
+
+TEST(Flow, AlwaysTrueConditionIsL030) {
+  const Report rep = analyze(
+      "ENT A(w)\n  IF 3 THEN\n    INBOX(\"poly\", w, 2)\n  ENDIF\n");
+  ASSERT_EQ(count(rep, "AMG-L030"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L030")->severity, Severity::Warning);
+}
+
+TEST(Flow, AlwaysFalseConditionIsL031) {
+  const Report rep = analyze(
+      "ENT A(w)\n  IF 2 > 5 THEN\n    INBOX(\"poly\", w, 2)\n  ELSE\n"
+      "    INBOX(\"poly\", 2, w)\n  ENDIF\n");
+  ASSERT_EQ(count(rep, "AMG-L031"), 1u) << dump(rep);
+}
+
+TEST(Flow, DataDependentConditionIsNotFlagged) {
+  const Report rep = analyze(
+      "ENT A(w)\n  IF w > 5 THEN\n    INBOX(\"poly\", w, 2)\n  ENDIF\n");
+  EXPECT_EQ(count(rep, "AMG-L030"), 0u) << dump(rep);
+  EXPECT_EQ(count(rep, "AMG-L031"), 0u) << dump(rep);
+}
+
+TEST(Flow, ZeroTripForIsL032) {
+  const Report rep = analyze(
+      "ENT A()\n  FOR i = 5 TO 1 DO\n    INBOX(\"poly\", i, 2)\n  ENDFOR\n"
+      "  INBOX(\"poly\", 2, 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L032"), 1u) << dump(rep);
+}
+
+TEST(Flow, DeadBranchesDoNotCascade) {
+  // Findings INSIDE a statically-dead region are suppressed: the division
+  // by zero can never execute, so only the dead-code warning appears.
+  const Report deadIf = analyze(
+      "ENT A()\n  IF 0 THEN\n    x = 1 / 0\n    INBOX(\"poly\", x, 2)\n"
+      "  ENDIF\n  INBOX(\"poly\", 2, 2)\n");
+  EXPECT_EQ(count(deadIf, "AMG-L031"), 1u) << dump(deadIf);
+  EXPECT_EQ(count(deadIf, "AMG-L035"), 0u) << dump(deadIf);
+
+  const Report deadFor = analyze(
+      "ENT A()\n  FOR i = 5 TO 1 DO\n    x = 1 / 0\n  ENDFOR\n"
+      "  INBOX(\"poly\", 2, 2)\n");
+  EXPECT_EQ(count(deadFor, "AMG-L032"), 1u) << dump(deadFor);
+  EXPECT_EQ(count(deadFor, "AMG-L035"), 0u) << dump(deadFor);
+}
+
+TEST(Flow, BranchThatAlwaysRaisesIsL033) {
+  const Report rep = analyze(
+      "ENT A(w)\n"
+      "  VARIANT\n"
+      "    ERROR(\"always fails\")\n"
+      "  OR\n"
+      "    INBOX(\"poly\", w, 2)\n"
+      "  ENDVARIANT\n");
+  ASSERT_EQ(count(rep, "AMG-L033"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L033")->severity, Severity::Warning);
+}
+
+TEST(Flow, BranchAfterInfallibleOneIsL034) {
+  // The first branch cannot fail (no geometry, no entity calls), so the
+  // backtracker can never reach the second.
+  const Report rep = analyze(
+      "ENT A(w)\n"
+      "  VARIANT\n    x = 1\n  OR\n    x = 2\n  ENDVARIANT\n"
+      "  INBOX(\"poly\", x, w)\n");
+  ASSERT_EQ(count(rep, "AMG-L034"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L034")->severity, Severity::Warning);
+}
+
+TEST(Flow, FallibleFirstBranchIsNotL034) {
+  // Geometry may violate design rules, so the fallback stays reachable —
+  // exactly the paper's §2.1 backtracking pattern (scripts/variants.amg).
+  const Report rep = analyze(
+      "ENT A(w)\n"
+      "  VARIANT\n"
+      "    INBOX(\"metal1\", w, 2)\n"
+      "  OR\n"
+      "    INBOX(\"metal1\", 2, 8)\n"
+      "  ENDVARIANT\n");
+  EXPECT_EQ(count(rep, "AMG-L034"), 0u) << dump(rep);
+}
+
+TEST(Flow, BestVariantRatesEveryBranchSoNoL034) {
+  // BEST VARIANT evaluates all branches to pick the best-rated one, so a
+  // later branch after an infallible one is still meaningful.
+  const Report rep = analyze(
+      "ENT A(w)\n"
+      "  BEST VARIANT\n    x = 1\n  OR\n    x = 2\n  ENDVARIANT\n"
+      "  INBOX(\"poly\", x, w)\n");
+  EXPECT_EQ(count(rep, "AMG-L034"), 0u) << dump(rep);
+}
+
+TEST(Flow, ConstantDivisionByZeroIsL035) {
+  const Report rep = analyze("x = 4 / (2 - 2)\n");
+  ASSERT_EQ(count(rep, "AMG-L035"), 1u) << dump(rep);
+  EXPECT_EQ(find(rep, "AMG-L035")->severity, Severity::Error);
+
+  // An interval that merely CONTAINS zero is not a certain failure.
+  const Report maybe = analyze(
+      "ENT A(n)\n  FOR i = 0 TO n DO\n    x = 4 / i\n"
+      "    INBOX(\"poly\", x, 2)\n  ENDFOR\n");
+  EXPECT_EQ(count(maybe, "AMG-L035"), 0u) << dump(maybe);
+}
+
+// --------------------------------------------------------------------------
+// Analyzer plumbing: parse errors, the report surface, multi-source runs
+// --------------------------------------------------------------------------
+
+TEST(AnalyzerApi, ParseFailureBecomesAnErrorFinding) {
+  const Report rep = analyze("x = (1 + \n");
+  ASSERT_GE(rep.errors, 1u) << dump(rep);
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].severity, Severity::Error);
+  EXPECT_EQ(rep.findings[0].diag.code.rfind("AMG-", 0), 0u);
+  EXPECT_EQ(rep.findings[0].diag.loc.file, "t.amg");
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(AnalyzerApi, CleanAndFirstErrorHonourWerror) {
+  // One warning, no errors: clean normally, dirty under --Werror.
+  const Report rep = analyze("ENT A(spare)\n  INBOX(\"poly\", 2, 2)\n");
+  ASSERT_EQ(rep.errors, 0u) << dump(rep);
+  ASSERT_GE(rep.warnings, 1u) << dump(rep);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_FALSE(rep.clean(/*werror=*/true));
+  EXPECT_EQ(rep.firstError(), nullptr);
+  ASSERT_NE(rep.firstError(/*werror=*/true), nullptr);
+  EXPECT_EQ(rep.firstError(true)->diag.code, "AMG-L005");
+}
+
+TEST(AnalyzerApi, EntitySignaturesAndGlobalsAreHarvested) {
+  const Report rep = analyze(
+      "gatecon = Row(layer = \"poly\")\n"
+      "ENT Row(layer, <W>, L = 2)\n  INBOX(layer, W, L)\n");
+  ASSERT_EQ(rep.entities.size(), 1u);
+  const EntitySig* sig = rep.findEntity("Row");
+  ASSERT_NE(sig, nullptr);
+  ASSERT_EQ(sig->params.size(), 3u);
+  EXPECT_FALSE(sig->params[0].optional);
+  EXPECT_TRUE(sig->params[1].optional);
+  EXPECT_TRUE(sig->params[2].hasDefault);
+  EXPECT_EQ(rep.findEntity("NoSuch"), nullptr);
+  ASSERT_EQ(rep.globals.size(), 1u);
+  EXPECT_EQ(rep.globals[0], "gatecon");
+}
+
+TEST(AnalyzerApi, FindingsAreSortedByLocation) {
+  const Report rep = analyze(
+      "a = NoSuchB()\n"
+      "b = NoSuchA()\n");
+  ASSERT_EQ(count(rep, "AMG-L001"), 2u) << dump(rep);
+  for (std::size_t i = 1; i < rep.findings.size(); ++i) {
+    const auto& p = rep.findings[i - 1].diag.loc;
+    const auto& q = rep.findings[i].diag.loc;
+    EXPECT_LE(std::tie(p.file, p.line, p.col), std::tie(q.file, q.line, q.col));
+  }
+}
+
+TEST(AnalyzerApi, EntitiesAccumulateAcrossSources) {
+  // A library file and the script calling it lint together — the
+  // Interpreter::loadEntities composition model.
+  Analyzer a;
+  a.addSource("ENT Row(layer, <W>)\n  INBOX(layer, W, 2)\n", "lib.amg");
+  a.addSource("x = Row(\"poly\", 4)\n", "use.amg");
+  const Report rep = a.run();
+  EXPECT_EQ(rep.errors, 0u) << dump(rep);
+  EXPECT_EQ(count(rep, "AMG-L001"), 0u) << dump(rep);
+}
+
+// --------------------------------------------------------------------------
+// Meta: everything we ship lints clean under --Werror
+// --------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+class ShippedScript : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedScript, LintsCleanWithWerror) {
+  Options opt;
+  opt.tech = &tech::bicmos1u();
+  Analyzer a(opt);
+  const std::string path =
+      std::string(AMG_REPO_DIR) + "/scripts/" + GetParam();
+  a.addSource(slurp(path), path);
+  const Report rep = a.run();
+  EXPECT_TRUE(rep.clean(/*werror=*/true)) << dump(rep);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScripts, ShippedScript,
+                         ::testing::Values("contact_row.amg", "diffpair.amg",
+                                           "variants.amg", "mirror.amg",
+                                           "library.amg"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           return n.substr(0, n.find('.'));
+                         });
+
+TEST(ShippedScript, BuiltinModuleSourcesLintCleanWithWerror) {
+  Options opt;
+  opt.tech = &tech::bicmos1u();
+  Analyzer a(opt);
+  a.addSource(modules::dsl::kContactRow, "<builtin:ContactRow>");
+  a.addSource(modules::dsl::kTrans, "<builtin:Trans>");
+  a.addSource(modules::dsl::kDiffPair, "<builtin:DiffPair>");
+  const Report rep = a.run();
+  EXPECT_TRUE(rep.clean(/*werror=*/true)) << dump(rep);
+}
+
+}  // namespace
+}  // namespace amg::analysis

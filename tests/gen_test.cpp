@@ -212,6 +212,101 @@ TEST(BatchDiagnostics, CaretRenderingPointsAtTheColumn) {
   }
 }
 
+// --- the static-analysis pre-flight ----------------------------------------
+
+TEST(Preflight, LintErrorRejectsTheJobBeforeScheduling) {
+  gen::BatchEngine engine(tech::bicmos1u());
+  gen::Job bad = rowJob("bad", "4");
+  // 'polly' is not a bicmos1u layer: a lint error, not a parse error.
+  bad.script = "ENT ContactRow(layer, <W>, <L>)\n  INBOX(\"polly\", W, L)\n";
+  bad.scriptPath = "typo.amg";
+  bad.params = {{"W", "4"}};
+  const gen::BatchReport r = engine.run({rowJob("a", "4"), bad, rowJob("b", "6")});
+
+  // The broken job is rejected, the others still generate.
+  EXPECT_EQ(r.succeeded, 2u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.rejected, 1u);
+  EXPECT_TRUE(r.jobs[0].ok);
+  EXPECT_TRUE(r.jobs[2].ok);
+  ASSERT_TRUE(r.jobs[1].rejected);
+  ASSERT_TRUE(r.jobs[1].diag.has_value());
+  EXPECT_EQ(r.jobs[1].diag->code, "AMG-L020");
+  EXPECT_EQ(r.jobs[1].diag->loc.file, "typo.amg");
+  EXPECT_EQ(r.jobs[1].diag->loc.line, 2);
+  EXPECT_GE(r.preflightMs, 0.0);
+}
+
+TEST(Preflight, DisablingItFallsBackToRuntimeFailure) {
+  gen::EngineConfig cfg;
+  cfg.preflight = false;
+  gen::BatchEngine engine(tech::bicmos1u(), cfg);
+  gen::Job bad = rowJob("bad", "4");
+  bad.script = "ENT ContactRow(layer, <W>, <L>)\n  INBOX(\"polly\", W, L)\n";
+  const gen::BatchReport r = engine.run({bad});
+  ASSERT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_FALSE(r.jobs[0].rejected);
+  // The worker hit the interpreter's own error instead.
+  EXPECT_EQ(r.jobs[0].diag->code, "AMG-INTERP-010");
+}
+
+TEST(Preflight, RequestValidationMirrorsTheInterpreterCodes) {
+  gen::BatchEngine engine(tech::bicmos1u());
+
+  gen::Job unknownEntity = rowJob("e", "4");
+  unknownEntity.entity = "NoSuch";
+  gen::Job unknownParam = rowJob("p", "4");
+  unknownParam.params.emplace_back("bogus", "1");
+  gen::Job missingRequired = rowJob("m", "4");
+  missingRequired.params = {{"W", "4"}};  // 'layer' is required
+
+  const gen::BatchReport r =
+      engine.run({unknownEntity, unknownParam, missingRequired});
+  ASSERT_EQ(r.rejected, 3u);
+  EXPECT_EQ(r.jobs[0].diag->code, "AMG-INTERP-002");
+  EXPECT_EQ(r.jobs[1].diag->code, "AMG-INTERP-003");
+  EXPECT_EQ(r.jobs[2].diag->code, "AMG-INTERP-005");
+  // The hint teaches the fix for the missing parameter.
+  EXPECT_NE(r.jobs[2].diag->hint.find("optional"), std::string::npos);
+}
+
+TEST(Preflight, ScriptModeNeedsTheResultVariable) {
+  gen::BatchEngine engine(tech::bicmos1u());
+  gen::Job j;
+  j.name = "noresult";
+  j.script = "x = ContactRow(layer = \"poly\", W = 4)\n" + std::string(kLib);
+  j.resultVar = "result";  // the script only assigns 'x'
+  const gen::BatchReport r = engine.run({j});
+  ASSERT_EQ(r.rejected, 1u);
+  EXPECT_EQ(r.jobs[0].diag->code, "AMG-GEN-002");
+  EXPECT_NE(r.jobs[0].diag->message.find("result"), std::string::npos);
+}
+
+TEST(Preflight, WerrorPolicyRejectsWarningJobs) {
+  // An unused parameter is only a warning: accepted by default, rejected
+  // under preflightWerror.
+  gen::Job warn;
+  warn.name = "warn";
+  warn.script =
+      "result = E(4)\nENT E(W, <spare>)\n  INBOX(\"poly\", W, W)\n";
+  warn.entity = "";
+  {
+    gen::BatchEngine engine(tech::bicmos1u());
+    const gen::BatchReport r = engine.run({warn});
+    EXPECT_EQ(r.rejected, 0u);
+    EXPECT_EQ(r.succeeded, 1u);
+  }
+  {
+    gen::EngineConfig cfg;
+    cfg.preflightWerror = true;
+    gen::BatchEngine engine(tech::bicmos1u(), cfg);
+    const gen::BatchReport r = engine.run({warn});
+    ASSERT_EQ(r.rejected, 1u);
+    EXPECT_EQ(r.jobs[0].diag->code, "AMG-L005");
+  }
+}
+
 // --- manifests ------------------------------------------------------------
 
 TEST(Manifest, SweepExpandsTheFullGrid) {

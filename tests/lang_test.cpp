@@ -59,6 +59,65 @@ TEST(Lexer, LineNumbersAndErrors) {
   EXPECT_THROW(lex("a = 5."), LangError);
 }
 
+TEST(Lexer, CrlfAndBareCrKeepLineAndColumnCorrect) {
+  // CRLF is one newline; a bare CR (classic-Mac) separates lines too.
+  const auto toks = lex("a = 1\r\nbb = 2\rc = 3\n");
+  ASSERT_GE(toks.size(), 11u);
+  EXPECT_EQ(toks[0].line, 1);   // a
+  EXPECT_EQ(toks[4].line, 2);   // bb
+  EXPECT_EQ(toks[4].col, 1);
+  EXPECT_EQ(toks[8].line, 3);   // c
+  EXPECT_EQ(toks[8].col, 1);
+  EXPECT_EQ(toks[3].kind, Tok::Newline);
+  EXPECT_EQ(toks[7].kind, Tok::Newline);
+}
+
+TEST(Lexer, UnterminatedStringAtEofIsLocated) {
+  try {
+    lex("w = 2\nx = \"never closed");
+    FAIL() << "expected a LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.diag().code, "AMG-LEX-002");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.diag().loc.col, 5);
+  }
+}
+
+TEST(Lexer, BlockComments) {
+  // Inline: pure whitespace, no statement separator.
+  const auto inlined = lex("a = /* width */ 1\n");
+  ASSERT_GE(inlined.size(), 3u);
+  EXPECT_EQ(inlined[2].kind, Tok::Number);
+  // Newline-spanning: still separates statements, and line numbers after
+  // the comment stay correct.
+  const auto span = lex("a = 1 /* two\nlines */ b = 2\n");
+  ASSERT_GE(span.size(), 8u);
+  EXPECT_EQ(span[3].kind, Tok::Newline);
+  EXPECT_EQ(span[4].text, "b");
+  EXPECT_EQ(span[4].line, 2);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsLocatedAtItsStart) {
+  try {
+    lex("a = 1\n/* never closed\nb = 2\n");
+    FAIL() << "expected a LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.diag().code, "AMG-LEX-005");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.diag().loc.col, 1);
+  }
+}
+
+TEST(Lexer, NumberLiteralOutOfRange) {
+  try {
+    lex("a = 1" + std::string(400, '0') + "\n");
+    FAIL() << "expected a LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.diag().code, "AMG-LEX-004");
+    EXPECT_EQ(e.line(), 1);
+  }
+}
+
 TEST(Lexer, TwoCharOperators) {
   const auto toks = lex("a <= b >= c == d != e");
   EXPECT_EQ(toks[1].kind, Tok::Le);
