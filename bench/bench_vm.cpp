@@ -1,0 +1,338 @@
+// E13: bytecode VM vs the tree-walking interpreter.
+//
+// Two workloads, both cold in the bench_batch sense (no layout cache —
+// every run executes the script on a fresh Interpreter):
+//
+//   * library: one cold entity evaluation against a realistic module
+//     library (~120 lines, 18 entities — the paper's own module is "about
+//     180 lines").  This is the bench_batch job profile, and it is where
+//     the VM earns its keep: the process-wide chunk cache makes
+//     lex+parse+compile a one-off while the tree walker re-parses every
+//     job, and slot-indexed locals plus fused FOR opcodes run the sizing
+//     arithmetic about twice as fast as the AST walk.  Gate: >= 5x.
+//   * diffpair: the Fig. 7 sweep through a cold BatchEngine under each
+//     engine.  Compaction dominates this one, so the speedup is reported
+//     honestly without a gate.
+//
+// Both workloads also gate on byte-identical layouts across the engines
+// (serializeLayout comparison — the differential contract of
+// tests/vm_test.cpp, re-checked on the bench path).  Results land in
+// BENCH_vm.json for the CI trend.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/engine.h"
+#include "io/layout.h"
+#include "lang/compiler.h"
+#include "lang/interp.h"
+#include "obs/stats_writer.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+const char* kLibraryScript = R"(
+result = OTA(stages = 3)
+
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  polycon = ContactRow(layer = "poly", W = L)
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(polycon, SOUTH, "poly")
+  compact(diffcon, EAST, "pdiff")
+
+ENT DiffPair(<W>, <L>)
+  trans1 = Trans(W = W, L = L)
+  trans2 = trans1
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(trans1, WEST, "pdiff")
+  compact(trans2, WEST, "pdiff")
+  compact(diffcon, WEST, "pdiff")
+
+ENT CurrentMirror(ratio, <W>)
+  m = 1
+  FOR k = 1 TO ratio DO
+    m = m + k / (k + 1)
+  ENDFOR
+  INBOX("pdiff", 2 + m - m, 3)
+  INBOX("metal1")
+
+ENT ResStripe(n, <W>)
+  r = 0
+  FOR k = 1 TO n DO
+    r = r + k * 2 - k / 3
+  ENDFOR
+  INBOX("poly", 2 + r - r, 2)
+
+ENT BiasChain(links)
+  v = 1
+  FOR k = 1 TO links DO
+    v = v * 2 - v / 2 - k / (k + 7)
+  ENDFOR
+  INBOX("pdiff", 3, 2 + v - v)
+
+ENT RingStage(<W>, <L>)
+  d = DiffPair(W = W, L = L)
+  IF W > 6 THEN
+    tail = Trans(W = W / 2, L = L)
+    compact(tail, SOUTH, "pdiff")
+  ELSE
+    tail = Trans(W = 4, L = L)
+    compact(tail, SOUTH, "pdiff")
+  ENDIF
+
+ENT CapArray(rows, cols)
+  a = 0
+  FOR rr = 1 TO rows DO
+    FOR cc = 1 TO cols DO
+      a = a + rr * cc / (rr + cc)
+    ENDFOR
+  ENDFOR
+  INBOX("metal1", 4 + a - a, 4)
+
+ENT Inverter(<W>)
+  p = Trans(W = W * 2, L = 2)
+  n = Trans(W = W, L = 2)
+  compact(n, SOUTH, "pdiff")
+
+ENT NandGate(<W>)
+  a = Inverter(W = W)
+  b = Inverter(W = W)
+  compact(b, EAST, "metal1")
+
+ENT Comparator(<W>, <L>)
+  front = DiffPair(W = W, L = L)
+  mirror = CurrentMirror(ratio = 4)
+  compact(mirror, NORTH, "metal1")
+
+ENT LoadBranch(legs)
+  g = 1
+  FOR k = 1 TO legs DO
+    g = g + (k * 3 - k / 5) / (k + 2)
+  ENDFOR
+  INBOX("pdiff", 2 + g - g, 2)
+
+ENT GainCell(<W>)
+  u = 0
+  FOR k = 1 TO 8 DO
+    u = u + k * k / (k + 3)
+  ENDFOR
+  INBOX("poly", 2 + u - u, 3)
+
+ENT OTA(stages, <W>)
+  gain = 1
+  bias = 0
+  FOR s = 1 TO stages DO
+    FOR i = 1 TO 12 DO
+      gain = gain + i * 3 - i / 7 + (i - 2) * (i + 1) / (i + 5)
+      bias = bias + gain / (gain + i) - i / 90
+    ENDFOR
+  ENDFOR
+  IF gain > 4000 THEN
+    drive = gain / 1000
+  ELSE
+    drive = 4
+  ENDIF
+  INBOX("metal1", 2 + drive - drive, 2 + bias - bias)
+
+ENT GuardRing(<W>, <L>)
+  ring = 0
+  FOR k = 1 TO 6 DO
+    ring = ring + k * 2 / (k + 1)
+  ENDFOR
+  INBOX("pdiff", 3 + ring - ring, 3)
+  INBOX("metal1")
+
+ENT PadCell(drive)
+  z = 1
+  FOR k = 1 TO drive DO
+    z = z * 3 - z * 2 + k / (k + 4)
+  ENDFOR
+  INBOX("metal1", 5 + z - z, 5)
+
+ENT SenseAmp(<W>, <L>)
+  core = DiffPair(W = W, L = L)
+  latch = Inverter(W = W / 2)
+  compact(latch, NORTH, "metal1")
+
+ENT DelayLine(taps)
+  d = 0
+  FOR k = 1 TO taps DO
+    d = d + (k * 5 - k / 2) / (k + 6)
+  ENDFOR
+  INBOX("poly", 2 + d - d, 4)
+)";
+
+const char* kDiffPairLib = R"(
+ENT ContactRow(layer, <W>, <L>)
+  INBOX(layer, W, L)
+  INBOX("metal1")
+  ARRAY("contact")
+
+ENT Trans(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  polycon = ContactRow(layer = "poly", W = L)
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(polycon, SOUTH, "poly")
+  compact(diffcon, EAST, "pdiff")
+
+ENT DiffPair(<W>, <L>)
+  trans1 = Trans(W = W, L = L)
+  trans2 = trans1
+  diffcon = ContactRow(layer = "pdiff", L = W)
+  compact(trans1, WEST, "pdiff")
+  compact(trans2, WEST, "pdiff")
+  compact(diffcon, WEST, "pdiff")
+)";
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Run the library script `runs` times on fresh Interpreters; returns wall
+/// ms and the final layout's serialized bytes (for the identity gate).
+std::pair<double, std::vector<std::uint8_t>> libraryPass(lang::Engine e,
+                                                         std::size_t runs) {
+  std::vector<std::uint8_t> bytes;
+  const double t0 = nowMs();
+  for (std::size_t i = 0; i < runs; ++i) {
+    lang::Interpreter in(tech::bicmos1u());
+    in.setEngine(e);
+    in.run(kLibraryScript, "<bench>");
+    if (i + 1 == runs) bytes = io::serializeLayout(in.globalObject("result"));
+  }
+  return {nowMs() - t0, std::move(bytes)};
+}
+
+std::vector<gen::Job> sweepJobs(std::size_t count) {
+  std::vector<gen::Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    char w[32];
+    std::snprintf(w, sizeof w, "%g", 6.0 + 0.2 * static_cast<double>(i));
+    gen::Job j;
+    j.name = "dp" + std::to_string(i);
+    j.script = kDiffPairLib;
+    j.scriptPath = "<bench>";
+    j.entity = "DiffPair";
+    j.params = {{"W", w}, {"L", i % 2 ? "3" : "2"}};
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+/// Cold BatchEngine pass (no layout cache, no preflight, one worker — the
+/// interpreter is the only variable) under the given engine.
+std::pair<double, std::vector<std::vector<std::uint8_t>>> sweepPass(
+    lang::Engine e, const std::vector<gen::Job>& jobs) {
+  gen::EngineConfig cfg;
+  cfg.useCache = false;
+  cfg.preflight = false;
+  cfg.threads = 1;
+  cfg.interp = e;
+  gen::BatchEngine engine(tech::bicmos1u(), cfg);
+  const double t0 = nowMs();
+  const gen::BatchReport rep = engine.run(jobs);
+  const double ms = nowMs() - t0;
+  std::vector<std::vector<std::uint8_t>> bytes;
+  for (const gen::JobResult& r : rep.jobs)
+    bytes.push_back(r.ok ? io::serializeLayout(*r.layout)
+                         : std::vector<std::uint8_t>{});
+  return {ms, std::move(bytes)};
+}
+
+/// Returns false when the ISSUE's acceptance gate fails (speedup < 5x or
+/// the engines diverge) so CI actually goes red, not just prints FAIL.
+bool reportE13() {
+  constexpr std::size_t kLibraryRuns = 200;
+  constexpr std::size_t kSweep = 60;
+  std::printf("=== E13: bytecode VM vs tree interpreter (cold evaluation) ===\n\n");
+
+  // Library workload.  The chunk cache starts cold for the VM pass so its
+  // first run pays lex+parse+compile like every tree run does.
+  const auto [treeLibMs, treeLibBytes] =
+      libraryPass(lang::Engine::Tree, kLibraryRuns);
+  lang::clearChunkCache();
+  const auto [vmLibMs, vmLibBytes] = libraryPass(lang::Engine::Vm, kLibraryRuns);
+  const lang::ChunkCacheStats cs = lang::chunkCacheStats();
+  const double libSpeedup = vmLibMs > 0 ? treeLibMs / vmLibMs : 0;
+  const bool libIdentical = treeLibBytes == vmLibBytes;
+
+  std::printf("%-22s %10s %10s %9s\n", "workload", "tree (ms)", "vm (ms)",
+              "speedup");
+  std::printf("%-22s %10.1f %10.1f %8.1fx\n", "library (200 runs)", treeLibMs,
+              vmLibMs, libSpeedup);
+
+  // Diffpair sweep through the batch engine, cold.
+  const std::vector<gen::Job> jobs = sweepJobs(kSweep);
+  const auto [treeSweepMs, treeSweepBytes] = sweepPass(lang::Engine::Tree, jobs);
+  const auto [vmSweepMs, vmSweepBytes] = sweepPass(lang::Engine::Vm, jobs);
+  const double sweepSpeedup = vmSweepMs > 0 ? treeSweepMs / vmSweepMs : 0;
+  const bool sweepIdentical = treeSweepBytes == vmSweepBytes;
+
+  std::printf("%-22s %10.1f %10.1f %8.1fx  (compaction-bound; no gate)\n\n",
+              "diffpair sweep (60)", treeSweepMs, vmSweepMs, sweepSpeedup);
+
+  std::printf("chunk cache over the vm library pass: %zu miss, %zu hits\n",
+              cs.misses, cs.hits);
+  std::printf("library layouts byte-identical: %s\n",
+              libIdentical ? "ok" : "FAILED");
+  std::printf("sweep layouts byte-identical: %s\n",
+              sweepIdentical ? "ok" : "FAILED");
+  std::printf("library speedup: %.1fx  (>=5x requirement: %s)\n", libSpeedup,
+              libSpeedup >= 5.0 ? "PASS" : "FAIL");
+
+  obs::StatsWriter w("vm");
+  w.sample("library", kLibraryRuns, "tree", treeLibMs);
+  w.sample("library", kLibraryRuns, "vm", vmLibMs);
+  w.sample("diffpair_sweep", kSweep, "tree", treeSweepMs);
+  w.sample("diffpair_sweep", kSweep, "vm", vmSweepMs);
+  w.metric("speedup_library", libSpeedup);
+  w.metric("speedup_sweep", sweepSpeedup);
+  w.metric("chunk_cache_hits", static_cast<double>(cs.hits));
+  w.flag("byte_identical", libIdentical && sweepIdentical);
+  w.flag("speedup_5x", libSpeedup >= 5.0);
+  if (w.write("BENCH_vm.json")) std::printf("\nwrote BENCH_vm.json\n");
+  return libIdentical && sweepIdentical && libSpeedup >= 5.0;
+}
+
+void BM_LibraryTree(benchmark::State& state) {
+  for (auto _ : state) {
+    lang::Interpreter in(tech::bicmos1u());
+    in.setEngine(lang::Engine::Tree);
+    in.run(kLibraryScript, "<bench>");
+    benchmark::DoNotOptimize(in.globalObject("result"));
+  }
+}
+BENCHMARK(BM_LibraryTree)->Unit(benchmark::kMillisecond);
+
+void BM_LibraryVm(benchmark::State& state) {
+  for (auto _ : state) {
+    lang::Interpreter in(tech::bicmos1u());
+    in.setEngine(lang::Engine::Vm);
+    in.run(kLibraryScript, "<bench>");
+    benchmark::DoNotOptimize(in.globalObject("result"));
+  }
+}
+BENCHMARK(BM_LibraryVm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool ok = reportE13();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

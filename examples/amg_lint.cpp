@@ -19,6 +19,7 @@
 
 #include "analysis/analyzer.h"
 #include "cli_common.h"
+#include "lang/compiler.h"
 #include "modules/dsl_sources.h"
 #include "obs/json.h"
 
@@ -37,6 +38,9 @@ void usage(const char* argv0, std::FILE* out) {
       " (ContactRow, Trans, DiffPair)\n"
       "  --json FILE     write the findings as a JSON report to FILE\n"
       "  --quiet         suppress per-finding output; summary line only\n"
+      "  --dump-bc       after a clean lint, disassemble each file's compiled\n"
+      "                  bytecode with source lines interleaved"
+      " (docs/BYTECODE.md)\n"
       "  --help          show this help and exit\n",
       argv0);
 }
@@ -50,7 +54,7 @@ struct Source {
 
 int main(int argc, char** argv) {
   std::string techSpec = "bicmos1u", jsonPath;
-  bool werror = false, builtin = false, quiet = false;
+  bool werror = false, builtin = false, quiet = false, dumpBc = false;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +72,8 @@ int main(int argc, char** argv) {
       builtin = true;
     else if (std::strcmp(argv[i], "--quiet") == 0)
       quiet = true;
+    else if (std::strcmp(argv[i], "--dump-bc") == 0)
+      dumpBc = true;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
@@ -161,6 +167,21 @@ int main(int argc, char** argv) {
     w.end();
     std::fputc('\n', jf);
     std::fclose(jf);
+  }
+
+  if (dumpBc && rep.clean(werror)) {
+    // Disassembly is a listing of what would run, so only lint-clean files
+    // are dumped (a broken script has no meaningful bytecode).
+    for (const Source& s : sources) {
+      std::printf(";; %s\n", s.file.c_str());
+      try {
+        const auto prog = lang::compileCached(s.text);
+        std::fputs(lang::disassemble(*prog, s.text).c_str(), stdout);
+      } catch (const util::DiagError& e) {
+        cli::printDiag(e.diag(), s.text);
+        return 1;
+      }
+    }
   }
 
   return rep.clean(werror) ? 0 : 1;

@@ -45,8 +45,9 @@ void usage(const char* argv0, std::FILE* out) {
       "  --cache-dir D   also keep cache entries on disk under directory D\n"
       "  --report FILE   write the aggregate JSON report to FILE\n"
       "  --svg PREFIX    write each successful layout as PREFIX_<job>.svg\n"
+      "%s"
       "  --help          show this help and exit\n%s",
-      argv0, obs::cliUsage());
+      argv0, cli::interpUsage(), obs::cliUsage());
 }
 
 }  // namespace
@@ -81,6 +82,8 @@ int main(int argc, char** argv) {
       cfg.useCache = false;
     else if (std::strcmp(argv[i], "--no-preflight") == 0)
       cfg.preflight = false;
+    else if (cli::parseInterpFlag(argc, argv, i, cfg.interp))
+      continue;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;

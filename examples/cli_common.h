@@ -8,6 +8,10 @@
 #include <string_view>
 #include <vector>
 
+#include <cstdlib>
+#include <cstring>
+
+#include "lang/interp.h"
 #include "tech/builtin.h"
 #include "tech/techfile.h"
 #include "util/diag.h"
@@ -36,6 +40,35 @@ inline const tech::Technology* resolveTech(const std::string& spec,
   if (spec == "cmos2u") return &tech::cmos2u();
   owned.push_back(tech::loadTechFile(spec));
   return &owned.back();
+}
+
+/// Parse `--interp=tree|vm` / `--interp tree` into `out`.  Returns true
+/// when argv[i] was consumed; a bad value prints to stderr and exits 2.
+/// Shared across the CLIs so every tool spells the switch the same way
+/// (docs/CLI.md).
+inline bool parseInterpFlag(int argc, char** argv, int& i, lang::Engine& out) {
+  const char* val = nullptr;
+  if (std::strncmp(argv[i], "--interp=", 9) == 0)
+    val = argv[i] + 9;
+  else if (std::strcmp(argv[i], "--interp") == 0 && i + 1 < argc)
+    val = argv[++i];
+  else
+    return false;
+  if (std::strcmp(val, "tree") == 0) {
+    out = lang::Engine::Tree;
+  } else if (std::strcmp(val, "vm") == 0) {
+    out = lang::Engine::Vm;
+  } else {
+    std::fprintf(stderr, "--interp: unknown engine '%s' (tree|vm)\n", val);
+    std::exit(2);
+  }
+  return true;
+}
+
+/// The usage line for parseInterpFlag, shared verbatim by the tools.
+inline const char* interpUsage() {
+  return "  --interp=E      execution tier: vm (bytecode, default) or tree\n"
+         "                  (AST walker, the differential oracle)\n";
 }
 
 }  // namespace amg::cli

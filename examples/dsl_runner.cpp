@@ -38,8 +38,9 @@ void usage(const char* argv0, std::FILE* out) {
                " hardware threads; default 1)\n"
                "  --lint          statically analyze the script before running"
                " it; lint errors stop the run (docs/LINT.md)\n"
+               "%s"
                "  --help          show this help and exit\n%s",
-               argv0, amg::obs::cliUsage());
+               argv0, amg::cli::interpUsage(), amg::obs::cliUsage());
 }
 
 }  // namespace
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   using namespace amg;
   std::size_t jobs = 1;
   bool lint = false;
+  lang::Engine engine = lang::defaultEngine();
   obs::CliOptions obsOpts;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -57,6 +59,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atol(argv[++i]));
     else if (std::strcmp(argv[i], "--lint") == 0)
       lint = true;
+    else if (cli::parseInterpFlag(argc, argv, i, engine))
+      continue;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   }
 
   lang::Interpreter in(t);
+  in.setEngine(engine);
   try {
     in.run(src.str(), positional[0]);
   } catch (const util::DiagError& e) {

@@ -14,6 +14,12 @@ Three checks, all run by CI (.github/workflows/ci.yml):
    src/analysis must have a row in docs/LINT.md, and every code row in
    docs/LINT.md must still exist in the analyzer (no stale docs).
 
+4. Opcode registry: every opcode in the AMG_OPCODE_LIST X-macro table
+   (src/lang/bytecode.h) must have a registry row in docs/BYTECODE.md
+   with matching operand count and stack effect, and every documented
+   row must still exist in the header — both directions, so the VM
+   spec can never silently drift from the implementation.
+
 Usage:
     python3 scripts/check_docs.py [--bin-dir build/examples]
 
@@ -147,6 +153,54 @@ def check_lint_registry():
     return errors
 
 
+# An X-macro entry's name, operand count and stack effect always sit on
+# the entry's first line: X(NAME, <operands>, "<stack>", "summary..."
+OPCODE_XMACRO_RE = re.compile(r'X\(\s*(\w+),\s*(\d+),\s*"([^"]*)"')
+# A registry row: | `NAME` | <operands> | <stack> | description... |
+OPCODE_DOC_ROW_RE = re.compile(
+    r"^\|\s*`(\w+)`\s*\|\s*(\d+)\s*\|\s*([^|\s]+)\s*\|", re.M)
+
+
+def check_opcode_registry():
+    """AMG_OPCODE_LIST <-> docs/BYTECODE.md registry table, both ways."""
+    errors = []
+    header = os.path.join(REPO, "src", "lang", "bytecode.h")
+    try:
+        with open(header, encoding="utf-8") as f:
+            declared = {name: (int(nops), stack)
+                        for name, nops, stack in
+                        OPCODE_XMACRO_RE.findall(f.read())}
+    except OSError as e:
+        return [f"cannot read src/lang/bytecode.h: {e}"]
+    if not declared:
+        return ["no X(...) entries found in src/lang/bytecode.h; opcode "
+                "registry check would be vacuous"]
+
+    bc_md = os.path.join(REPO, "docs", "BYTECODE.md")
+    try:
+        with open(bc_md, encoding="utf-8") as f:
+            documented = {name: (int(nops), stack)
+                          for name, nops, stack in
+                          OPCODE_DOC_ROW_RE.findall(f.read())}
+    except OSError as e:
+        return [f"cannot read docs/BYTECODE.md: {e}"]
+
+    for name in sorted(set(declared) - set(documented)):
+        errors.append(f"opcode {name} is in AMG_OPCODE_LIST but has no "
+                      "registry row in docs/BYTECODE.md")
+    for name in sorted(set(documented) - set(declared)):
+        errors.append(f"docs/BYTECODE.md documents opcode {name} but "
+                      "AMG_OPCODE_LIST no longer declares it (stale row?)")
+    for name in sorted(set(declared) & set(documented)):
+        if declared[name] != documented[name]:
+            errors.append(
+                f"opcode {name}: docs/BYTECODE.md says operands="
+                f"{documented[name][0]} stack={documented[name][1]!r} but "
+                f"src/lang/bytecode.h declares operands={declared[name][0]} "
+                f"stack={declared[name][1]!r}")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin-dir", default=os.path.join("build", "examples"),
@@ -162,10 +216,11 @@ def main():
     errors = [] if args.skip_cli else check_cli_drift(bin_dir)
     errors += check_links()
     errors += check_lint_registry()
+    errors += check_opcode_registry()
     if errors:
         return fail(errors)
     print("check_docs: OK (CLI flags documented, markdown links resolve, "
-          "lint-code registry in sync)")
+          "lint-code and opcode registries in sync)")
     return 0
 
 

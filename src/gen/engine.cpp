@@ -86,6 +86,7 @@ JobResult BatchEngine::runOne(const Job& job) {
     }
 
     lang::Interpreter interp(*tech_);
+    interp.setEngine(cfg_.interp);
     db::Module m = [&] {
       if (job.entity.empty()) {
         interp.run(job.script, job.scriptPath.empty() ? "<script>" : job.scriptPath);

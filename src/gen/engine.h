@@ -17,6 +17,7 @@
 
 #include "gen/cache.h"
 #include "gen/job.h"
+#include "lang/interp.h"
 #include "tech/tech.h"
 #include "util/thread_pool.h"
 
@@ -38,6 +39,10 @@ struct EngineConfig {
   bool preflight = true;
   /// Treat pre-flight warnings as rejections too (lint --Werror).
   bool preflightWerror = false;
+  /// Execution tier for each job's Interpreter.  With the VM, compiled
+  /// chunks are memoized process-wide on the raw script text
+  /// (lang/compiler.h), so warm jobs skip lex+parse+compile entirely.
+  lang::Engine interp = lang::defaultEngine();
 };
 
 class BatchEngine {

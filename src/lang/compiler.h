@@ -1,0 +1,43 @@
+// AST → bytecode compiler for the layout DSL, plus the process-wide
+// compiled-chunk cache.
+//
+// The compiler is *total*: it never raises on semantically questionable
+// input (the analyzer is the front-end gate; compile only what lints
+// clean).  The handful of call-shape errors the interpreter detects before
+// running anything compile into RAISE ops carrying the prebuilt
+// diagnostic, so a bad script fails identically under both engines.
+//
+// The chunk cache keys on the *raw* source text (FNV-1a, same family as
+// gen/fingerprint.h) — not the canonicalized form the layout cache uses —
+// because diagnostics and the line table depend on comments and
+// whitespace.  A warm gen::BatchEngine job therefore skips lex + parse +
+// compile entirely and goes straight to execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/bytecode.h"
+
+namespace amg::lang {
+
+/// Compile a parsed program.  Never throws on valid AST.
+std::shared_ptr<const CompiledProgram> compile(const Program& prog);
+
+/// Lex + parse + compile `source`, memoized process-wide on the raw text.
+/// Lex/parse errors (LangError) propagate and are never cached.  Thread-safe.
+std::shared_ptr<const CompiledProgram> compileCached(const std::string& source);
+
+/// Chunk-cache telemetry (also exported as vm.chunk_cache.* obs counters).
+struct ChunkCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+ChunkCacheStats chunkCacheStats();
+/// Drop every cached program and zero the stats (bench cold runs, tests).
+void clearChunkCache();
+
+}  // namespace amg::lang

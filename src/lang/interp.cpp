@@ -4,12 +4,10 @@
 #include <cmath>
 #include <sstream>
 
-#include "compact/compactor.h"
 #include "lang/builtins.h"
+#include "lang/exec.h"
 #include "obs/obs.h"
 #include "opt/rating.h"
-#include "primitives/primitives.h"
-#include "route/router.h"
 
 namespace amg::lang {
 
@@ -193,11 +191,6 @@ class Interpreter::Impl {
     return *selfStack_.back();
   }
 
-  static Coord toCoord(double microns) {
-    return static_cast<Coord>(std::llround(microns * kMicron));
-  }
-
-  // --- statements ----------------------------------------------------------
 
   void execBody(const Body& body) {
     for (const Stmt& s : body) execStmt(s);
@@ -368,355 +361,45 @@ class Interpreter::Impl {
   // --- calls ---------------------------------------------------------------
 
   Value evalCall(const Expr& e) {
+    // Arguments evaluate left-to-right; resolution and binding happen only
+    // afterwards — the call contract both engines share (docs/BYTECODE.md).
+    std::vector<exec::RawArg> raw;
+    raw.reserve(e.args.size());
+    for (const Arg& a : e.args)
+      raw.push_back({a.name ? &*a.name : nullptr, eval(*a.value)});
     // Entities shadow builtins, so user code can override library modules.
     for (const EntityDecl& ent : host_.entities_) {
       if (ent.name == e.text) {
         std::vector<std::pair<std::string, Value>> named;
+        named.reserve(raw.size());
         std::size_t positional = 0;
-        for (const Arg& a : e.args) {
+        for (exec::RawArg& a : raw) {
           if (a.name) {
-            named.emplace_back(*a.name, eval(*a.value));
+            named.emplace_back(*a.name, std::move(a.value));
           } else {
             if (positional >= ent.params.size())
               fail("AMG-INTERP-004",
                    "too many arguments for entity '" + ent.name + "' (takes " +
                        std::to_string(ent.params.size()) + ")",
                    e.line, e.col, "drop the extra arguments or name them");
-            named.emplace_back(ent.params[positional++].name, eval(*a.value));
+            named.emplace_back(ent.params[positional++].name, std::move(a.value));
           }
         }
         return Value::object(instantiate(ent, named, e.line));
       }
     }
-    return builtin(e);
-  }
-
-  /// Bind a builtin's arguments against its declared signature (the shared
-  /// table in lang/builtins.h — the analyzer checks calls against the same
-  /// slots).
-  std::vector<Value> bindArgs(const Expr& e, const BuiltinSig& sig) {
-    std::vector<std::string> names;
-    names.reserve(sig.slots.size());
-    for (const SlotSig& s : sig.slots) names.emplace_back(s.name);
-    const std::size_t required = sig.required;
-    std::vector<Value> vals(names.size());
-    std::vector<bool> filled(names.size(), false);
-    std::size_t nextPos = 0;
-    for (const Arg& a : e.args) {
-      if (a.name) {
-        const auto it = std::find(names.begin(), names.end(), *a.name);
-        if (it == names.end()) {
-          std::string sig;
-          for (const auto& nm : names) sig += (sig.empty() ? "" : ", ") + nm;
-          fail("AMG-INTERP-003", e.text + "() has no parameter '" + *a.name + "'",
-               e.line, e.col, "the signature is " + e.text + "(" + sig + ")");
-        }
-        const auto idx = static_cast<std::size_t>(it - names.begin());
-        vals[idx] = eval(*a.value);
-        filled[idx] = true;
-      } else {
-        while (nextPos < names.size() && filled[nextPos]) ++nextPos;
-        if (nextPos >= names.size())
-          fail("AMG-INTERP-004", "too many arguments for " + e.text + "()", e.line,
-               e.col, "see docs/LANGUAGE.md for the builtin signatures");
-        vals[nextPos] = eval(*a.value);
-        filled[nextPos] = true;
-        ++nextPos;
-      }
-    }
-    for (std::size_t i = 0; i < required; ++i)
-      if (vals[i].isNone())
-        fail("AMG-INTERP-005",
-             e.text + "(): required argument '" + names[i] + "' missing", e.line,
-             e.col, "pass it positionally or as " + names[i] + "=...");
-    return vals;
-  }
-
-  tech::LayerId layerOf(const Value& v, int line) {
-    try {
-      return tech_.layer(v.asString());
-    } catch (const Error& err) {
-      fail("AMG-INTERP-010", err.what(), line, 0,
-           "valid layer names are listed in the technology file (see "
-           "docs/TECHFILE.md)");
-    }
-  }
-
-  std::optional<Coord> optCoord(const Value& v) {
-    if (v.isNone()) return std::nullopt;
-    return toCoord(v.asNumber());
-  }
-
-  db::NetId optNet(db::Module& m, const Value& v) {
-    if (v.isNone()) return db::kNoNet;
-    return m.net(v.asString());
-  }
-
-  Value builtin(const Expr& e) {
-    const std::string& f = e.text;
-    const BuiltinSig* sig = findBuiltin(f);
+    const BuiltinSig* sig = findBuiltin(e.text);
     if (!sig)
-      fail("AMG-INTERP-002", "unknown entity or function '" + f + "'", e.line,
-           e.col,
+      fail("AMG-INTERP-002", "unknown entity or function '" + e.text + "'",
+           e.line, e.col,
            "entities must be declared with ENT before or after use; builtins "
            "are listed in docs/LANGUAGE.md");
-    try {
-      if (f == "INBOX") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        prim::inbox(m, layerOf(a[0], e.line), optCoord(a[1]), optCoord(a[2]),
-                    optNet(m, a[3]));
-        return Value{};
-      }
-      if (f == "AROUND") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        prim::around(m, layerOf(a[0], e.line), {}, optCoord(a[1]).value_or(0),
-                     optNet(m, a[2]));
-        return Value{};
-      }
-      if (f == "ARRAY") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        prim::array(m, layerOf(a[0], e.line), {}, optNet(m, a[1]));
-        return Value{};
-      }
-      if (f == "RING") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        prim::ring(m, layerOf(a[0], e.line), optCoord(a[1]), optCoord(a[2]), {},
-                   optNet(m, a[3]));
-        return Value{};
-      }
-      if (f == "TWORECTS") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        prim::tworects(m, layerOf(a[0], e.line), layerOf(a[1], e.line),
-                       toCoord(a[2].asNumber()), toCoord(a[3].asNumber()),
-                       optNet(m, a[4]), optNet(m, a[5]));
-        return Value{};
-      }
-      if (f == "ANGLE") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        prim::angleAdaptor(m, layerOf(a[0], e.line),
-                           Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
-                           toCoord(a[3].asNumber()), toCoord(a[4].asNumber()),
-                           optCoord(a[5]), optNet(m, a[6]));
-        return Value{};
-      }
-      if (f == "POLY") {
-        // POLY(layer, x1, y1, x2, y2, ... [, net = "..."]): rectilinear
-        // polygon, converted to rectangles.
-        if (e.args.size() < 7)
-          fail("AMG-INTERP-011", "POLY(layer, x1, y1, ... ) needs at least 3 vertices",
-               e.line, e.col, "");
-        db::Module& m = self(e.line);
-        tech::LayerId layer = 0;
-        geom::Polygon pts;
-        db::NetId net = db::kNoNet;
-        bool first = true;
-        std::optional<double> pendingX;
-        for (const Arg& a : e.args) {
-          if (a.name) {
-            if (*a.name != "net")
-              fail("AMG-INTERP-003", "POLY(): unknown named argument '" + *a.name + "'",
-                   e.line, e.col, "POLY takes coordinates plus an optional net=...");
-            net = m.net(eval(*a.value).asString());
-            continue;
-          }
-          const Value v = eval(*a.value);
-          if (first) {
-            layer = layerOf(v, e.line);
-            first = false;
-          } else if (!pendingX) {
-            pendingX = v.asNumber();
-          } else {
-            pts.push_back(Point{toCoord(*pendingX), toCoord(v.asNumber())});
-            pendingX.reset();
-          }
-        }
-        if (pendingX)
-          fail("AMG-INTERP-011", "POLY(): odd number of coordinates", e.line, e.col,
-               "vertices are x,y pairs");
-        prim::polygon(m, layer, pts, net);
-        return Value{};
-      }
-      if (f == "WIRE") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        route::wireStraight(m, layerOf(a[0], e.line),
-                            Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
-                            Point{toCoord(a[3].asNumber()), toCoord(a[4].asNumber())},
-                            optCoord(a[5]), optNet(m, a[6]));
-        return Value{};
-      }
-      if (f == "VIA") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        route::viaStack(m, Point{toCoord(a[0].asNumber()), toCoord(a[1].asNumber())},
-                        layerOf(a[2], e.line), layerOf(a[3], e.line), optNet(m, a[4]));
-        return Value{};
-      }
-      if (f == "compact") {
-        if (e.args.size() < 2)
-          fail("AMG-INTERP-011", "compact(obj, direction, [layers...])", e.line,
-               e.col, "compact needs an object and a direction, e.g. "
-                      "compact(row, WEST)");
-        std::vector<Value> vals;
-        for (const Arg& a : e.args) {
-          if (a.name)
-            fail("AMG-INTERP-011", "compact() takes positional arguments", e.line,
-                 e.col, "");
-          vals.push_back(eval(*a.value));
-        }
-        db::Module& m = self(e.line);
-        compact::Options opt;
-        for (std::size_t i = 2; i < vals.size(); ++i)
-          opt.ignoreLayers.push_back(layerOf(vals[i], e.line));
-        compact::compact(m, vals[0].asObject(), vals[1].asDir(), opt);
-        ++host_.stats_.compactions;
-        OBS_COUNT("lang.compactions");
-        return Value{};
-      }
-      if (f == "PIN") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        m.addPort(a[0].asString(),
-                  Point{toCoord(a[1].asNumber()), toCoord(a[2].asNumber())},
-                  layerOf(a[3], e.line), optNet(m, a[4]));
-        return Value{};
-      }
-      if (f == "setnet") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        const auto layer = layerOf(a[0], e.line);
-        const db::NetId net = m.net(a[1].asString());
-        for (db::ShapeId id : m.shapesOn(layer)) m.shape(id).net = net;
-        return Value{};
-      }
-      if (f == "renamenet") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        if (auto old = m.findNet(a[0].asString()))
-          m.moveNet(*old, m.net(a[1].asString()));
-        return Value{};
-      }
-      if (f == "varedge") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        const auto layer = layerOf(a[0], e.line);
-        const std::string side = a[1].asString();
-        for (db::ShapeId id : m.shapesOn(layer)) {
-          auto& flags = m.shape(id).varEdges;
-          if (side == "all") {
-            flags = db::EdgeFlags::allVariable();
-          } else if (side == "left") flags.setVariable(Side::Left, true);
-          else if (side == "right") flags.setVariable(Side::Right, true);
-          else if (side == "top") flags.setVariable(Side::Top, true);
-          else if (side == "bottom") flags.setVariable(Side::Bottom, true);
-          else
-            fail("AMG-INTERP-011", "varedge(): bad side '" + side + "'", e.line,
-                 e.col, "sides are left|right|top|bottom|all");
-        }
-        return Value{};
-      }
-      if (f == "avoidoverlap") {
-        auto a = bindArgs(e, *sig);
-        db::Module& m = self(e.line);
-        for (db::ShapeId id : m.shapesOn(layerOf(a[0], e.line)))
-          m.shape(id).avoidOverlap = true;
-        return Value{};
-      }
-      if (f == "mirrorx") {
-        auto a = bindArgs(e, *sig);
-        db::Module m = a[0].asObject();
-        const Coord axis =
-            a[1].isNone() ? m.bboxAll().center().x : toCoord(a[1].asNumber());
-        m.transform(geom::Transform::mirrorX(axis));
-        return Value::object(std::move(m));
-      }
-      if (f == "mirrory") {
-        auto a = bindArgs(e, *sig);
-        db::Module m = a[0].asObject();
-        const Coord axis =
-            a[1].isNone() ? m.bboxAll().center().y : toCoord(a[1].asNumber());
-        m.transform(geom::Transform::mirrorY(axis));
-        return Value::object(std::move(m));
-      }
-      if (f == "rot180") {
-        auto a = bindArgs(e, *sig);
-        db::Module m = a[0].asObject();
-        m.transform(geom::Transform::rotate180(m.bboxAll().center()));
-        return Value::object(std::move(m));
-      }
-      if (f == "area") {
-        auto a = bindArgs(e, *sig);
-        const Box bb = a[0].asObject().bbox();
-        return Value::number(static_cast<double>(bb.area()) / (kMicron * kMicron));
-      }
-      if (f == "width") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(static_cast<double>(a[0].asObject().bbox().width()) /
-                             kMicron);
-      }
-      if (f == "height") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(static_cast<double>(a[0].asObject().bbox().height()) /
-                             kMicron);
-      }
-      if (f == "minwidth") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(
-            static_cast<double>(tech_.minWidth(layerOf(a[0], e.line))) / kMicron);
-      }
-      if (f == "floor") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(std::floor(a[0].asNumber()));
-      }
-      if (f == "min") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(std::min(a[0].asNumber(), a[1].asNumber()));
-      }
-      if (f == "max") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(std::max(a[0].asNumber(), a[1].asNumber()));
-      }
-      if (f == "isset") {
-        auto a = bindArgs(e, *sig);
-        return Value::number(a[0].isNone() ? 0.0 : 1.0);
-      }
-      if (f == "print") {
-        std::ostringstream os;
-        for (std::size_t i = 0; i < e.args.size(); ++i) {
-          if (i) os << ' ';
-          const Value v = eval(*e.args[i].value);
-          // Strings print raw, everything else in display form.
-          if (v.kind() == Value::Kind::String)
-            os << v.asString();
-          else
-            os << v.str();
-        }
-        host_.output_.push_back(os.str());
-        return Value{};
-      }
-    } catch (const LangError&) {
-      throw;
-    } catch (const DesignRuleError&) {
-      throw;  // preserved for VARIANT backtracking
-    } catch (const util::DiagError& err) {
-      util::Diag d = err.diag();
-      if (!d.loc.known()) d.loc = {"", e.line, e.col};
-      d.message += " (in " + f + "())";
-      throw LangError(std::move(d));
-    } catch (const Error& err) {
-      fail("AMG-INTERP-012", std::string(err.what()) + " (in " + f + "())", e.line,
-           e.col, "");
-    }
-    // The table and the dispatch above cover the same set; reaching here
-    // means a signature was added without an implementation.
-    fail("AMG-INTERP-011", "builtin '" + f + "' has no implementation", e.line,
-         e.col, "");
+    exec::ExecContext ctx{&tech_,
+                          selfStack_.empty() ? nullptr : selfStack_.back(),
+                          &host_.stats_, &host_.output_};
+    return exec::callBuiltin(
+        ctx, static_cast<std::size_t>(sig - builtinSignatures().data()), raw,
+        e.line, e.col);
   }
 
   Interpreter& host_;
@@ -745,6 +428,7 @@ namespace {
 }  // namespace
 
 void Interpreter::load(const std::string& source, const std::string& sourceName) {
+  if (engine_ == Engine::Vm) return loadVm(source, sourceName);
   try {
     Program prog = parseSource(source);
     for (EntityDecl& e : prog.entities) {
@@ -768,6 +452,7 @@ void Interpreter::load(const std::string& source, const std::string& sourceName)
 
 void Interpreter::loadEntities(const std::string& source,
                                const std::string& sourceName) {
+  if (engine_ == Engine::Vm) return loadEntitiesVm(source, sourceName);
   try {
     Program prog = parseSource(source);
     for (EntityDecl& e : prog.entities) {
@@ -784,6 +469,7 @@ void Interpreter::loadEntities(const std::string& source,
 }
 
 void Interpreter::run(const std::string& source, const std::string& sourceName) {
+  if (engine_ == Engine::Vm) return runVm(source, sourceName);
   try {
     Program prog = parseSource(source);
     for (EntityDecl& e : prog.entities) {
@@ -803,6 +489,7 @@ void Interpreter::run(const std::string& source, const std::string& sourceName) 
 
 db::Module Interpreter::instantiate(
     const std::string& entity, const std::vector<std::pair<std::string, Value>>& args) {
+  if (engine_ == Engine::Vm) return instantiateVm(entity, args);
   const auto it = std::find_if(entities_.begin(), entities_.end(),
                                [&](const EntityDecl& e) { return e.name == entity; });
   if (it == entities_.end()) {

@@ -8,6 +8,7 @@
 // the same underlying functions, so both paths are first-class.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +18,22 @@
 #include "lang/ast.h"
 
 namespace amg::lang {
+
+struct CompiledEntity;  // lang/bytecode.h
+struct CompiledProgram;
+
+/// Which execution tier evaluates scripts.  Both produce byte-identical
+/// layouts and identical diagnostics (tests/vm_test.cpp is the proof); the
+/// tree-walker survives as the differential-testing oracle behind
+/// --interp=tree.
+enum class Engine : std::uint8_t {
+  Tree,  ///< walk the AST directly (the original interpreter)
+  Vm,    ///< compile to bytecode (lang/compiler.h) and run the stack VM
+};
+
+/// Process default: Engine::Vm, unless the AMG_INTERP environment variable
+/// is "tree" (read once; how CI forces the differential tree run).
+Engine defaultEngine();
 
 /// A runtime value: nothing (an omitted optional parameter), a number in
 /// micrometres, a string, a compass direction, or a layout object.
@@ -51,6 +68,10 @@ class Value {
   std::string str_;
   Dir dir_ = Dir::West;
   std::shared_ptr<const db::Module> obj_;
+
+  /// The VM's dispatch loop reads/writes num_ directly on values it has
+  /// already kind-checked (the numeric fast path and the FOR counter ops).
+  friend class VM;
 };
 
 /// Interpreter statistics (reported by the benches: the paper quotes
@@ -98,17 +119,43 @@ class Interpreter {
   /// Lines printed by the script's print() builtin.
   const std::vector<std::string>& output() const { return output_; }
 
+  /// Select the execution tier.  Must be chosen before the first
+  /// run()/load() — each tier keeps its own entity registry (the VM one
+  /// holds compiled chunks, not ASTs).
+  void setEngine(Engine e) { engine_ = e; }
+  Engine engine() const { return engine_; }
+
  private:
   struct Frame;
   class Impl;
 
+  /// One registered compiled entity; `file` is stamped onto diagnostics
+  /// exactly like EntityDecl::file on the tree side.
+  struct VmEntity {
+    std::shared_ptr<const CompiledEntity> ce;
+    std::string file;
+  };
+
+  void registerCompiled(const CompiledProgram& prog,
+                        const std::string& sourceName);
+  const VmEntity* findVmEntity(const std::string& name) const;
+  void runVm(const std::string& source, const std::string& sourceName);
+  void loadVm(const std::string& source, const std::string& sourceName);
+  void loadEntitiesVm(const std::string& source, const std::string& sourceName);
+  db::Module instantiateVm(
+      const std::string& entity,
+      const std::vector<std::pair<std::string, Value>>& args);
+
   const tech::Technology* tech_;
+  Engine engine_ = defaultEngine();
   std::vector<EntityDecl> entities_;
+  std::vector<VmEntity> vmEntities_;
   std::map<std::string, Value> globals_;
   InterpStats stats_;
   std::vector<std::string> output_;
 
   friend class Impl;
+  friend class VM;
 };
 
 /// One-shot helper: run `source` and return the object bound to

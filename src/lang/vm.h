@@ -1,0 +1,69 @@
+// The bytecode stack VM — the default execution tier for the layout DSL.
+//
+// One VM object lives for the duration of one run()/instantiate() call,
+// exactly like the tree-walker's Impl: frames, the value stack and the
+// recursion depth reset per execution, while globals/stats/output live on
+// the host Interpreter.
+//
+// Semantics contract (docs/BYTECODE.md, enforced by tests/vm_test.cpp):
+// identical layouts byte-for-byte, identical diagnostics, identical stats
+// and obs counters as the tree-walker.  Dynamic scoping is preserved via
+// slot fast paths with a by-name fallback walk: a bound slot is a direct
+// index; an unbound one resolves through enclosing frames and globals the
+// way Impl::findVar/setVar always did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/bytecode.h"
+#include "lang/exec.h"
+#include "lang/interp.h"
+
+namespace amg::lang {
+
+class VM {
+ public:
+  explicit VM(Interpreter& host);
+  ~VM();  // flushes the vm.dispatch counter
+
+  /// Execute a compiled top-level calling sequence against the host's
+  /// globals.
+  void execTop(const Chunk& top);
+
+  /// Instantiate a compiled entity with named arguments; `line` is the
+  /// call-site line stamped onto binding diagnostics.
+  db::Module instantiate(
+      const CompiledEntity& ent,
+      const std::vector<std::pair<std::string, Value>>& namedArgs, int line);
+
+ private:
+  struct Frame {
+    const Chunk* chunk = nullptr;
+    const CompiledEntity* ent = nullptr;  ///< nullptr = top-level frame
+    db::Module* self = nullptr;           ///< entity under construction
+    std::vector<Value> slots;
+    std::vector<std::uint8_t> bound;  ///< slot holds a binding (may be None)
+    int callLine = 0;                 ///< for AMG-INTERP-005/006 locations
+  };
+
+  void runRange(const Chunk& ch, Frame& f, std::uint32_t ip, std::uint32_t end);
+  void execVariant(const Chunk& ch, Frame& f, const VariantSite& vs);
+  void binary(const Chunk& ch, std::uint32_t opOffset, Op o);
+  void call(const Chunk& ch, Frame& f, const CallSite& cs);
+
+  /// Innermost-out dynamic-scope lookup over all live frames, then the
+  /// host's globals — Impl::findVar, expressed over slots.
+  Value* findDyn(const std::string& name);
+
+  Interpreter& host_;
+  const tech::Technology& tech_;
+  std::vector<Frame*> frames_;
+  std::vector<Value> stack_;
+  std::vector<exec::RawArg> rawScratch_;  ///< reused builtin-call buffer
+  int depth_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace amg::lang
