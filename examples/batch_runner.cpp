@@ -43,6 +43,10 @@ void usage(const char* argv0, std::FILE* out) {
       " would be rejected fail at runtime instead)\n"
       "  --cache-mb N    in-memory cache budget in MiB (default 64)\n"
       "  --cache-dir D   also keep cache entries on disk under directory D\n"
+      "  --no-prefix-cache     disable the compactor-prefix cache (every\n"
+      "                  compaction step executes; docs/CACHING.md)\n"
+      "  --prefix-cache-mb N   prefix-cache memory budget in MiB (default 64)\n"
+      "  --prefix-cache-dir D  also keep prefix snapshots on disk under D\n"
       "  --report FILE   write the aggregate JSON report to FILE\n"
       "  --svg PREFIX    write each successful layout as PREFIX_<job>.svg\n"
       "%s"
@@ -78,8 +82,14 @@ int main(int argc, char** argv) {
       reportPath = v5;
     else if (const char* v6 = value(i, "--svg"))
       svgPrefix = v6;
+    else if (const char* v7 = value(i, "--prefix-cache-mb"))
+      cfg.prefix.maxBytes = static_cast<std::size_t>(std::atol(v7)) << 20;
+    else if (const char* v8 = value(i, "--prefix-cache-dir"))
+      cfg.prefix.diskDir = v8;
     else if (std::strcmp(argv[i], "--no-cache") == 0)
       cfg.useCache = false;
+    else if (std::strcmp(argv[i], "--no-prefix-cache") == 0)
+      cfg.prefixCache = false;
     else if (std::strcmp(argv[i], "--no-preflight") == 0)
       cfg.preflight = false;
     else if (cli::parseInterpFlag(argc, argv, i, cfg.interp))
@@ -146,6 +156,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cs.diskHits),
       static_cast<unsigned long long>(cs.misses),
       static_cast<unsigned long long>(cs.evictions));
+  if (const compact::PrefixCache* pc = engine.prefixCache()) {
+    const compact::PrefixCache::Stats ps = pc->stats();
+    std::printf(
+        "prefix: %zu steps restored across %zu jobs "
+        "(%llu hit, %llu disk, %llu miss, %llu evicted)\n",
+        report.prefixRestoredSteps, report.jobs.size(),
+        static_cast<unsigned long long>(ps.hits),
+        static_cast<unsigned long long>(ps.diskHits),
+        static_cast<unsigned long long>(ps.misses),
+        static_cast<unsigned long long>(ps.evictions));
+  }
 
   if (!reportPath.empty()) {
     obs::StatsWriter w("batch_runner");
@@ -159,6 +180,13 @@ int main(int argc, char** argv) {
     w.metric("rejected", static_cast<double>(report.rejected));
     w.metric("cache_hits", static_cast<double>(report.cacheHits));
     w.metric("cache_evictions", static_cast<double>(cs.evictions));
+    w.metric("prefix_restored_steps",
+             static_cast<double>(report.prefixRestoredSteps));
+    if (const compact::PrefixCache* pc = engine.prefixCache()) {
+      const compact::PrefixCache::Stats ps = pc->stats();
+      w.metric("prefix_hits", static_cast<double>(ps.hits));
+      w.metric("prefix_misses", static_cast<double>(ps.misses));
+    }
     w.metric("wall_ms", report.wallMs);
     w.metric("preflight_ms", report.preflightMs);
     w.flag("all_ok", report.failed == 0);

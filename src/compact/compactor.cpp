@@ -584,4 +584,9 @@ Result Compactor::compact(const db::Module& obj, Dir dir) {
   return compactImpl(target_, obj, dir, options_, idx_ ? &*idx_ : nullptr);
 }
 
+Result Compactor::compact(const db::Module& obj, Dir dir,
+                          const Options& stepOptions) {
+  return compactImpl(target_, obj, dir, stepOptions, idx_ ? &*idx_ : nullptr);
+}
+
 }  // namespace amg::compact

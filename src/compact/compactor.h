@@ -111,6 +111,12 @@ class Compactor {
   /// One successive-compaction step; see compact() above.
   Result compact(const db::Module& obj, Dir dir);
 
+  /// One step with per-step options: the DSL's ignore-layer list varies
+  /// call-to-call while the session (and its incremental index) persists.
+  /// `stepOptions.engine` must match the session's — the index is either
+  /// maintained for every step or not at all.
+  Result compact(const db::Module& obj, Dir dir, const Options& stepOptions);
+
   const Options& options() const { return options_; }
 
  private:

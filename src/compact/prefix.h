@@ -1,0 +1,139 @@
+// Compactor-prefix cache: step-granular memoization of successive
+// compaction (docs/CACHING.md, tier 3).
+//
+// §2.3 builds a module by compacting "only one new object in each step" —
+// a sequence whose state after step k depends only on the starting target
+// and the first k (object, direction, options) triples.  Sweep jobs that
+// differ in one late parameter therefore share a long common prefix; this
+// tier memoizes the compactor's session state at every step so a warm job
+// resumes from the first divergent step instead of step 0 (the analog of
+// the multi-placement structures of PAPERS.md: precomputed placement
+// state, near-constant-time variant instantiation).
+//
+// Keying.  A rolling FNV-1a chain per module under construction:
+//
+//   seed    = H(format version, tech fingerprint)
+//   chain_0 = H(raw session-state bytes of the starting target | seed)
+//   chain_k = H(step_k | chain_{k-1})
+//   step_k  = H(raw session-state bytes of the arriving object,
+//               direction, canonicalized options: sorted ignore-layer
+//               names, variable-edge/auto-connect flags, extra gap)
+//
+// The engine choice (indexed vs brute) is deliberately excluded: both
+// produce byte-identical layouts (enforced by tests), so they share
+// entries.  The module's identity stamp (db::Module::stamp()) guards the
+// chain: any out-of-band mutation between steps — a DSL primitive, a
+// VARIANT rollback, a reused stack slot — invalidates the session, and
+// the next step reseeds from a full content hash.  (module, stamp) pairs
+// never recur, so a stale session can never be mistaken for a live one.
+//
+// Restores are *deferred*: a hit parks the snapshot blob and returns
+// without touching the module, so a run of consecutive hits costs one
+// hash + one LRU probe per step.  The blob is materialized at the first
+// point something reads the module's actual bytes — the exec layer's
+// requireSelf(), VARIANT entry/rating, or entity-frame end — via
+// prefixSync()/prefixEnd() below.
+//
+// Counters are published under gen.prefix.* (the tier belongs to the
+// generation stack even though the code lives here, below amg_lang, to
+// keep the library layering acyclic).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compact/compactor.h"
+
+namespace amg::compact {
+
+struct PrefixCacheConfig {
+  /// Byte budget of the in-memory LRU tier (sum of blob sizes).
+  std::size_t maxBytes = 64ull << 20;
+  /// Directory of the disk tier (one `<key>.amgp` file per entry); empty
+  /// disables it.  Created on first put.
+  std::string diskDir;
+};
+
+/// Key -> serialized session-state bytes (io::serializeSessionState).
+/// Blobs are shared_ptr so a parked deferred restore survives eviction.
+/// Thread-safe; instrumented with gen.prefix.* counters.
+class PrefixCache {
+ public:
+  using Blob = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  explicit PrefixCache(PrefixCacheConfig cfg = {});
+
+  /// Memory tier first, then disk (a disk hit is promoted).  nullptr on
+  /// miss.
+  Blob get(std::uint64_t key);
+
+  /// Insert (or refresh) an entry; evicts LRU entries until the byte
+  /// budget holds.  Oversize blobs still reach the disk tier.
+  void put(std::uint64_t key, std::vector<std::uint8_t> bytes);
+
+  // -- introspection (also mirrored into obs counters) ---------------------
+  struct Stats {
+    std::uint64_t hits = 0;       ///< memory-tier hits (= restored steps)
+    std::uint64_t diskHits = 0;   ///< disk-tier hits
+    std::uint64_t misses = 0;     ///< both tiers missed (step executed)
+    std::uint64_t evictions = 0;  ///< memory-tier LRU evictions
+    std::uint64_t puts = 0;
+    std::uint64_t restoredSteps = 0;     ///< steps served from cache
+    std::uint64_t materializations = 0;  ///< deferred blobs deserialized
+    std::uint64_t reseeds = 0;  ///< chains restarted from a full hash
+  };
+  Stats stats() const;
+  std::size_t entryCount() const;
+  std::size_t byteCount() const;
+  const PrefixCacheConfig& config() const { return cfg_; }
+
+  // Session-level events, aggregated here so the engine reports one place.
+  void noteRestoredStep();
+  void noteMaterialization();
+  void noteReseed();
+
+ private:
+  void evictToFit();  // caller holds mu_
+  std::string diskPath(std::uint64_t key) const;
+
+  PrefixCacheConfig cfg_;
+  mutable std::mutex mu_;
+  /// MRU at front.  The map points into the list for O(1) touch.
+  std::list<std::pair<std::uint64_t, Blob>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+  bool diskDirReady_ = false;
+};
+
+/// True unless the environment kill switch AMG_PREFIX_CACHE=0 is set
+/// (read once; the CI equivalence run uses it to force-disable the tier).
+bool prefixCacheEnvEnabled();
+
+/// One successive-compaction step of `obj` onto `target` through the
+/// prefix cache.  On a chain hit the snapshot is parked for deferred
+/// restore and the step is skipped; on a miss any parked snapshot is
+/// materialized, the step executes through a persistent Compactor session
+/// and the new state is recorded.  Returns true when the step was served
+/// from cache.  Byte-identical to compact::compact() on every path.
+bool prefixStep(PrefixCache& cache, db::Module& target, const db::Module& obj,
+                Dir dir, const Options& options);
+
+/// Flush a pending deferred restore so `m`'s bytes match its logical
+/// state.  No-op when no session exists, the session is stale, or nothing
+/// is pending.  Call before reading `m` outside prefixStep().
+void prefixSync(db::Module& m);
+
+/// Frame end: prefixSync() then drop the session bookkeeping for `m`.
+void prefixEnd(db::Module& m);
+
+/// Drop bookkeeping without materializing (exception paths: the state is
+/// being abandoned).  Never throws.
+void prefixAbandon(db::Module& m) noexcept;
+
+}  // namespace amg::compact

@@ -1,8 +1,14 @@
 #include "db/module.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace amg::db {
+
+std::uint64_t detail::IdentityStamp::next() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 Module::Module(const tech::Technology& tech, std::string name)
     : tech_(&tech), name_(std::move(name)) {
@@ -13,6 +19,7 @@ NetId Module::net(std::string_view name) {
   if (name.empty()) return kNoNet;
   if (auto n = findNet(name)) return *n;
   netNames_.emplace_back(name);
+  touch();
   return static_cast<NetId>(netNames_.size() - 1);
 }
 
@@ -27,6 +34,7 @@ void Module::moveNet(NetId from, NetId to) {
     if (s.alive && s.net == from) s.net = to;
   for (ArrayRecord& a : arrays_)
     if (a.net == from) a.net = to;
+  touch();
 }
 
 ShapeId Module::addShape(Shape s) {
@@ -34,10 +42,20 @@ ShapeId Module::addShape(Shape s) {
     throw DesignRuleError("module '" + name_ + "': refusing to add empty rectangle on layer '" +
                           tech_->info(s.layer).name + "'");
   shapes_.push_back(std::move(s));
+  touch();
   return static_cast<ShapeId>(shapes_.size() - 1);
 }
 
-void Module::removeShape(ShapeId id) { shapes_.at(id).alive = false; }
+ShapeId Module::appendRawShape(Shape s) {
+  shapes_.push_back(std::move(s));
+  touch();
+  return static_cast<ShapeId>(shapes_.size() - 1);
+}
+
+void Module::removeShape(ShapeId id) {
+  shapes_.at(id).alive = false;
+  touch();
+}
 
 std::vector<ShapeId> Module::shapeIds() const {
   std::vector<ShapeId> out;
@@ -61,6 +79,7 @@ std::size_t Module::shapeCount() const {
 
 void Module::addPort(std::string name, Point at, LayerId layer, NetId net) {
   ports_.push_back(PortDef{std::move(name), at, layer, net});
+  touch();
 }
 
 const PortDef& Module::port(std::string_view name) const {
@@ -96,9 +115,11 @@ void Module::translate(Coord dx, Coord dy) {
   for (Shape& s : shapes_)
     if (s.alive) s.box = s.box.translated(dx, dy);
   for (PortDef& p : ports_) p.at = Point{p.at.x + dx, p.at.y + dy};
+  touch();
 }
 
 void Module::transform(const geom::Transform& tf) {
+  touch();
   for (PortDef& p : ports_) p.at = tf.apply(p.at);
   for (Shape& s : shapes_) {
     if (!s.alive) continue;
@@ -111,6 +132,7 @@ void Module::transform(const geom::Transform& tf) {
 }
 
 std::vector<ShapeId> Module::merge(const Module& other, const geom::Transform& tf) {
+  touch();
   // Map other's nets into this module by name.
   std::vector<NetId> netMap(other.netNames_.size(), kNoNet);
   for (std::size_t i = 1; i < other.netNames_.size(); ++i)

@@ -12,10 +12,35 @@
 #include <string_view>
 #include <vector>
 
+#include <cstdint>
+
 #include "db/shape.h"
 #include "geom/transform.h"
 
 namespace amg::db {
+
+namespace detail {
+/// A process-unique module identity: every construction, copy and move
+/// draws a fresh value (a moved-from holder is refreshed too, since its
+/// owner's contents just changed).  Members of this type make the default
+/// copy/move of the enclosing class stamp-correct automatically.
+struct IdentityStamp {
+  IdentityStamp() : v(next()) {}
+  IdentityStamp(const IdentityStamp&) : v(next()) {}
+  IdentityStamp& operator=(const IdentityStamp&) {
+    v = next();
+    return *this;
+  }
+  IdentityStamp(IdentityStamp&& o) noexcept : v(next()) { o.v = next(); }
+  IdentityStamp& operator=(IdentityStamp&& o) noexcept {
+    v = next();
+    o.v = next();
+    return *this;
+  }
+  std::uint64_t v;
+  static std::uint64_t next();  // global relaxed counter, never reused
+};
+}  // namespace detail
 
 /// Record: `inner` must stay inside every shape of `outers` with the
 /// technology enclosure margin.  Limits variable-edge shrinking and drives
@@ -60,7 +85,20 @@ class Module {
 
   const tech::Technology& technology() const { return *tech_; }
   const std::string& name() const { return name_; }
-  void setName(std::string n) { name_ = std::move(n); }
+  void setName(std::string n) {
+    name_ = std::move(n);
+    touch();
+  }
+
+  /// --- identity stamp ----------------------------------------------------
+  /// Process-unique value that changes on every mutation, copy and move
+  /// (fresh stamps for both sides of a move).  Observing the same stamp
+  /// twice guarantees the module was not modified in between; a (module,
+  /// stamp) pair never recurs across histories, even when a rolled-back
+  /// VARIANT branch or a reused stack slot resurrects an old address.  The
+  /// compactor-prefix cache (compact/prefix.h) keys its per-module session
+  /// validity on this.  Non-const accessors count as mutations.
+  std::uint64_t stamp() const { return stamp_.v; }
 
   /// --- nets -------------------------------------------------------------
   /// Get-or-create a named potential.
@@ -73,9 +111,17 @@ class Module {
 
   /// --- shapes -----------------------------------------------------------
   ShapeId addShape(Shape s);
-  Shape& shape(ShapeId id) { return shapes_.at(id); }
+  Shape& shape(ShapeId id) {
+    touch();
+    return shapes_.at(id);
+  }
   const Shape& shape(ShapeId id) const { return shapes_.at(id); }
   void removeShape(ShapeId id);
+  /// Restore-path append used by the session-state deserializer
+  /// (io/layout.h): pushes the entry verbatim — dead flag and all —
+  /// bypassing addShape()'s validation, so a mid-build snapshot with dead
+  /// entries round-trips to the exact raw store.
+  ShapeId appendRawShape(Shape s);
   /// Ids of all alive shapes, in insertion order.
   std::vector<ShapeId> shapeIds() const;
   /// Alive shapes on one layer.
@@ -93,12 +139,24 @@ class Module {
   bool hasPort(std::string_view name) const;
 
   /// --- provenance records ------------------------------------------------
-  void addEncloseRecord(EncloseRecord r) { encloses_.push_back(std::move(r)); }
-  void addArrayRecord(ArrayRecord r) { arrays_.push_back(std::move(r)); }
+  void addEncloseRecord(EncloseRecord r) {
+    encloses_.push_back(std::move(r));
+    touch();
+  }
+  void addArrayRecord(ArrayRecord r) {
+    arrays_.push_back(std::move(r));
+    touch();
+  }
   const std::vector<EncloseRecord>& encloseRecords() const { return encloses_; }
   const std::vector<ArrayRecord>& arrayRecords() const { return arrays_; }
-  std::vector<ArrayRecord>& arrayRecords() { return arrays_; }
-  std::vector<EncloseRecord>& encloseRecords() { return encloses_; }
+  std::vector<ArrayRecord>& arrayRecords() {
+    touch();
+    return arrays_;
+  }
+  std::vector<EncloseRecord>& encloseRecords() {
+    touch();
+    return encloses_;
+  }
 
   /// --- geometry ----------------------------------------------------------
   /// Bounding box of all alive shapes on mask layers (markers excluded).
@@ -121,6 +179,8 @@ class Module {
   std::vector<ShapeId> merge(const Module& other, const geom::Transform& tf);
 
  private:
+  void touch() { stamp_.v = detail::IdentityStamp::next(); }
+
   const tech::Technology* tech_;
   std::string name_;
   std::vector<Shape> shapes_;
@@ -128,6 +188,7 @@ class Module {
   std::vector<EncloseRecord> encloses_;
   std::vector<ArrayRecord> arrays_;
   std::vector<PortDef> ports_;
+  detail::IdentityStamp stamp_;
 };
 
 }  // namespace amg::db

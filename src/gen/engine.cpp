@@ -37,6 +37,9 @@ BatchEngine::BatchEngine(const tech::Technology& tech, EngineConfig cfg)
       cfg_(std::move(cfg)),
       techFp_(techFingerprint(tech)),
       cache_(std::make_unique<LayoutCache>(cfg_.cache)),
+      prefix_(cfg_.prefixCache && compact::prefixCacheEnvEnabled()
+                  ? std::make_unique<compact::PrefixCache>(cfg_.prefix)
+                  : nullptr),
       pool_(cfg_.threads) {}
 
 std::uint64_t BatchEngine::keyOf(const Job& job) const {
@@ -87,6 +90,7 @@ JobResult BatchEngine::runOne(const Job& job) {
 
     lang::Interpreter interp(*tech_);
     interp.setEngine(cfg_.interp);
+    interp.setPrefixCache(prefix_.get());
     db::Module m = [&] {
       if (job.entity.empty()) {
         interp.run(job.script, job.scriptPath.empty() ? "<script>" : job.scriptPath);
@@ -112,7 +116,11 @@ JobResult BatchEngine::runOne(const Job& job) {
     if (cfg_.useCache) cache_->put(res.key, io::serializeLayout(m));
     res.layout = std::move(m);
     res.ok = true;
+    res.prefixRestored = interp.stats().prefixRestored;
     span.arg("cache", "miss");
+    if (prefix_)
+      span.arg("prefix_restored",
+               static_cast<std::uint64_t>(res.prefixRestored));
   } catch (const std::exception& e) {
     res.diag = diagOf(e, job);
     if (res.diag->loc.file.empty()) res.diag->loc.file = job.scriptPath;
@@ -209,6 +217,54 @@ std::optional<util::Diag> BatchEngine::preflightOne(
   return std::nullopt;
 }
 
+std::vector<std::size_t> BatchEngine::scheduleOrder(
+    const std::vector<Job>& jobs) const {
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (!prefix_) return order;
+
+  // Numeric-aware three-way value compare, so w=9 precedes w=10 and the
+  // sweep walks each axis monotonically (adjacent jobs differ minimally,
+  // maximizing the shared compaction prefix between neighbours).
+  const auto cmpVal = [](const std::string& a, const std::string& b) {
+    char* ea = nullptr;
+    char* eb = nullptr;
+    const double na = std::strtod(a.c_str(), &ea);
+    const double nb = std::strtod(b.c_str(), &eb);
+    const bool aNum = !a.empty() && ea == a.c_str() + a.size();
+    const bool bNum = !b.empty() && eb == b.c_str() + b.size();
+    if (aNum && bNum) return na < nb ? -1 : (nb < na ? 1 : 0);
+    if (aNum != bNum) return aNum ? -1 : 1;
+    return a < b ? -1 : (b < a ? 1 : 0);
+  };
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> params;
+  params.reserve(jobs.size());
+  for (const Job& j : jobs) {
+    params.push_back(j.params);
+    std::sort(params.back().begin(), params.back().end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  std::stable_sort(
+      order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const Job& ja = jobs[a];
+        const Job& jb = jobs[b];
+        if (ja.script != jb.script) return ja.script < jb.script;
+        if (ja.entity != jb.entity) return ja.entity < jb.entity;
+        if (ja.resultVar != jb.resultVar) return ja.resultVar < jb.resultVar;
+        const auto& pa = params[a];
+        const auto& pb = params[b];
+        const std::size_t n = std::min(pa.size(), pb.size());
+        for (std::size_t i = 0; i < n; ++i) {
+          if (pa[i].first != pb[i].first) return pa[i].first < pb[i].first;
+          if (const int c = cmpVal(pa[i].second, pb[i].second)) return c < 0;
+        }
+        return pa.size() < pb.size();
+      });
+  return order;
+}
+
 BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
   obs::Span span("gen.batch");
   span.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
@@ -238,7 +294,10 @@ BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
     pf.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
   }
 
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
+  // Submission order decides when each job first becomes runnable, so the
+  // prefix-aware permutation clusters sweep siblings; results still land
+  // at their original indices.
+  for (const std::size_t i : scheduleOrder(jobs)) {
     if (report.jobs[i].rejected) continue;
     pool_.run([this, &jobs, &report, i] { report.jobs[i] = runOne(jobs[i]); });
   }
@@ -254,6 +313,7 @@ BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
       continue;  // never ran: no wall-time sample
     }
     if (r.cacheHit) ++report.cacheHits;
+    report.prefixRestoredSteps += r.prefixRestored;
     OBS_HIST("gen.job.wall_us", static_cast<std::uint64_t>(r.wallMs * 1e3));
   }
   OBS_COUNT_N("gen.jobs.total", jobs.size());

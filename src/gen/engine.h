@@ -15,6 +15,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "compact/prefix.h"
 #include "gen/cache.h"
 #include "gen/job.h"
 #include "lang/interp.h"
@@ -43,6 +44,13 @@ struct EngineConfig {
   /// chunks are memoized process-wide on the raw script text
   /// (lang/compiler.h), so warm jobs skip lex+parse+compile entirely.
   lang::Engine interp = lang::defaultEngine();
+  /// Memoize compactor session state at step granularity so sweep jobs
+  /// resume from the first divergent compaction step (compact/prefix.h,
+  /// docs/CACHING.md).  On by default; the AMG_PREFIX_CACHE=0 environment
+  /// kill switch overrides it, and batch_runner exposes
+  /// --no-prefix-cache.
+  bool prefixCache = true;
+  compact::PrefixCacheConfig prefix;  ///< budget + optional disk tier
 };
 
 class BatchEngine {
@@ -59,10 +67,18 @@ class BatchEngine {
 
   LayoutCache& cache() { return *cache_; }
   const LayoutCache& cache() const { return *cache_; }
+  /// The compactor-prefix tier; nullptr when disabled (config or env).
+  compact::PrefixCache* prefixCache() { return prefix_.get(); }
+  const compact::PrefixCache* prefixCache() const { return prefix_.get(); }
   const tech::Technology& technology() const { return *tech_; }
 
  private:
   JobResult runOne(const Job& job);
+  /// Deterministic prefix-aware submission order: jobs grouped by script
+  /// and entity, then ordered by parameter tuples, so sweep siblings run
+  /// adjacently and a worker arrives at each job right after its longest
+  /// shared prefix was recorded.  Identity order when the tier is off.
+  std::vector<std::size_t> scheduleOrder(const std::vector<Job>& jobs) const;
   std::optional<util::Diag> preflightOne(
       const Job& job,
       std::unordered_map<std::uint64_t,
@@ -72,6 +88,7 @@ class BatchEngine {
   EngineConfig cfg_;
   std::uint64_t techFp_;
   std::unique_ptr<LayoutCache> cache_;
+  std::unique_ptr<compact::PrefixCache> prefix_;
   util::ThreadPool pool_;
 };
 

@@ -1,35 +1,6 @@
 #include "gen/fingerprint.h"
 
-#include "tech/techfile.h"
-
 namespace amg::gen {
-namespace {
-
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t mixBytes(std::string_view data, std::uint64_t h) {
-  for (const char c : data) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-}  // namespace
-
-std::uint64_t fnv1a(std::string_view data, std::uint64_t seed) {
-  // Mix the length first so ("ab","c") and ("a","bc") chain differently.
-  return mixBytes(data, fnv1a(static_cast<std::uint64_t>(data.size()), seed));
-}
-
-std::uint64_t fnv1a(std::uint64_t value, std::uint64_t seed) {
-  std::uint64_t h = seed;
-  for (int i = 0; i < 8; ++i) {
-    h ^= (value >> (8 * i)) & 0xFF;
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 std::string canonicalizeSource(const std::string& source) {
   std::string out;
@@ -103,17 +74,7 @@ std::string canonicalizeSource(const std::string& source) {
 }
 
 std::uint64_t techFingerprint(const tech::Technology& t) {
-  return fnv1a(tech::saveTechFile(t));
-}
-
-std::string keyHex(std::uint64_t key) {
-  static const char* hex = "0123456789abcdef";
-  std::string s(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    s[static_cast<std::size_t>(i)] = hex[key & 0xF];
-    key >>= 4;
-  }
-  return s;
+  return t.contentFingerprint();
 }
 
 }  // namespace amg::gen

@@ -11,19 +11,20 @@
 #include <string_view>
 
 #include "tech/tech.h"
+#include "util/hash.h"
 
 namespace amg::gen {
 
 /// FNV-1a offset basis; pass as `seed` to start a fresh hash chain.
-inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+/// (The digest itself lives in util/hash.h so lower layers — notably the
+/// compactor-prefix cache — share one definition; these aliases keep the
+/// original gen:: spelling every call site uses.)
+using util::kFnvBasis;
 
 /// 64-bit FNV-1a over `data`, chained: feed the previous digest back in as
 /// `seed` to hash a sequence of fields (a length-prefix is mixed in per
 /// call, so field boundaries are unambiguous).
-std::uint64_t fnv1a(std::string_view data, std::uint64_t seed = kFnvBasis);
-
-/// Chain a raw integer into a hash (little-endian bytes).
-std::uint64_t fnv1a(std::uint64_t value, std::uint64_t seed);
+using util::fnv1a;
 
 /// Normalize DSL source for hashing: strips '//' comments (string literals
 /// are respected), collapses horizontal whitespace runs to one space,
@@ -34,10 +35,11 @@ std::string canonicalizeSource(const std::string& source);
 /// Digest of the full rule deck via the saveTechFile() round-trip text:
 /// any rule edit — width, spacing, enclosure, a layer rename — changes the
 /// fingerprint and therefore busts every cache entry made under the old
-/// deck.
+/// deck.  Delegates to Technology::contentFingerprint(), which memoizes
+/// per rule-table state, so repeated calls are O(1).
 std::uint64_t techFingerprint(const tech::Technology& t);
 
 /// Fixed-width lowercase hex form of a key (disk-cache file stem).
-std::string keyHex(std::uint64_t key);
+using util::keyHex;
 
 }  // namespace amg::gen

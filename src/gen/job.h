@@ -41,6 +41,9 @@ struct JobResult {
   bool rejected = false;
   std::uint64_t key = 0;        ///< content-address of the request
   double wallMs = 0;
+  /// Compaction steps served from the compactor-prefix cache instead of
+  /// executed (docs/CACHING.md; 0 when the tier is disabled or cold).
+  std::size_t prefixRestored = 0;
   std::optional<db::Module> layout;  ///< present when ok
   std::optional<util::Diag> diag;    ///< present when failed
   /// Convenience: diagnostic rendered as one line ("" when ok).
@@ -53,6 +56,8 @@ struct BatchReport {
   std::size_t failed = 0;       ///< includes the rejected jobs
   std::size_t rejected = 0;     ///< failed in pre-flight, never scheduled
   std::size_t cacheHits = 0;
+  /// Sum of JobResult::prefixRestored over the batch.
+  std::size_t prefixRestoredSteps = 0;
   double wallMs = 0;       ///< whole-batch wall time
   double preflightMs = 0;  ///< static-analysis pre-flight time (serial)
 };

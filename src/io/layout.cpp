@@ -12,6 +12,9 @@ namespace {
 constexpr std::uint32_t kMagic = 0x4C474D41u;  // "AMGL" little-endian
 constexpr std::uint32_t kVersion = 1;
 
+constexpr std::uint32_t kSessionMagic = 0x53474D41u;  // "AMGS" little-endian
+constexpr std::uint32_t kSessionVersion = 1;
+
 [[noreturn]] void fail(const char* code, std::string msg, std::string hint,
                        std::string file = "") {
   util::Diag d;
@@ -284,6 +287,182 @@ db::Module deserializeLayout(const std::vector<std::uint8_t>& bytes,
 
   if (!r.done())
     fail("AMG-IO-003", "trailing bytes after layout payload",
+         "regenerate the cache entry; stale files can be deleted safely");
+  return m;
+}
+
+std::vector<std::uint8_t> serializeSessionState(const db::Module& m) {
+  Writer w;
+  w.u32(kSessionMagic);
+  w.u32(kSessionVersion);
+  w.str(m.name());
+
+  // Layer table over the *raw* store: dead entries keep their layer too.
+  std::map<tech::LayerId, std::uint32_t> layerIdx;
+  std::vector<tech::LayerId> layers;
+  auto internLayer = [&](tech::LayerId l) {
+    const auto [it, inserted] =
+        layerIdx.emplace(l, static_cast<std::uint32_t>(layers.size()));
+    if (inserted) layers.push_back(l);
+    return it->second;
+  };
+  const std::size_t raw = m.rawSize();
+  for (db::ShapeId id = 0; id < raw; ++id) internLayer(m.shape(id).layer);
+  for (const db::PortDef& p : m.ports()) internLayer(p.layer);
+  for (const db::ArrayRecord& r : m.arrayRecords()) internLayer(r.elemLayer);
+
+  w.u32(static_cast<std::uint32_t>(layers.size()));
+  for (const tech::LayerId l : layers) w.str(m.technology().info(l).name);
+
+  // Net table, in id order (net 0 is always the anonymous net "").
+  w.u32(static_cast<std::uint32_t>(m.netCount()));
+  for (db::NetId n = 0; n < m.netCount(); ++n) w.str(m.netName(n));
+
+  // Raw shape store, verbatim: ids are the array positions, dead entries
+  // included so every provenance id stays meaningful.
+  w.u32(static_cast<std::uint32_t>(raw));
+  for (db::ShapeId id = 0; id < raw; ++id) {
+    const db::Shape& s = m.shape(id);
+    w.i64(s.box.x1);
+    w.i64(s.box.y1);
+    w.i64(s.box.x2);
+    w.i64(s.box.y2);
+    w.u32(layerIdx.at(s.layer));
+    w.u16(s.net);
+    w.u8(edgeBits(s.varEdges));
+    w.u8(static_cast<std::uint8_t>((s.avoidOverlap ? 1u : 0u) |
+                                   (s.alive ? 2u : 0u)));
+  }
+
+  w.u32(static_cast<std::uint32_t>(m.ports().size()));
+  for (const db::PortDef& p : m.ports()) {
+    w.str(p.name);
+    w.i64(p.at.x);
+    w.i64(p.at.y);
+    w.u32(layerIdx.at(p.layer));
+    w.u16(p.net);
+  }
+
+  // Provenance records, unfiltered: entries referencing dead shapes are
+  // part of the mid-build state and must survive the round-trip.
+  w.u32(static_cast<std::uint32_t>(m.encloseRecords().size()));
+  for (const db::EncloseRecord& r : m.encloseRecords()) {
+    w.u32(static_cast<std::uint32_t>(r.outers.size()));
+    for (const db::ShapeId o : r.outers) w.u32(o);
+    w.u32(r.inner);
+  }
+
+  w.u32(static_cast<std::uint32_t>(m.arrayRecords().size()));
+  for (const db::ArrayRecord& r : m.arrayRecords()) {
+    w.u32(static_cast<std::uint32_t>(r.containers.size()));
+    for (const db::ShapeId c : r.containers) w.u32(c);
+    w.u32(layerIdx.at(r.elemLayer));
+    w.u16(r.net);
+    w.u32(static_cast<std::uint32_t>(r.elems.size()));
+    for (const db::ShapeId e : r.elems) w.u32(e);
+  }
+
+  return w.take();
+}
+
+db::Module deserializeSessionState(const std::vector<std::uint8_t>& bytes,
+                                   const tech::Technology& tech) {
+  Reader r(bytes);
+  if (r.u32() != kSessionMagic)
+    fail("AMG-IO-001", "not an AMGS session-state blob (bad magic)",
+         "only blobs written by serializeSessionState can be read");
+  if (const std::uint32_t v = r.u32(); v != kSessionVersion)
+    fail("AMG-IO-002",
+         "unsupported session-state format version " + std::to_string(v),
+         "this build reads version " + std::to_string(kSessionVersion) +
+             "; regenerate the blob");
+
+  db::Module m(tech, r.str());
+
+  const std::uint32_t layerCount = r.u32();
+  std::vector<tech::LayerId> layers;
+  layers.reserve(layerCount);
+  for (std::uint32_t i = 0; i < layerCount; ++i) {
+    const std::string name = r.str();
+    const auto l = tech.findLayer(name);
+    if (!l)
+      fail("AMG-IO-004",
+           "layer '" + name + "' unknown to technology '" + tech.name() + "'",
+           "the blob was written under a different deck; regenerate it");
+    layers.push_back(*l);
+  }
+  auto layerAt = [&](std::uint32_t i) {
+    if (i >= layers.size())
+      fail("AMG-IO-003", "layer index out of range",
+           "regenerate the cache entry; stale files can be deleted safely");
+    return layers[i];
+  };
+
+  const std::uint32_t netCount = r.u32();
+  for (std::uint32_t i = 0; i < netCount; ++i) {
+    const std::string name = r.str();
+    if (i == 0) continue;  // net 0 (anonymous) pre-exists in every module
+    m.net(name);
+  }
+
+  const std::uint32_t shapeCount = r.u32();
+  for (std::uint32_t i = 0; i < shapeCount; ++i) {
+    db::Shape s;
+    s.box.x1 = r.i64();
+    s.box.y1 = r.i64();
+    s.box.x2 = r.i64();
+    s.box.y2 = r.i64();
+    s.layer = layerAt(r.u32());
+    s.net = r.u16();
+    s.varEdges = edgeFromBits(r.u8());
+    const std::uint8_t flags = r.u8();
+    s.avoidOverlap = (flags & 1u) != 0;
+    s.alive = (flags & 2u) != 0;
+    m.appendRawShape(s);
+  }
+  auto shapeAt = [&](std::uint32_t i) {
+    if (i >= shapeCount)
+      fail("AMG-IO-003", "shape index out of range",
+           "regenerate the cache entry; stale files can be deleted safely");
+    return static_cast<db::ShapeId>(i);
+  };
+
+  const std::uint32_t portCount = r.u32();
+  for (std::uint32_t i = 0; i < portCount; ++i) {
+    std::string name = r.str();
+    Point at{r.i64(), r.i64()};
+    const tech::LayerId layer = layerAt(r.u32());
+    const db::NetId net = r.u16();
+    m.addPort(std::move(name), at, layer, net);
+  }
+
+  const std::uint32_t encCount = r.u32();
+  for (std::uint32_t i = 0; i < encCount; ++i) {
+    db::EncloseRecord rec;
+    const std::uint32_t outers = r.u32();
+    rec.outers.reserve(outers);
+    for (std::uint32_t o = 0; o < outers; ++o) rec.outers.push_back(shapeAt(r.u32()));
+    rec.inner = shapeAt(r.u32());
+    m.addEncloseRecord(std::move(rec));
+  }
+
+  const std::uint32_t arrCount = r.u32();
+  for (std::uint32_t i = 0; i < arrCount; ++i) {
+    db::ArrayRecord rec;
+    const std::uint32_t containers = r.u32();
+    rec.containers.reserve(containers);
+    for (std::uint32_t c = 0; c < containers; ++c)
+      rec.containers.push_back(shapeAt(r.u32()));
+    rec.elemLayer = layerAt(r.u32());
+    rec.net = r.u16();
+    const std::uint32_t elems = r.u32();
+    rec.elems.reserve(elems);
+    for (std::uint32_t e = 0; e < elems; ++e) rec.elems.push_back(shapeAt(r.u32()));
+    m.addArrayRecord(std::move(rec));
+  }
+
+  if (!r.done())
+    fail("AMG-IO-003", "trailing bytes after session-state payload",
          "regenerate the cache entry; stale files can be deleted safely");
   return m;
 }

@@ -41,4 +41,22 @@ db::Module deserializeLayout(const std::vector<std::uint8_t>& bytes,
 void writeLayoutFile(const db::Module& m, const std::string& path);
 db::Module readLayoutFile(const std::string& path, const tech::Technology& tech);
 
+/// --- mid-build session-state record (versioned, "AMGS" magic) -----------
+///
+/// serializeLayout() is an *end-of-build* format: it compacts dead entries
+/// out and renumbers ShapeIds, which is exactly wrong for a snapshot taken
+/// between successive-compaction steps — resumed compaction depends on the
+/// raw store (id-ordered spatial contracts, provenance ids, insertion
+/// order).  This record round-trips the raw state verbatim: every shape
+/// slot including dead ones, exact ids, net-table order, unfiltered
+/// enclose/array records and ports.  A module restored from it is
+/// byte-for-byte indistinguishable from the live one mid-build, so the
+/// compactor-prefix cache (compact/prefix.h) can resume from it and
+/// produce layouts identical to a cold run.  Shares the AMG-IO-001..004
+/// error codes (with session-specific messages) and stores layers by name
+/// like the layout record.
+std::vector<std::uint8_t> serializeSessionState(const db::Module& m);
+db::Module deserializeSessionState(const std::vector<std::uint8_t>& bytes,
+                                   const tech::Technology& tech);
+
 }  // namespace amg::io

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "compact/compactor.h"
+#include "compact/prefix.h"
 #include "lang/token.h"
 #include "obs/obs.h"
 #include "primitives/primitives.h"
@@ -39,12 +40,22 @@ db::NetId optNet(db::Module& m, const Value& v) {
   return m.net(v.asString());
 }
 
-db::Module& requireSelf(const ExecContext& ctx, int line) {
+/// Self without flushing a deferred prefix-cache restore — only for
+/// doCompact(), which manages the deferral itself.
+db::Module& requireSelfRaw(const ExecContext& ctx, int line) {
   if (!ctx.self)
     fail("AMG-INTERP-007", "geometry statement outside an entity body", line, 0,
          "primitive calls build the entity under construction; move this "
          "statement into an ENT body");
   return *ctx.self;
+}
+
+db::Module& requireSelf(const ExecContext& ctx, int line) {
+  db::Module& m = requireSelfRaw(ctx, line);
+  // The builtin is about to read or mutate self directly; a parked
+  // prefix-cache snapshot must land first (compact/prefix.h).
+  if (ctx.prefix) compact::prefixSync(m);
+  return m;
 }
 
 /// Bind evaluated arguments against a builtin's declared slots — the same
@@ -207,12 +218,19 @@ Value doCompact(ExecContext& ctx, Raw& raw, int line, int col) {
     if (a.name)
       fail("AMG-INTERP-011", "compact() takes positional arguments", line, col,
            "");
-  db::Module& m = requireSelf(ctx, line);
+  db::Module& m = requireSelfRaw(ctx, line);
   compact::Options opt;
   for (std::size_t i = 2; i < raw.size(); ++i)
     opt.ignoreLayers.push_back(layerOf(ctx, raw[i].value, line));
-  compact::compact(m, raw[0].value.asObject(), raw[1].value.asDir(), opt);
+  const db::Module& obj = raw[0].value.asObject();
+  const Dir dir = raw[1].value.asDir();
+  bool restored = false;
+  if (ctx.prefix)
+    restored = compact::prefixStep(*ctx.prefix, m, obj, dir, opt);
+  else
+    compact::compact(m, obj, dir, opt);
   ++ctx.stats->compactions;
+  if (restored) ++ctx.stats->prefixRestored;
   OBS_COUNT("lang.compactions");
   return Value{};
 }

@@ -19,6 +19,10 @@
 #include "lang/builtins.h"
 #include "lang/interp.h"
 
+namespace amg::compact {
+class PrefixCache;  // compact/prefix.h
+}
+
 namespace amg::lang::exec {
 
 /// One evaluated call argument in source order, with the written named-ness
@@ -34,6 +38,12 @@ struct ExecContext {
   db::Module* self = nullptr;  ///< entity under construction, or nullptr
   InterpStats* stats = nullptr;
   std::vector<std::string>* output = nullptr;  ///< print() sink
+  /// Compactor-prefix cache compact() steps go through (compact/prefix.h);
+  /// nullptr executes every step.  When set, self may carry a *deferred*
+  /// restore between compact statements — every builtin that reads or
+  /// mutates self goes through requireSelf(), which flushes it first, and
+  /// the engines flush at VARIANT boundaries and frame end.
+  compact::PrefixCache* prefix = nullptr;
 };
 
 /// Throw a LangError with a structured diagnostic at (line, col).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "compact/prefix.h"
 #include "lang/builtins.h"
 #include "lang/exec.h"
 #include "obs/obs.h"
@@ -143,11 +144,15 @@ class Interpreter::Impl {
     try {
       execBody(ent.body);
     } catch (...) {
+      compact::prefixAbandon(self);
       selfStack_.pop_back();
       scopes_.pop_back();
       --depth_;
       throw;
     }
+    // Frame end: flush any deferred prefix-cache restore and retire the
+    // session before self's bytes escape via the return copy.
+    compact::prefixEnd(self);
     selfStack_.pop_back();
     scopes_.pop_back();
     --depth_;
@@ -237,6 +242,9 @@ class Interpreter::Impl {
   /// BEST VARIANT rates every feasible branch and keeps the winner (§2.4).
   void execVariant(const Stmt& s) {
     db::Module& me = self(s.line);
+    // The snapshot copy below must see self's real bytes, not a parked
+    // prefix-cache restore (compact/prefix.h).
+    compact::prefixSync(me);
     const db::Module snapshotSelf = me;
     const auto snapshotScopes = scopes_;
 
@@ -273,6 +281,7 @@ class Interpreter::Impl {
         span.arg("winner", branchIdx);
         return;
       }
+      compact::prefixSync(me);  // rating and bestSelf read me directly
       double score;
       {
         obs::Span rateSpan("opt.rate");
@@ -396,7 +405,7 @@ class Interpreter::Impl {
            "are listed in docs/LANGUAGE.md");
     exec::ExecContext ctx{&tech_,
                           selfStack_.empty() ? nullptr : selfStack_.back(),
-                          &host_.stats_, &host_.output_};
+                          &host_.stats_, &host_.output_, host_.prefix_};
     return exec::callBuiltin(
         ctx, static_cast<std::size_t>(sig - builtinSignatures().data()), raw,
         e.line, e.col);

@@ -17,6 +17,10 @@
 #include "db/module.h"
 #include "lang/ast.h"
 
+namespace amg::compact {
+class PrefixCache;  // compact/prefix.h
+}
+
 namespace amg::lang {
 
 struct CompiledEntity;  // lang/bytecode.h
@@ -81,6 +85,9 @@ struct InterpStats {
   std::size_t entityCalls = 0;
   std::size_t compactions = 0;
   std::size_t variantRollbacks = 0;
+  /// Of `compactions`, how many were served from the compactor-prefix
+  /// cache instead of executed (docs/CACHING.md).
+  std::size_t prefixRestored = 0;
 };
 
 class Interpreter {
@@ -125,6 +132,14 @@ class Interpreter {
   void setEngine(Engine e) { engine_ = e; }
   Engine engine() const { return engine_; }
 
+  /// Route compact() statements through a compactor-prefix cache
+  /// (compact/prefix.h); nullptr (the default) executes every step.  Both
+  /// execution tiers drive the same cache — step fingerprints are computed
+  /// in the shared exec layer.  The caller keeps ownership; the cache must
+  /// outlive the interpreter.
+  void setPrefixCache(compact::PrefixCache* cache) { prefix_ = cache; }
+  compact::PrefixCache* prefixCache() const { return prefix_; }
+
  private:
   struct Frame;
   class Impl;
@@ -148,6 +163,7 @@ class Interpreter {
 
   const tech::Technology* tech_;
   Engine engine_ = defaultEngine();
+  compact::PrefixCache* prefix_ = nullptr;
   std::vector<EntityDecl> entities_;
   std::vector<VmEntity> vmEntities_;
   std::map<std::string, Value> globals_;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string_view>
 
+#include "compact/prefix.h"
 #include "lang/compiler.h"
 #include "lang/exec.h"
 #include "lang/token.h"
@@ -132,7 +133,8 @@ void VM::call(const Chunk& ch, Frame& f, const CallSite& cs) {
       rawScratch_.push_back({cs.argNames[i].empty() ? nullptr : &cs.argNames[i],
                              std::move(vals[i])});
     stack_.resize(base);
-    exec::ExecContext ctx{&tech_, f.self, &host_.stats_, &host_.output_};
+    exec::ExecContext ctx{&tech_, f.self, &host_.stats_, &host_.output_,
+                          host_.prefix_};
     stack_.push_back(exec::callBuiltin(
         ctx, static_cast<std::size_t>(cs.builtin), rawScratch_, cs.line, cs.col));
     return;
@@ -155,6 +157,9 @@ void VM::execVariant(const Chunk& ch, Frame& f, const VariantSite& vs) {
          "primitive calls build the entity under construction; move this "
          "statement into an ENT body");
   db::Module& me = *f.self;
+  // The snapshot copy below must see self's real bytes, not a parked
+  // prefix-cache restore (compact/prefix.h).
+  compact::prefixSync(me);
   const db::Module snapshotSelf = me;
   struct FrameSnap {
     std::vector<Value> slots;
@@ -209,6 +214,7 @@ void VM::execVariant(const Chunk& ch, Frame& f, const VariantSite& vs) {
       span.arg("winner", branchIdx);
       return;
     }
+    compact::prefixSync(me);  // rating and bestSelf read me directly
     double score;
     {
       obs::Span rateSpan("opt.rate");
@@ -540,11 +546,15 @@ db::Module VM::instantiate(
   try {
     runRange(ent.chunk, f, 0, static_cast<std::uint32_t>(ent.chunk.code.size()));
   } catch (...) {
+    compact::prefixAbandon(self);
     stack_.resize(stackBase);
     frames_.pop_back();
     --depth_;
     throw;
   }
+  // Frame end: flush any deferred prefix-cache restore and retire the
+  // session before self's bytes escape via the return copy.
+  compact::prefixEnd(self);
   frames_.pop_back();
   --depth_;
   return self;

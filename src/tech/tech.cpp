@@ -4,15 +4,21 @@
 #include <mutex>
 
 #include "tech/rulecache.h"
+#include "tech/techfile.h"
+#include "util/hash.h"
 
 namespace amg::tech {
 
 /// One lazily-built cache per rule-table state.  A mutation replaces the
 /// whole slot (never the cache inside a published slot), so readers that
-/// fetched rules() before the mutation keep a consistent snapshot.
+/// fetched rules() before the mutation keep a consistent snapshot.  The
+/// content fingerprint shares the slot: it is invalidated by exactly the
+/// same mutations.
 struct Technology::CacheSlot {
   std::once_flag once;
   std::unique_ptr<const RuleCache> cache;
+  std::once_flag fpOnce;
+  std::uint64_t fingerprint = 0;
 };
 
 Technology::Technology(std::string name)
@@ -23,6 +29,13 @@ const RuleCache& Technology::rules() const {
   std::call_once(slot.once,
                  [&] { slot.cache = std::make_unique<const RuleCache>(*this); });
   return *slot.cache;
+}
+
+std::uint64_t Technology::contentFingerprint() const {
+  CacheSlot& slot = *cacheSlot_;
+  std::call_once(slot.fpOnce,
+                 [&] { slot.fingerprint = util::fnv1a(saveTechFile(*this)); });
+  return slot.fingerprint;
 }
 
 void Technology::invalidateRules() { cacheSlot_ = std::make_shared<CacheSlot>(); }

@@ -136,6 +136,12 @@ class Technology {
   /// directly.
   const RuleCache& rules() const;
 
+  /// FNV-1a digest of the saveTechFile() round-trip text: any rule or
+  /// layer edit changes it.  Memoized in the same copy-on-invalidate slot
+  /// as rules(), so per-step cache-key computation pays the serialization
+  /// cost once per rule-table state, not once per call.
+  std::uint64_t contentFingerprint() const;
+
  private:
   static std::uint32_t pairKey(LayerId a, LayerId b) {
     if (a > b) std::swap(a, b);

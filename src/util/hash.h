@@ -1,0 +1,58 @@
+// Shared FNV-1a hashing for the caching tiers.
+//
+// One definition of the chained 64-bit FNV-1a digest used by every
+// content-addressed cache in the flow: the whole-layout cache and source
+// canonicalizer (gen/fingerprint.h), the VM's chunk cache, and the
+// compactor-prefix cache (compact/prefix.h).  It lives in util so layers
+// below gen can hash without a dependency cycle (amg_gen links amg_lang
+// links amg_compact; the prefix cache hashes from inside amg_compact).
+//
+// The chaining convention: feed the previous digest back in as `seed`.
+// Byte-sequence hashes mix the length first, so field boundaries are
+// unambiguous — ("ab","c") and ("a","bc") chain differently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace amg::util {
+
+/// FNV-1a offset basis; pass as `seed` to start a fresh hash chain.
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Chain a raw integer into a hash (little-endian bytes).
+constexpr std::uint64_t fnv1a(std::uint64_t value, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 64-bit FNV-1a over `data`, chained (length-prefixed, see above).
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = kFnvBasis) {
+  std::uint64_t h = fnv1a(static_cast<std::uint64_t>(data.size()), seed);
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex form of a key (disk-cache file stem).
+inline std::string keyHex(std::uint64_t key) {
+  const char* hex = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = hex[key & 0xF];
+    key >>= 4;
+  }
+  return s;
+}
+
+}  // namespace amg::util
