@@ -41,8 +41,8 @@ void usage(const char* argv0, std::FILE* out) {
       "  --dump-bc       after a clean lint, disassemble each file's compiled\n"
       "                  bytecode with source lines interleaved"
       " (docs/BYTECODE.md)\n"
-      "  --help          show this help and exit\n",
-      argv0);
+      "  --help          show this help and exit\n%s",
+      argv0, cli::obsUsage());
 }
 
 struct Source {
@@ -53,11 +53,14 @@ struct Source {
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::installFlight();
   std::string techSpec = "bicmos1u", jsonPath;
   bool werror = false, builtin = false, quiet = false, dumpBc = false;
+  obs::CliOptions obsOpts;
   std::vector<const char*> positional;
 
   for (int i = 1; i < argc; ++i) {
+    if (cli::parseObsFlag(argc, argv, i, obsOpts)) continue;
     if (std::strncmp(argv[i], "--tech=", 7) == 0)
       techSpec = argv[i] + 7;
     else if (std::strcmp(argv[i], "--tech") == 0 && i + 1 < argc)
@@ -179,10 +182,12 @@ int main(int argc, char** argv) {
         std::fputs(lang::disassemble(*prog, s.text).c_str(), stdout);
       } catch (const util::DiagError& e) {
         cli::printDiag(e.diag(), s.text);
+        cli::finishObs(obsOpts);
         return 1;
       }
     }
   }
 
+  cli::finishObs(obsOpts);
   return rep.clean(werror) ? 0 : 1;
 }

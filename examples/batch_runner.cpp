@@ -13,14 +13,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cli_common.h"
 #include "gen/engine.h"
+#include "gen/fingerprint.h"
 #include "gen/manifest.h"
 #include "io/svg.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "obs/stats_writer.h"
 #include "tech/builtin.h"
 #include "tech/techfile.h"
@@ -48,17 +51,20 @@ void usage(const char* argv0, std::FILE* out) {
       "  --prefix-cache-mb N   prefix-cache memory budget in MiB (default 64)\n"
       "  --prefix-cache-dir D  also keep prefix snapshots on disk under D\n"
       "  --report FILE   write the aggregate JSON report to FILE\n"
+      "  --record FILE   record every job to an AMGT request trace; re-run\n"
+      "                  and verify it with amg_replay (docs/OBSERVABILITY.md)\n"
       "  --svg PREFIX    write each successful layout as PREFIX_<job>.svg\n"
       "%s"
       "  --help          show this help and exit\n%s",
-      argv0, cli::interpUsage(), obs::cliUsage());
+      argv0, cli::interpUsage(), cli::obsUsage());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  cli::installFlight();
   gen::EngineConfig cfg;
-  std::string techOverride, reportPath, svgPrefix;
+  std::string techOverride, reportPath, svgPrefix, recordPath;
   obs::CliOptions obsOpts;
   std::vector<const char*> positional;
 
@@ -82,6 +88,8 @@ int main(int argc, char** argv) {
       reportPath = v5;
     else if (const char* v6 = value(i, "--svg"))
       svgPrefix = v6;
+    else if (const char* v9 = value(i, "--record"))
+      recordPath = v9;
     else if (const char* v7 = value(i, "--prefix-cache-mb"))
       cfg.prefix.maxBytes = static_cast<std::size_t>(std::atol(v7)) << 20;
     else if (const char* v8 = value(i, "--prefix-cache-dir"))
@@ -97,7 +105,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
-    } else if (obs::parseCliFlag(argc, argv, i, obsOpts))
+    } else if (cli::parseObsFlag(argc, argv, i, obsOpts))
       continue;
     else
       positional.push_back(argv[i]);
@@ -123,8 +131,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::optional<obs::Recorder> recorder;
+  if (!recordPath.empty()) {
+    obs::TraceHeader hdr;
+    hdr.tool = "batch_runner";
+    hdr.techSpec = techOverride.empty() ? manifest.techSpec : techOverride;
+    hdr.techFingerprint = gen::techFingerprint(*tech);
+    hdr.interp = cfg.interp == lang::Engine::Vm ? 1 : 0;
+    hdr.cacheEnabled = cfg.useCache;
+    hdr.prefixCacheEnabled = cfg.prefixCache && compact::prefixCacheEnvEnabled();
+    const obs::SpatialEngineConfig& se = obs::spatialEngines();
+    hdr.spatialEngines =
+        static_cast<std::uint8_t>((se.compactIndexed ? 1u : 0u) |
+                                  (se.drcIndexed ? 2u : 0u) |
+                                  (se.connectivityIndexed ? 4u : 0u) |
+                                  (se.routeIndexed ? 8u : 0u));
+    try {
+      recorder.emplace(recordPath, std::move(hdr));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    cfg.recorder = &*recorder;
+  }
+
   gen::BatchEngine engine(*tech, cfg);
   const gen::BatchReport report = engine.run(manifest.jobs);
+  if (recorder)
+    std::printf("recorded %zu requests to %s\n", recorder->recordCount(),
+                recordPath.c_str());
 
   std::printf("%-28s %-6s %-9s %s\n", "job", "state", "wall (ms)", "detail");
   for (std::size_t i = 0; i < report.jobs.size(); ++i) {
@@ -195,6 +230,6 @@ int main(int argc, char** argv) {
     else
       std::printf("report written to %s\n", reportPath.c_str());
   }
-  obs::finishCli(obsOpts);
+  cli::finishObs(obsOpts);
   return report.failed == 0 ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 #include <cstring>
 
 #include "lang/interp.h"
+#include "obs/flight.h"
+#include "obs/obs.h"
 #include "tech/builtin.h"
 #include "tech/techfile.h"
 #include "util/diag.h"
@@ -70,5 +72,24 @@ inline const char* interpUsage() {
   return "  --interp=E      execution tier: vm (bytecode, default) or tree\n"
          "                  (AST walker, the differential oracle)\n";
 }
+
+/// The standard observability trio (--trace / --stats / --log-level),
+/// shared by every CLI so all tools present one obs-flag surface
+/// (docs/CLI.md).  Thin forwarding wrappers over obs::parseCliFlag /
+/// obs::finishCli so the tools only include this header.
+inline bool parseObsFlag(int argc, char** argv, int& i, obs::CliOptions& o) {
+  return obs::parseCliFlag(argc, argv, i, o);
+}
+
+/// End-of-run hook writing whatever the parsed obs flags asked for.
+inline void finishObs(const obs::CliOptions& o) { obs::finishCli(o); }
+
+/// Usage snippet for the trio, for the tools' --help text.
+inline const char* obsUsage() { return obs::cliUsage(); }
+
+/// Arm the always-on flight recorder's crash handlers (obs/flight.h): a
+/// SIGSEGV/SIGABRT/std::terminate post-mortems itself with the recent
+/// span/log/mark ring on stderr.  Every CLI calls this first thing.
+inline void installFlight() { obs::flight::installCrashHandlers(); }
 
 }  // namespace amg::cli

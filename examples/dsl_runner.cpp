@@ -16,17 +16,24 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyzer.h"
 #include "cli_common.h"
 #include "drc/drc.h"
+#include "gen/fingerprint.h"
+#include "gen/replay.h"
+#include "io/layout.h"
 #include "io/svg.h"
 #include "lang/interp.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "tech/builtin.h"
 #include "util/diag.h"
+#include "util/hash.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -38,17 +45,21 @@ void usage(const char* argv0, std::FILE* out) {
                " hardware threads; default 1)\n"
                "  --lint          statically analyze the script before running"
                " it; lint errors stop the run (docs/LINT.md)\n"
+               "  --record FILE   record each produced object as an AMGT\n"
+               "                  request trace (replay with amg_replay)\n"
                "%s"
                "  --help          show this help and exit\n%s",
-               argv0, amg::cli::interpUsage(), amg::obs::cliUsage());
+               argv0, amg::cli::interpUsage(), amg::cli::obsUsage());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace amg;
+  cli::installFlight();
   std::size_t jobs = 1;
   bool lint = false;
+  std::string recordPath;
   lang::Engine engine = lang::defaultEngine();
   obs::CliOptions obsOpts;
   std::vector<const char*> positional;
@@ -59,12 +70,16 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::atol(argv[++i]));
     else if (std::strcmp(argv[i], "--lint") == 0)
       lint = true;
+    else if (std::strncmp(argv[i], "--record=", 9) == 0)
+      recordPath = argv[i] + 9;
+    else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc)
+      recordPath = argv[++i];
     else if (cli::parseInterpFlag(argc, argv, i, engine))
       continue;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
-    } else if (obs::parseCliFlag(argc, argv, i, obsOpts))
+    } else if (cli::parseObsFlag(argc, argv, i, obsOpts))
       continue;
     else
       positional.push_back(argv[i]);
@@ -98,18 +113,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::optional<obs::Recorder> recorder;
+  if (!recordPath.empty()) {
+    obs::TraceHeader hdr;
+    hdr.tool = "dsl_runner";
+    hdr.techSpec = "bicmos1u";
+    hdr.techFingerprint = gen::techFingerprint(t);
+    hdr.interp = engine == lang::Engine::Vm ? 1 : 0;
+    // dsl_runner has no cache tiers; replay under the same conditions.
+    hdr.cacheEnabled = false;
+    hdr.prefixCacheEnabled = false;
+    const obs::SpatialEngineConfig& se = obs::spatialEngines();
+    hdr.spatialEngines =
+        static_cast<std::uint8_t>((se.compactIndexed ? 1u : 0u) |
+                                  (se.drcIndexed ? 2u : 0u) |
+                                  (se.connectivityIndexed ? 4u : 0u) |
+                                  (se.routeIndexed ? 8u : 0u));
+    try {
+      recorder.emplace(recordPath, std::move(hdr));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
   lang::Interpreter in(t);
   in.setEngine(engine);
+  obs::Span runSpan("dsl.run");
   try {
     in.run(src.str(), positional[0]);
   } catch (const util::DiagError& e) {
+    // A failed whole-script run cannot be re-executed per object; record
+    // it as one External request so --against diffs still see it.
+    if (recorder) {
+      obs::RequestRecord rec;
+      rec.kind = obs::RequestKind::External;
+      rec.name = positional[0];
+      rec.scriptPath = positional[0];
+      rec.outcome.ok = false;
+      rec.outcome.diagCode = e.diag().code;
+      rec.outcome.wallMs = runSpan.elapsedSeconds() * 1e3;
+      recorder->append(rec);
+    }
     // Caret-style rendering against the offending source line.
     cli::printDiag(e.diag(), src.str());
     return 1;
   } catch (const Error& e) {
+    if (recorder) {
+      obs::RequestRecord rec;
+      rec.kind = obs::RequestKind::External;
+      rec.name = positional[0];
+      rec.scriptPath = positional[0];
+      rec.outcome.ok = false;
+      rec.outcome.diagCode = "AMG-GEN-001";
+      rec.outcome.wallMs = runSpan.elapsedSeconds() * 1e3;
+      recorder->append(rec);
+    }
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  const double runMs = runSpan.elapsedSeconds() * 1e3;
 
   for (const std::string& line : in.output()) std::printf("print: %s\n", line.c_str());
 
@@ -139,9 +202,42 @@ int main(int argc, char** argv) {
                 violationCount[i] == 0 ? "clean" : "VIOLATIONS");
     io::writeSvg(*m, prefix + "_" + name + ".svg");
   }
+  // One Script-kind request per produced object: replaying any of them
+  // re-runs the whole script and takes that global as the product, so the
+  // recorded whole-run counters are exactly what a replay reproduces.
+  if (recorder) {
+    for (const auto& [name, m] : objects) {
+      gen::Job job;
+      job.name = name;
+      job.scriptPath = positional[0];
+      job.script = src.str();
+      job.resultVar = name;
+      gen::JobResult res;
+      res.name = name;
+      res.ok = true;
+      db::Module copy = *m;
+      // The batch engine stamps the job name onto anonymous modules before
+      // serializing; hash the same bytes a replay will.
+      if (copy.name().empty()) copy.setName(name);
+      const std::vector<std::uint8_t> bytes = io::serializeLayout(copy);
+      res.layoutHash = util::fnv1a(
+          std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size()));
+      res.layout = std::move(copy);
+      res.statements = in.stats().statementsExecuted;
+      res.entityCalls = in.stats().entityCalls;
+      res.compactions = in.stats().compactions;
+      res.variantRollbacks = in.stats().variantRollbacks;
+      res.prefixRestored = in.stats().prefixRestored;
+      res.wallMs = runMs;
+      recorder->append(gen::recordOf(job, res));
+    }
+    std::printf("recorded %zu requests to %s\n", recorder->recordCount(),
+                recordPath.c_str());
+  }
   std::printf("interpreter: %zu statements, %zu entity calls, %zu compactions\n",
               in.stats().statementsExecuted, in.stats().entityCalls,
               in.stats().compactions);
-  obs::finishCli(obsOpts);
+  cli::finishObs(obsOpts);
   return 0;
 }

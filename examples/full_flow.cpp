@@ -10,13 +10,28 @@
 //
 //   $ ./full_flow [--jobs N]
 //   $ ./full_flow --trace trace.json --stats=stats.json
+//   $ ./full_flow --record flow.amgt
 //
 // --jobs N runs the §2.4 compaction-order report (stage 1b) on N threads
 // (0 = all hardware threads; default 1).  The observability flags
 // (--trace/--stats/--log-level) are shared with dsl_runner; see obs/obs.h.
+// --record captures the run as a one-request AMGT trace (obs/recorder.h):
+// the pipeline is C++ code, not a replayable DSL request, so the record is
+// External-kind — amg_replay skips it, but `amg_replay --against` diffs two
+// recorded runs digest-by-digest (CI runs the flow twice and asserts the
+// top-level layout is byte-stable).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cli_common.h"
+#include "gen/fingerprint.h"
+#include "io/layout.h"
+#include "obs/recorder.h"
+#include "util/hash.h"
 
 #include "db/connectivity.h"
 #include "obs/obs.h"
@@ -77,17 +92,26 @@ int main(int argc, char** argv) {
           "usage: %s [options]\n"
           "  --jobs N        run the compaction-order report on N threads"
           " (0 = all hardware threads; default 1)\n"
+          "  --record FILE   append this run to FILE as an External-kind\n"
+          "                  request trace (compare runs: amg_replay --against)\n"
           "  --help          show this help and exit\n%s",
-          argv[0], obs::cliUsage());
+          argv[0], cli::obsUsage());
       return 0;
     }
   }
+  cli::installFlight();
   const tech::Technology& t = tech::bicmos1u();
   const std::size_t jobs = parseJobs(argc, argv);
   obs::CliOptions obsOpts;
+  std::string recordPath;
   for (int i = 1; i < argc; ++i) {
-    if (obs::parseCliFlag(argc, argv, i, obsOpts)) continue;
+    if (cli::parseObsFlag(argc, argv, i, obsOpts)) continue;
+    if (std::strncmp(argv[i], "--record=", 9) == 0)
+      recordPath = argv[i] + 9;
+    else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc)
+      recordPath = argv[++i];
   }
+  obs::Span flowSpan("flow.total");
   std::printf("Full flow in %s\n", t.name().c_str());
 
   // --- 1. generation -------------------------------------------------------
@@ -230,6 +254,42 @@ int main(int argc, char** argv) {
   std::printf("  wrote full_flow.{svg,cif,gds}; total %.0f x %.0f um\n",
               (double)top.bbox().width() / kMicron,
               (double)top.bbox().height() / kMicron);
-  obs::finishCli(obsOpts);
-  return violations.empty() && lvsRes.matched ? 0 : 1;
+
+  const bool flowOk = violations.empty() && lvsRes.matched;
+  if (!recordPath.empty()) {
+    obs::TraceHeader hdr;
+    hdr.tool = "full_flow";
+    hdr.techSpec = "bicmos1u";
+    hdr.techFingerprint = gen::techFingerprint(t);
+    hdr.interp = 1;  // no DSL involved; header default
+    hdr.cacheEnabled = false;
+    hdr.prefixCacheEnabled = false;
+    const obs::SpatialEngineConfig& se = obs::spatialEngines();
+    hdr.spatialEngines =
+        static_cast<std::uint8_t>((se.compactIndexed ? 1u : 0u) |
+                                  (se.drcIndexed ? 2u : 0u) |
+                                  (se.connectivityIndexed ? 4u : 0u) |
+                                  (se.routeIndexed ? 8u : 0u));
+    try {
+      obs::Recorder recorder(recordPath, std::move(hdr));
+      obs::RequestRecord rec;
+      rec.kind = obs::RequestKind::External;
+      rec.name = "full_flow.top";
+      rec.outcome.ok = flowOk;
+      const std::vector<std::uint8_t> bytes = io::serializeLayout(top);
+      rec.outcome.layoutHash = util::fnv1a(
+          std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size()));
+      rec.outcome.shapeCount = top.shapeCount();
+      if (!flowOk) rec.outcome.diagCode = "AMG-FLOW-001";
+      rec.outcome.wallMs = flowSpan.elapsedSeconds() * 1e3;
+      recorder.append(rec);
+      std::printf("  recorded 1 request to %s\n", recordPath.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  cli::finishObs(obsOpts);
+  return flowOk ? 0 : 1;
 }

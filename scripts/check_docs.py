@@ -20,6 +20,12 @@ Three checks, all run by CI (.github/workflows/ci.yml):
    row must still exist in the header — both directions, so the VM
    spec can never silently drift from the implementation.
 
+5. Observability registry: every counter/histogram name instrumented
+   with OBS_COUNT / OBS_COUNT_N / OBS_HIST under src/ must have a
+   registry row in docs/OBSERVABILITY.md, and every documented row must
+   still exist in the sources — both directions, with matching kind
+   (counter vs histogram).
+
 Usage:
     python3 scripts/check_docs.py [--bin-dir build/examples]
 
@@ -36,7 +42,8 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Binaries whose every --help flag must be documented in docs/CLI.md.
-DOCUMENTED_BINARIES = ["dsl_runner", "full_flow", "batch_runner", "amg_lint"]
+DOCUMENTED_BINARIES = ["dsl_runner", "full_flow", "batch_runner", "amg_lint",
+                       "amg_replay"]
 
 # Markdown files whose relative links must resolve.
 LINKED_DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
@@ -201,6 +208,56 @@ def check_opcode_registry():
     return errors
 
 
+# An instrumentation site: OBS_COUNT("name"), OBS_COUNT_N("name", n) or
+# OBS_HIST("name", v).  Names are required to be string literals (see
+# docs/OBSERVABILITY.md "Instrumenting new code"), so a source grep is the
+# ground truth.
+OBS_SITE_RE = re.compile(r'OBS_(COUNT_N|COUNT|HIST)\(\s*"([^"]+)"')
+# A registry row: | `name` | counter/histogram | description... |
+OBS_DOC_ROW_RE = re.compile(
+    r"^\|\s*`([a-z][a-z0-9_.]*)`\s*\|\s*(counter|histogram)\s*\|", re.M)
+
+
+def check_obs_registry():
+    """OBS_* sites under src/ <-> docs/OBSERVABILITY.md registry table."""
+    errors = []
+    instrumented = {}  # name -> "counter" | "histogram"
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+        for entry in sorted(files):
+            if not entry.endswith((".cpp", ".h")):
+                continue
+            with open(os.path.join(root, entry), encoding="utf-8") as f:
+                for macro, name in OBS_SITE_RE.findall(f.read()):
+                    kind = "histogram" if macro == "HIST" else "counter"
+                    prev = instrumented.setdefault(name, kind)
+                    if prev != kind:
+                        errors.append(f"{name} is used both as a counter and "
+                                      "a histogram under src/")
+    if not instrumented:
+        return ["no OBS_COUNT/OBS_HIST sites found under src/; obs registry "
+                "check would be vacuous"]
+
+    obs_md = os.path.join(REPO, "docs", "OBSERVABILITY.md")
+    try:
+        with open(obs_md, encoding="utf-8") as f:
+            documented = dict(OBS_DOC_ROW_RE.findall(f.read()))
+    except OSError as e:
+        return [f"cannot read docs/OBSERVABILITY.md: {e}"]
+
+    for name in sorted(set(instrumented) - set(documented)):
+        errors.append(f"{instrumented[name]} {name} is instrumented under "
+                      "src/ but has no registry row in docs/OBSERVABILITY.md")
+    for name in sorted(set(documented) - set(instrumented)):
+        errors.append(f"docs/OBSERVABILITY.md documents {name} but no "
+                      "OBS_* site under src/ uses it (stale registry row?)")
+    for name in sorted(set(instrumented) & set(documented)):
+        if instrumented[name] != documented[name]:
+            errors.append(f"{name}: docs/OBSERVABILITY.md says "
+                          f"{documented[name]} but src/ instruments it as a "
+                          f"{instrumented[name]}")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin-dir", default=os.path.join("build", "examples"),
@@ -217,10 +274,11 @@ def main():
     errors += check_links()
     errors += check_lint_registry()
     errors += check_opcode_registry()
+    errors += check_obs_registry()
     if errors:
         return fail(errors)
     print("check_docs: OK (CLI flags documented, markdown links resolve, "
-          "lint-code and opcode registries in sync)")
+          "lint-code, opcode and observability registries in sync)")
     return 0
 
 

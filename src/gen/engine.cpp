@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string_view>
 #include <unordered_map>
 
 #include "analysis/analyzer.h"
 #include "gen/fingerprint.h"
+#include "gen/replay.h"
 #include "io/layout.h"
 #include "lang/interp.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 
 namespace amg::gen {
 namespace {
@@ -28,6 +31,13 @@ util::Diag diagOf(const std::exception& e, const Job& job) {
   d.loc.file = job.scriptPath;
   d.hint = "";
   return d;
+}
+
+/// Behavioral identity of a serialized layout — what request traces and
+/// replay digests compare (obs/recorder.h).
+std::uint64_t layoutHashOf(const std::vector<std::uint8_t>& bytes) {
+  return fnv1a(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                bytes.size()));
 }
 
 }  // namespace
@@ -75,10 +85,12 @@ JobResult BatchEngine::runOne(const Job& job) {
   JobResult res;
   res.name = job.name;
   res.key = keyOf(job);
+  obs::flight::mark("gen.job", job.name.c_str());
 
   try {
     if (cfg_.useCache) {
       if (auto bytes = cache_->get(res.key)) {
+        res.layoutHash = layoutHashOf(*bytes);
         res.layout = io::deserializeLayout(*bytes, *tech_);
         res.ok = true;
         res.cacheHit = true;
@@ -113,10 +125,16 @@ JobResult BatchEngine::runOne(const Job& job) {
     }();
     if (m.name().empty()) m.setName(job.name);
 
-    if (cfg_.useCache) cache_->put(res.key, io::serializeLayout(m));
+    std::vector<std::uint8_t> bytes = io::serializeLayout(m);
+    res.layoutHash = layoutHashOf(bytes);
+    if (cfg_.useCache) cache_->put(res.key, std::move(bytes));
     res.layout = std::move(m);
     res.ok = true;
     res.prefixRestored = interp.stats().prefixRestored;
+    res.statements = interp.stats().statementsExecuted;
+    res.entityCalls = interp.stats().entityCalls;
+    res.compactions = interp.stats().compactions;
+    res.variantRollbacks = interp.stats().variantRollbacks;
     span.arg("cache", "miss");
     if (prefix_)
       span.arg("prefix_restored",
@@ -127,6 +145,11 @@ JobResult BatchEngine::runOne(const Job& job) {
     OBS_COUNT("gen.jobs.failed");
     OBS_LOG(Warn, "gen.job", job.name + " failed: " + res.diag->str());
     span.arg("error", res.diag->code);
+    // Post-mortem for the first failure of the run: the flight recorder
+    // holds the spans/logs/marks leading up to it (docs/OBSERVABILITY.md).
+    obs::flight::mark("gen.job.fail", res.diag->code.c_str());
+    if (!flightDumped_.exchange(true, std::memory_order_acq_rel))
+      obs::flight::dumpToStream();
   }
   res.wallMs = span.elapsedSeconds() * 1e3;
   return res;
@@ -268,6 +291,7 @@ std::vector<std::size_t> BatchEngine::scheduleOrder(
 BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
   obs::Span span("gen.batch");
   span.arg("jobs", static_cast<std::uint64_t>(jobs.size()));
+  flightDumped_.store(false, std::memory_order_relaxed);
   BatchReport report;
   report.jobs.resize(jobs.size());
 
@@ -318,6 +342,13 @@ BatchReport BatchEngine::run(const std::vector<Job>& jobs) {
   }
   OBS_COUNT_N("gen.jobs.total", jobs.size());
   OBS_COUNT_N("gen.jobs.ok", report.succeeded);
+
+  // Record after the barrier, in submission order: the trace file is
+  // deterministic for a given manifest regardless of worker interleaving.
+  if (cfg_.recorder)
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      cfg_.recorder->append(recordOf(jobs[i], report.jobs[i]));
+
   report.wallMs = span.elapsedSeconds() * 1e3;
   return report;
 }

@@ -11,6 +11,7 @@
 // (docs/OBSERVABILITY.md).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -24,6 +25,10 @@
 
 namespace amg::analysis {
 struct Report;
+}
+
+namespace amg::obs {
+class Recorder;
 }
 
 namespace amg::gen {
@@ -51,6 +56,10 @@ struct EngineConfig {
   /// --no-prefix-cache.
   bool prefixCache = true;
   compact::PrefixCacheConfig prefix;  ///< budget + optional disk tier
+  /// When set, every job is appended as a request record after the batch
+  /// completes, in submission order (obs/recorder.h, docs/OBSERVABILITY.md).
+  /// The recorder must outlive the engine's run() calls; not owned.
+  obs::Recorder* recorder = nullptr;
 };
 
 class BatchEngine {
@@ -90,6 +99,9 @@ class BatchEngine {
   std::unique_ptr<LayoutCache> cache_;
   std::unique_ptr<compact::PrefixCache> prefix_;
   util::ThreadPool pool_;
+  /// First job failure of a run dumps the flight recorder (obs/flight.h)
+  /// exactly once; reset at the start of every run().
+  std::atomic<bool> flightDumped_{false};
 };
 
 }  // namespace amg::gen

@@ -44,6 +44,17 @@ struct JobResult {
   /// Compaction steps served from the compactor-prefix cache instead of
   /// executed (docs/CACHING.md; 0 when the tier is disabled or cold).
   std::size_t prefixRestored = 0;
+  /// FNV-1a over the serialized layout bytes (io::serializeLayout); the
+  /// behavioral identity of the product, recorded into request traces
+  /// (obs/recorder.h).  0 when the job failed.
+  std::uint64_t layoutHash = 0;
+  /// Interpreter work counters (lang::InterpStats) for jobs that actually
+  /// executed; all zero for cache hits and rejections.  Context for replay
+  /// divergence reports — never part of the outcome digest.
+  std::uint64_t statements = 0;
+  std::uint64_t entityCalls = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t variantRollbacks = 0;
   std::optional<db::Module> layout;  ///< present when ok
   std::optional<util::Diag> diag;    ///< present when failed
   /// Convenience: diagnostic rendered as one line ("" when ok).

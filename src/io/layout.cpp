@@ -5,6 +5,7 @@
 #include <map>
 
 #include "util/diag.h"
+#include "util/wire.h"
 
 namespace amg::io {
 namespace {
@@ -25,63 +26,22 @@ constexpr std::uint32_t kSessionVersion = 1;
   throw util::DiagError(std::move(d));
 }
 
-// --- little-endian writer -------------------------------------------------
+// --- wire primitives (util/wire.h), with this format's truncation code ----
 
-class Writer {
+using Writer = util::WireWriter;
+
+util::Diag truncationDiag() {
+  util::Diag d;
+  d.code = "AMG-IO-003";
+  d.message = "layout blob is truncated or corrupt";
+  d.hint = "regenerate the cache entry; stale files can be deleted safely";
+  return d;
+}
+
+class Reader : public util::WireReader {
  public:
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u16(std::uint16_t v) { le(v, 2); }
-  void u32(std::uint32_t v) { le(v, 4); }
-  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
-  }
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-
- private:
-  void le(std::uint64_t v, int bytes) {
-    for (int i = 0; i < bytes; ++i)
-      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
-  }
-  std::vector<std::uint8_t> out_;
-};
-
-// --- bounds-checked little-endian reader ----------------------------------
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::uint8_t>& b) : b_(b) {}
-
-  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
-  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
-  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
-  std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
-  std::string str() {
-    const std::uint32_t n = u32();
-    if (pos_ + n > b_.size()) truncated();
-    std::string s(b_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                  b_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-    pos_ += n;
-    return s;
-  }
-  bool done() const { return pos_ == b_.size(); }
-
- private:
-  [[noreturn]] void truncated() {
-    fail("AMG-IO-003", "layout blob is truncated or corrupt",
-         "regenerate the cache entry; stale files can be deleted safely");
-  }
-  std::uint64_t le(int bytes) {
-    if (pos_ + static_cast<std::size_t>(bytes) > b_.size()) truncated();
-    std::uint64_t v = 0;
-    for (int i = 0; i < bytes; ++i)
-      v |= static_cast<std::uint64_t>(b_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
-    pos_ += static_cast<std::size_t>(bytes);
-    return v;
-  }
-  const std::vector<std::uint8_t>& b_;
-  std::size_t pos_ = 0;
+  explicit Reader(const std::vector<std::uint8_t>& b)
+      : util::WireReader(b, truncationDiag()) {}
 };
 
 std::uint8_t edgeBits(const db::EdgeFlags& f) {

@@ -232,6 +232,7 @@ Value doCompact(ExecContext& ctx, Raw& raw, int line, int col) {
   ++ctx.stats->compactions;
   if (restored) ++ctx.stats->prefixRestored;
   OBS_COUNT("lang.compactions");
+  obs::flight::mark("lang.compact", restored ? "restored" : "executed");
   return Value{};
 }
 
@@ -432,15 +433,21 @@ Value callBuiltin(ExecContext& ctx, std::size_t ordinal,
       return h.bound(ctx, a, line, col);
     }
   } catch (const LangError&) {
+    obs::flight::mark("lang.builtin.fail", sig.name);
     throw;
   } catch (const DesignRuleError&) {
+    // Breadcrumb for post-mortems: which builtin tripped the rule that a
+    // VARIANT may be about to roll back on (obs/flight.h).
+    obs::flight::mark("lang.designrule.fail", sig.name);
     throw;  // preserved for VARIANT backtracking
   } catch (const util::DiagError& err) {
+    obs::flight::mark("lang.builtin.fail", sig.name);
     util::Diag d = err.diag();
     if (!d.loc.known()) d.loc = {"", line, col};
     d.message += " (in " + std::string(sig.name) + "())";
     throw LangError(std::move(d));
   } catch (const Error& err) {
+    obs::flight::mark("lang.builtin.fail", sig.name);
     fail("AMG-INTERP-012",
          std::string(err.what()) + " (in " + std::string(sig.name) + "())", line,
          col, "");

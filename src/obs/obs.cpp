@@ -95,6 +95,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   };
   s.p50 = percentile(0.50);
   s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
   return s;
 }
 
@@ -181,9 +182,9 @@ void Stats::dumpText(std::FILE* out) const {
   for (const auto& [name, s] : histograms()) {
     if (s.count == 0) continue;
     std::fprintf(out,
-                 "  %-44s count=%" PRIu64 " p50=%.0f p95=%.0f max=%" PRIu64
+                 "  %-44s count=%" PRIu64 " p50=%.0f p95=%.0f p99=%.0f max=%" PRIu64
                  " sum=%" PRIu64 "\n",
-                 name.c_str(), s.count, s.p50, s.p95, s.max, s.sum);
+                 name.c_str(), s.count, s.p50, s.p95, s.p99, s.max, s.sum);
   }
 }
 
@@ -214,6 +215,7 @@ void writeStatsBody(JsonWriter& w, const Stats& stats) {
     w.field("max", s.max);
     w.field("p50", s.p50);
     w.field("p95", s.p95);
+    w.field("p99", s.p99);
     w.end();
   }
   w.end();
@@ -390,8 +392,10 @@ double Span::elapsedSeconds() const {
 }
 
 void Span::finish() {
-  if (!active_ || finished_) return;
+  if (finished_) return;
   finished_ = true;
+  flight::noteSpanEnd(name_);
+  if (!active_) return;
   const auto end = std::chrono::steady_clock::now();
   Tracer& t = Tracer::global();
   const std::int64_t startNs = t.sinceEpochNs(start_);
@@ -426,6 +430,10 @@ void logEmit(LogLevel level, const char* category, std::string message) {
                 std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               logEpoch())
                     .count()};
+  // Only level-enabled messages reach here (OBS_LOG gates first), so the
+  // flight recorder's copy preserves the lazy-message guarantee.
+  flight::noteLog(static_cast<int>(rec.level), rec.category,
+                  rec.message.c_str(), rec.message.size());
   std::lock_guard<std::mutex> lock(gLogMu);
   if (gLogSink) {
     gLogSink(rec);

@@ -41,6 +41,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/flight.h"
+
 namespace amg::obs {
 
 // --------------------------------------------------------------------------
@@ -101,7 +103,7 @@ class Histogram {
 
   struct Snapshot {
     std::uint64_t count = 0, sum = 0, min = 0, max = 0;
-    double p50 = 0, p95 = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
   };
   Snapshot snapshot() const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -255,7 +257,11 @@ class Span {
   explicit Span(const char* name)
       : name_(name),
         active_(traceEnabled()),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    // The flight recorder (flight.h) sees every span regardless of whether
+    // tracing is enabled — that's its whole point.
+    flight::noteSpanBegin(name_, start_);
+  }
   ~Span() { finish(); }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;

@@ -65,6 +65,7 @@ bool StatsWriter::write(const std::string& path) const {
       w.field("max", s.max);
       w.field("p50", s.p50);
       w.field("p95", s.p95);
+      w.field("p99", s.p99);
       w.end();
     }
     w.end();

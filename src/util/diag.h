@@ -16,6 +16,7 @@
 //   AMG-INTERP-* interpreter         AMG-TECH-*   technology file
 //   AMG-PRIM-*   primitive shapes    AMG-MAN-*    batch manifest
 //   AMG-IO-*     layout serializer   AMG-GEN-*    batch engine
+//   AMG-OBS-*    request traces (obs/recorder.h)
 #pragma once
 
 #include <string>

@@ -1,0 +1,96 @@
+// Little-endian wire primitives shared by every versioned binary format
+// in the repo (AMGL layouts, AMGS session snapshots, AMGT request traces).
+//
+// Writer appends to a growable byte vector; Reader is bounds-checked and
+// throws a util::DiagError with a caller-supplied diagnostic the moment a
+// read would run past the end, so each format keeps its own stable
+// truncation code (AMG-IO-003 for layouts, AMG-OBS-003 for traces).
+//
+// Both sides agree on the encoding: fixed-width integers little-endian,
+// strings as u32 length + raw bytes, f64 as the IEEE-754 bit pattern in a
+// u64.  No alignment, no padding — a format is exactly the sequence of
+// calls made against it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/diag.h"
+
+namespace amg::util {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  void le(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i)
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+  std::vector<std::uint8_t> out_;
+};
+
+class WireReader {
+ public:
+  /// `onTruncation` is thrown (as util::DiagError) whenever a read would
+  /// pass the end of the buffer; fill in the owning format's stable code.
+  WireReader(const std::vector<std::uint8_t>& b, util::Diag onTruncation)
+      : b_(b), truncDiag_(std::move(onTruncation)) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (pos_ + n > b_.size()) truncated();
+    std::string s(b_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  b_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+  bool done() const { return pos_ == b_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  [[noreturn]] void truncated() { throw util::DiagError(truncDiag_); }
+  std::uint64_t le(int bytes) {
+    if (pos_ + static_cast<std::size_t>(bytes) > b_.size()) truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+      v |= static_cast<std::uint64_t>(b_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += static_cast<std::size_t>(bytes);
+    return v;
+  }
+  const std::vector<std::uint8_t>& b_;
+  util::Diag truncDiag_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace amg::util
