@@ -1,0 +1,280 @@
+// E14: generation-as-a-service — the resident amg_serve daemon against
+// cold batch_runner process launches.
+//
+// The workload is a 20-job parameter sweep whose entities compact a
+// 140-step shared column (the bench_batch shape, scaled for wall-clock
+// signal).  Both contenders run the *real binaries* end to end:
+//
+//   * cold    -> spawn `batch_runner <manifest>`: process launch, deck
+//     construction, full cold generation.  Every iteration pays it all
+//     again — the pre-daemon workflow.
+//   * served  -> spawn `batch_runner --connect <sock> <manifest>` against
+//     a warm amg_serve: process launch + wire round-trip; the layouts
+//     come from the daemon's resident caches.
+//
+// Gates (non-zero exit on failure, BENCH_serve.json for the CI trend):
+//   * served layouts byte-identical to an in-process gen::BatchEngine run
+//     of the same manifest;
+//   * warm served round-trip >= 10x faster than the cold process launch;
+//   * the daemon's --record AMGT trace replays divergence-free and its
+//     per-request outcomes match a batch_runner --record trace of the
+//     same manifest (outcome digests ignore cache context by design).
+#include <benchmark/benchmark.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capi/client.h"
+#include "gen/engine.h"
+#include "gen/manifest.h"
+#include "gen/replay.h"
+#include "io/layout.h"
+#include "obs/stats_writer.h"
+#include "tech/builtin.h"
+
+using namespace amg;
+
+namespace {
+
+constexpr int kIterations = 5;
+
+const char* kSweepLib = R"(
+ENT Cell(<W>, <L>)
+  TWORECTS("poly", "pdiff", W, L)
+  INBOX("metal1")
+
+ENT Sweep(rows, <W>)
+  INBOX("pdiff", 4, 4)
+  FOR k = 1 TO rows DO
+    c = Cell(W = 6, L = 2)
+    compact(c, EAST, "poly")
+  ENDFOR
+  tail = Cell(W = W, L = 2)
+  compact(tail, EAST, "poly")
+)";
+
+struct Workbench {
+  std::filesystem::path dir;
+  std::string manifest;
+  std::string sock;
+  std::string servedTrace;
+  std::string coldTrace;
+};
+
+Workbench makeWorkbench() {
+  Workbench w;
+  w.dir = std::filesystem::temp_directory_path() /
+          ("amg-bench-serve-" + std::to_string(::getpid()));
+  std::filesystem::create_directories(w.dir);
+  {
+    std::ofstream f(w.dir / "sweep.amg");
+    f << kSweepLib;
+  }
+  {
+    std::ofstream f(w.dir / "serve.manifest");
+    f << "tech bicmos1u\n"
+         "sweep name=sw script=sweep.amg entity=Sweep rows=140 W=6:25:1\n";
+  }
+  w.manifest = (w.dir / "serve.manifest").string();
+  // Unix socket paths cap at ~107 bytes — keep it short and flat.
+  w.sock = "/tmp/amg-bench-" + std::to_string(::getpid()) + ".sock";
+  w.servedTrace = (w.dir / "served.amgt").string();
+  w.coldTrace = (w.dir / "cold.amgt").string();
+  return w;
+}
+
+/// Spawn a child process, silence its stdout, wait for exit; returns the
+/// wall time in ms, or -1 when the child failed.
+double runProcess(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+
+  std::fflush(stdout);  // or the child's freopen re-flushes our buffer
+  const auto t0 = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    std::freopen("/dev/null", "w", stdout);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);  // execv only returns on failure
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return -1;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Spawn a long-running child (the daemon) without waiting.
+pid_t spawnDaemon(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  for (const std::string& a : args)
+    argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  std::fflush(stdout);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    std::freopen("/dev/null", "w", stdout);
+    ::execv(argv[0], argv.data());
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+bool waitForDaemon(const std::string& sock) {
+  for (int i = 0; i < 100; ++i) {
+    try {
+      serve::Client client(sock);
+      client.ping();
+      return true;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return false;
+}
+
+bool reportE14() {
+  const Workbench wb = makeWorkbench();
+  const std::string batchRunner = AMG_BATCH_RUNNER_BIN;
+  const std::string amgServe = AMG_SERVE_BIN;
+
+  const gen::Manifest manifest = gen::loadManifest(wb.manifest);
+  std::printf(
+      "=== E14: resident daemon vs cold process launch (%zu-job sweep, "
+      "140-step shared prefix) ===\n\n",
+      manifest.jobs.size());
+
+  // Cold contender: full batch_runner process per iteration (plus one
+  // recording pass for the trace-equality gate — not timed).
+  double coldMs = 0;
+  bool coldOk = true;
+  for (int i = 0; i < kIterations; ++i) {
+    const double ms = runProcess({batchRunner, wb.manifest});
+    if (ms < 0) coldOk = false;
+    coldMs += ms / kIterations;
+  }
+  coldOk = coldOk &&
+           runProcess({batchRunner, "--record", wb.coldTrace, wb.manifest}) >= 0;
+
+  // Served contender: one resident daemon, warmed by a fill pass, then
+  // the same client binary per iteration in --connect mode.
+  const pid_t daemon = spawnDaemon(
+      {amgServe, "--socket", wb.sock, "--record", wb.servedTrace});
+  bool servedOk = waitForDaemon(wb.sock);
+  if (servedOk)  // fill pass: the daemon generates once, cold (not timed)
+    servedOk = runProcess({batchRunner, "--connect", wb.sock, wb.manifest}) >= 0;
+  double servedMs = 0;
+  for (int i = 0; servedOk && i < kIterations; ++i) {
+    const double ms =
+        runProcess({batchRunner, "--connect", wb.sock, wb.manifest});
+    if (ms < 0) servedOk = false;
+    servedMs += ms / kIterations;
+  }
+
+  // Byte-identity: fetch the served layouts over the wire and compare
+  // against an in-process engine run of the same manifest.
+  bool byteIdentical = false;
+  if (servedOk) {
+    try {
+      serve::Client client(wb.sock);
+      serve::GenerateRequest req;
+      for (const gen::Job& j : manifest.jobs) {
+        serve::WireJob wj;
+        wj.name = j.name;
+        wj.scriptPath = j.scriptPath;
+        wj.script = j.script;
+        wj.entity = j.entity;
+        wj.resultVar = j.resultVar;
+        wj.params = j.params;
+        req.jobs.push_back(std::move(wj));
+      }
+      const serve::GenerateResponse resp = client.generate(req);
+      gen::BatchEngine local(tech::bicmos1u(), {});
+      const gen::BatchReport direct = local.run(manifest.jobs);
+      byteIdentical = resp.errorCode.empty() &&
+                      resp.results.size() == direct.jobs.size() &&
+                      direct.failed == 0;
+      for (std::size_t i = 0; byteIdentical && i < direct.jobs.size(); ++i)
+        byteIdentical = resp.results[i].layout ==
+                        io::serializeLayout(*direct.jobs[i].layout);
+      client.shutdown();  // graceful drain closes the recording
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "byte-identity gate error: %s\n", e.what());
+    }
+  }
+  if (daemon > 0) {
+    ::kill(daemon, SIGTERM);  // no-op when the drain already exited it
+    int status = 0;
+    ::waitpid(daemon, &status, 0);
+  }
+
+  // Trace gates: the served recording replays divergence-free, and its
+  // first pass matches the cold batch_runner recording outcome-for-
+  // outcome (digests ignore cacheHit/wallMs context by design).
+  bool replayClean = false, traceMatch = false;
+  std::size_t servedRecords = 0;
+  try {
+    obs::TraceFile served = obs::readTraceFile(wb.servedTrace);
+    const obs::TraceFile cold = obs::readTraceFile(wb.coldTrace);
+    servedRecords = served.requests.size();
+    replayClean = gen::replayTrace(served, tech::bicmos1u(), {}).clean();
+    if (served.requests.size() >= cold.requests.size())
+      served.requests.resize(cold.requests.size());  // fill pass slice
+    traceMatch = !cold.requests.empty() &&
+                 gen::compareTraces(served, cold).clean();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace gate error: %s\n", e.what());
+  }
+
+  const double speedup = servedMs > 0 ? coldMs / servedMs : 0;
+  std::printf("%-34s %10.1f ms/run\n", "cold batch_runner process", coldMs);
+  std::printf("%-34s %10.1f ms/run\n\n", "warm daemon via --connect", servedMs);
+  std::printf("both contenders ran clean: %s\n",
+              coldOk && servedOk ? "ok" : "FAILED");
+  std::printf("served layouts byte-identical to in-process engine: %s\n",
+              byteIdentical ? "ok" : "FAILED");
+  std::printf("served speedup: %.1fx  (>=10x requirement: %s)\n", speedup,
+              speedup >= 10.0 ? "PASS" : "FAIL");
+  std::printf("served AMGT trace (%zu records) replays clean: %s\n",
+              servedRecords, replayClean ? "ok" : "FAILED");
+  std::printf("served trace matches cold batch_runner trace: %s\n",
+              traceMatch ? "ok" : "FAILED");
+
+  obs::StatsWriter w("serve");
+  w.sample("sweep", manifest.jobs.size(), "cold_process", coldMs);
+  w.sample("sweep", manifest.jobs.size(), "warm_served", servedMs);
+  w.metric("cold_ms", coldMs);
+  w.metric("served_ms", servedMs);
+  w.metric("speedup_served", speedup);
+  w.flag("byte_identical", byteIdentical);
+  w.flag("speedup_10x", speedup >= 10.0);
+  w.flag("replay_clean", replayClean);
+  w.flag("trace_match", traceMatch);
+  if (w.write("BENCH_serve.json")) std::printf("\nwrote BENCH_serve.json\n");
+
+  std::error_code ec;
+  std::filesystem::remove_all(wb.dir, ec);
+  ::unlink(wb.sock.c_str());
+  return coldOk && servedOk && byteIdentical && speedup >= 10.0 &&
+         replayClean && traceMatch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool ok = reportE14();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "capi/client.h"
 #include "cli_common.h"
 #include "gen/engine.h"
 #include "gen/fingerprint.h"
 #include "gen/manifest.h"
+#include "io/layout.h"
 #include "io/svg.h"
 #include "obs/obs.h"
 #include "obs/recorder.h"
@@ -54,6 +56,10 @@ void usage(const char* argv0, std::FILE* out) {
       "  --record FILE   record every job to an AMGT request trace; re-run\n"
       "                  and verify it with amg_replay (docs/OBSERVABILITY.md)\n"
       "  --svg PREFIX    write each successful layout as PREFIX_<job>.svg\n"
+      "  --connect SOCK  thin-client mode: send the manifest to the amg_serve\n"
+      "                  daemon on unix socket SOCK instead of running an\n"
+      "                  in-process engine; engine-configuration flags are\n"
+      "                  ignored (the server owns the engine; docs/SERVER.md)\n"
       "%s"
       "  --help          show this help and exit\n%s",
       argv0, cli::interpUsage(), cli::obsUsage());
@@ -64,7 +70,7 @@ void usage(const char* argv0, std::FILE* out) {
 int main(int argc, char** argv) {
   cli::installFlight();
   gen::EngineConfig cfg;
-  std::string techOverride, reportPath, svgPrefix, recordPath;
+  std::string techOverride, reportPath, svgPrefix, recordPath, connectSock;
   obs::CliOptions obsOpts;
   std::vector<const char*> positional;
 
@@ -90,6 +96,8 @@ int main(int argc, char** argv) {
       svgPrefix = v6;
     else if (const char* v9 = value(i, "--record"))
       recordPath = v9;
+    else if (const char* v10 = value(i, "--connect"))
+      connectSock = v10;
     else if (const char* v7 = value(i, "--prefix-cache-mb"))
       cfg.prefix.maxBytes = static_cast<std::size_t>(std::atol(v7)) << 20;
     else if (const char* v8 = value(i, "--prefix-cache-dir"))
@@ -129,6 +137,97 @@ int main(int argc, char** argv) {
   if (manifest.jobs.empty()) {
     std::fprintf(stderr, "error: manifest '%s' declares no jobs\n", positional[0]);
     return 2;
+  }
+
+  if (!connectSock.empty()) {
+    // Thin-client mode: the daemon owns the engine and every cache tier;
+    // this process only speaks the wire protocol (docs/SERVER.md).
+    if (!recordPath.empty()) {
+      std::fprintf(stderr,
+                   "error: --record is server-side in --connect mode; start "
+                   "amg_serve with --record instead\n");
+      return 2;
+    }
+    serve::GenerateRequest req;
+    req.jobs.reserve(manifest.jobs.size());
+    for (const gen::Job& j : manifest.jobs) {
+      serve::WireJob wj;
+      wj.name = j.name;
+      wj.scriptPath = j.scriptPath;
+      wj.script = j.script;
+      wj.entity = j.entity;
+      wj.resultVar = j.resultVar;
+      wj.params = j.params;
+      req.jobs.push_back(std::move(wj));
+    }
+    try {
+      serve::Client client(connectSock);
+      const serve::GenerateResponse resp = client.generate(req);
+      if (!resp.errorCode.empty()) {
+        std::fprintf(stderr, "error [%s]: %s\n", resp.errorCode.c_str(),
+                     resp.errorMessage.c_str());
+        return 1;
+      }
+      std::printf("%-28s %-6s %-9s %s\n", "job", "state", "wall (ms)",
+                  "detail");
+      std::size_t failed = 0;
+      for (std::size_t i = 0; i < resp.results.size(); ++i) {
+        const serve::WireResult& r = resp.results[i];
+        if (r.ok) {
+          const db::Module m = io::deserializeLayout(r.layout, *tech);
+          const Box bb = m.bbox();
+          std::printf("%-28s %-6s %-9.2f %zu rects, %.2f x %.2f um\n",
+                      r.name.c_str(), r.cacheHit ? "hit" : "ok", r.wallMs,
+                      m.shapeCount(), static_cast<double>(bb.width()) / kMicron,
+                      static_cast<double>(bb.height()) / kMicron);
+          if (!svgPrefix.empty())
+            io::writeSvg(m, svgPrefix + "_" + r.name + ".svg");
+        } else {
+          ++failed;
+          std::printf("%-28s %-6s %-9.2f %s\n", r.name.c_str(),
+                      r.rejected ? "REJECT" : "FAIL", r.wallMs,
+                      r.diagCode.c_str());
+          util::Diag d;
+          d.code = r.diagCode;
+          d.message = r.diagMessage;
+          d.hint = r.diagHint;
+          d.loc.file = r.diagFile;
+          d.loc.line = static_cast<int>(r.diagLine);
+          d.loc.col = static_cast<int>(r.diagCol);
+          cli::printDiag(d, manifest.jobs[i].script);
+        }
+      }
+      std::printf(
+          "batch (served): %zu jobs, %zu ok, %zu failed, %llu cache hits, "
+          "%llu prefix steps restored in %.1f ms\n",
+          resp.results.size(), resp.results.size() - failed, failed,
+          static_cast<unsigned long long>(resp.cacheHits),
+          static_cast<unsigned long long>(resp.prefixRestoredSteps),
+          resp.wallMs);
+      if (!reportPath.empty()) {
+        obs::StatsWriter w("batch_runner");
+        w.metric("jobs", static_cast<double>(resp.results.size()));
+        w.metric("succeeded",
+                 static_cast<double>(resp.results.size() - failed));
+        w.metric("failed", static_cast<double>(failed));
+        w.metric("cache_hits", static_cast<double>(resp.cacheHits));
+        w.metric("prefix_restored_steps",
+                 static_cast<double>(resp.prefixRestoredSteps));
+        w.metric("wall_ms", resp.wallMs);
+        w.flag("all_ok", failed == 0);
+        w.flag("served", true);
+        if (!w.write(reportPath))
+          std::fprintf(stderr, "cannot write report '%s'\n",
+                       reportPath.c_str());
+        else
+          std::printf("report written to %s\n", reportPath.c_str());
+      }
+      cli::finishObs(obsOpts);
+      return failed == 0 ? 0 : 1;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
   }
 
   std::optional<obs::Recorder> recorder;

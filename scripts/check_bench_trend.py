@@ -2,8 +2,9 @@
 """Performance-trend gate over the committed benchmark baselines.
 
 The benches write machine-readable reports (BENCH_vm.json,
-BENCH_batch.json, BENCH_spatial.json) next to wherever they run; a copy
-of each report is committed at the repository root as the baseline.
+BENCH_batch.json, BENCH_spatial.json, BENCH_serve.json) next to
+wherever they run; a copy of each report is committed at the repository
+root as the baseline.
 This script compares a fresh report against its committed baseline and
 fails when performance *regressed*:
 
@@ -37,7 +38,12 @@ import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-REPORTS = ["BENCH_vm.json", "BENCH_batch.json", "BENCH_spatial.json"]
+REPORTS = [
+    "BENCH_vm.json",
+    "BENCH_batch.json",
+    "BENCH_spatial.json",
+    "BENCH_serve.json",
+]
 
 
 def walk_metrics(obj, prefix=""):

@@ -26,6 +26,12 @@ Three checks, all run by CI (.github/workflows/ci.yml):
    still exist in the sources — both directions, with matching kind
    (counter vs histogram).
 
+6. Embedding registry: every AMGEN_API function exported by
+   include/amgen.h must have a reference row in docs/EMBEDDING.md, and
+   every documented function must still be declared in the header —
+   both directions, so the C ABI reference can never silently drift
+   from the shipped surface.
+
 Usage:
     python3 scripts/check_docs.py [--bin-dir build/examples]
 
@@ -43,7 +49,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Binaries whose every --help flag must be documented in docs/CLI.md.
 DOCUMENTED_BINARIES = ["dsl_runner", "full_flow", "batch_runner", "amg_lint",
-                       "amg_replay"]
+                       "amg_replay", "amg_serve"]
 
 # Markdown files whose relative links must resolve.
 LINKED_DOCS = ["README.md", "DESIGN.md", "ROADMAP.md"]
@@ -258,6 +264,42 @@ def check_obs_registry():
     return errors
 
 
+# An exported C-ABI declaration: the function name always sits on the
+# AMGEN_API line, first amg_* token directly followed by '('.
+CAPI_DECL_RE = re.compile(r"^AMGEN_API\s.*?\b(amg_\w+)\s*\(", re.M)
+# A reference row: | `amg_name(...)` | returns | notes |
+CAPI_DOC_ROW_RE = re.compile(r"^\|\s*`(amg_\w+)\(", re.M)
+
+
+def check_embedding_registry():
+    """include/amgen.h exports <-> docs/EMBEDDING.md reference rows."""
+    errors = []
+    header = os.path.join(REPO, "include", "amgen.h")
+    try:
+        with open(header, encoding="utf-8") as f:
+            declared = set(CAPI_DECL_RE.findall(f.read()))
+    except OSError as e:
+        return [f"cannot read include/amgen.h: {e}"]
+    if not declared:
+        return ["no AMGEN_API declarations found in include/amgen.h; "
+                "embedding registry check would be vacuous"]
+
+    emb_md = os.path.join(REPO, "docs", "EMBEDDING.md")
+    try:
+        with open(emb_md, encoding="utf-8") as f:
+            documented = set(CAPI_DOC_ROW_RE.findall(f.read()))
+    except OSError as e:
+        return [f"cannot read docs/EMBEDDING.md: {e}"]
+
+    for name in sorted(declared - documented):
+        errors.append(f"{name} is exported by include/amgen.h but has no "
+                      "reference row in docs/EMBEDDING.md")
+    for name in sorted(documented - declared):
+        errors.append(f"docs/EMBEDDING.md documents {name} but "
+                      "include/amgen.h no longer declares it (stale row?)")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin-dir", default=os.path.join("build", "examples"),
@@ -275,10 +317,12 @@ def main():
     errors += check_lint_registry()
     errors += check_opcode_registry()
     errors += check_obs_registry()
+    errors += check_embedding_registry()
     if errors:
         return fail(errors)
     print("check_docs: OK (CLI flags documented, markdown links resolve, "
-          "lint-code, opcode and observability registries in sync)")
+          "lint-code, opcode, observability and embedding registries in "
+          "sync)")
     return 0
 
 

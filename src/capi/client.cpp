@@ -1,0 +1,80 @@
+#include "capi/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace amg::serve {
+namespace {
+
+util::Diag connDiag(std::string message) {
+  util::Diag d;
+  d.code = "AMG-SRV-005";
+  d.message = std::move(message);
+  d.hint = "is amg_serve running on that socket? (docs/SERVER.md)";
+  return d;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socketPath) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw util::DiagError(
+        connDiag(std::string("socket: ") + std::strerror(errno)));
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof addr.sun_path) {
+    ::close(fd_);
+    fd_ = -1;
+    throw util::DiagError(connDiag("socket path too long: " + socketPath));
+  }
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw util::DiagError(connDiag("cannot connect to '" + socketPath +
+                                   "': " + std::strerror(err)));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::uint8_t> Client::roundTrip(
+    const std::vector<std::uint8_t>& frame, MsgType expect) {
+  sendFrame(fd_, frame);
+  auto payload = recvFrame(fd_);
+  if (!payload)
+    throw util::DiagError(connDiag("server closed the connection"));
+  if (payload->empty() ||
+      static_cast<MsgType>((*payload)[0]) != expect)
+    throw util::DiagError(frameDiag("unexpected response message type"));
+  return std::move(*payload);
+}
+
+GenerateResponse Client::generate(const GenerateRequest& req) {
+  const auto payload =
+      roundTrip(encodeGenerateRequest(req), MsgType::Generate);
+  util::WireReader r(payload, frameDiag("truncated response frame"));
+  r.u8();  // type, already checked
+  return decodeGenerateResponse(r);
+}
+
+void Client::ping() { roundTrip(encodePing(), MsgType::Ping); }
+
+StatsResponse Client::stats() {
+  const auto payload = roundTrip(encodeStatsRequest(), MsgType::Stats);
+  util::WireReader r(payload, frameDiag("truncated response frame"));
+  r.u8();
+  return decodeStatsResponse(r);
+}
+
+void Client::shutdown() { roundTrip(encodeShutdown(), MsgType::Ping); }
+
+}  // namespace amg::serve

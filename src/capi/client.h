@@ -1,0 +1,39 @@
+// Thin blocking client for the amg_serve wire protocol, shared by
+// `batch_runner --connect`, the daemon integration test and bench_serve.
+//
+// One Client = one connection; requests on it are answered in order.
+// Not thread-safe — open one Client per thread (the server multiplexes).
+// Every method throws util::DiagError (AMG-SRV-005 for connection
+// failures, AMG-SRV-001 for protocol violations).
+#pragma once
+
+#include <string>
+
+#include "capi/protocol.h"
+
+namespace amg::serve {
+
+class Client {
+ public:
+  /// Connect to a listening amg_serve socket.
+  explicit Client(const std::string& socketPath);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  GenerateResponse generate(const GenerateRequest& req);
+  /// Round-trip liveness probe; throws when the server is unreachable.
+  void ping();
+  StatsResponse stats();
+  /// Ask the server to drain and exit.  Returns after the ack; the
+  /// server finishes queued work before releasing the socket.
+  void shutdown();
+
+ private:
+  std::vector<std::uint8_t> roundTrip(const std::vector<std::uint8_t>& frame,
+                                      MsgType expect);
+  int fd_ = -1;
+};
+
+}  // namespace amg::serve

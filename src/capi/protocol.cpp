@@ -1,0 +1,259 @@
+#include "capi/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace amg::serve {
+namespace {
+
+void writeBytes(util::WireWriter& w, const std::vector<std::uint8_t>& b) {
+  w.u32(static_cast<std::uint32_t>(b.size()));
+  for (const std::uint8_t v : b) w.u8(v);
+}
+
+std::vector<std::uint8_t> readBytes(util::WireReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<std::uint8_t> b;
+  b.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) b.push_back(r.u8());
+  return b;
+}
+
+}  // namespace
+
+util::Diag frameDiag(std::string message) {
+  util::Diag d;
+  d.code = "AMG-SRV-001";
+  d.message = std::move(message);
+  d.hint = "client and server must speak the same protocol version "
+           "(docs/SERVER.md)";
+  return d;
+}
+
+std::vector<std::uint8_t> encodeGenerateRequest(const GenerateRequest& r) {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Generate));
+  w.u32(kProtocolVersion);
+  w.u32(r.queueTimeoutMs);
+  w.u32(static_cast<std::uint32_t>(r.jobs.size()));
+  for (const WireJob& j : r.jobs) {
+    w.str(j.name);
+    w.str(j.scriptPath);
+    w.str(j.script);
+    w.str(j.entity);
+    w.str(j.resultVar);
+    w.u32(static_cast<std::uint32_t>(j.params.size()));
+    for (const auto& [k, v] : j.params) {
+      w.str(k);
+      w.str(v);
+    }
+  }
+  return w.take();
+}
+
+GenerateRequest decodeGenerateRequest(util::WireReader& r) {
+  const std::uint32_t version = r.u32();
+  if (version != kProtocolVersion)
+    throw util::DiagError(frameDiag(
+        "protocol version mismatch: client speaks v" +
+        std::to_string(version) + ", server speaks v" +
+        std::to_string(kProtocolVersion)));
+  GenerateRequest out;
+  out.queueTimeoutMs = r.u32();
+  const std::uint32_t n = r.u32();
+  out.jobs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WireJob j;
+    j.name = r.str();
+    j.scriptPath = r.str();
+    j.script = r.str();
+    j.entity = r.str();
+    j.resultVar = r.str();
+    const std::uint32_t np = r.u32();
+    j.params.reserve(np);
+    for (std::uint32_t p = 0; p < np; ++p) {
+      std::string k = r.str();
+      std::string v = r.str();
+      j.params.emplace_back(std::move(k), std::move(v));
+    }
+    out.jobs.push_back(std::move(j));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encodeGenerateResponse(const GenerateResponse& r) {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Generate));
+  w.str(r.errorCode);
+  w.str(r.errorMessage);
+  w.u64(r.cacheHits);
+  w.u64(r.prefixRestoredSteps);
+  w.f64(r.wallMs);
+  w.u32(static_cast<std::uint32_t>(r.results.size()));
+  for (const WireResult& res : r.results) {
+    w.str(res.name);
+    w.u8(static_cast<std::uint8_t>((res.ok ? 1u : 0u) |
+                                   (res.cacheHit ? 2u : 0u) |
+                                   (res.rejected ? 4u : 0u)));
+    w.u64(res.key);
+    w.u64(res.layoutHash);
+    w.u64(res.shapeCount);
+    w.u64(res.prefixRestored);
+    w.f64(res.wallMs);
+    w.str(res.diagCode);
+    w.str(res.diagMessage);
+    w.str(res.diagHint);
+    w.str(res.diagFile);
+    w.u32(res.diagLine);
+    w.u32(res.diagCol);
+    writeBytes(w, res.layout);
+  }
+  return w.take();
+}
+
+GenerateResponse decodeGenerateResponse(util::WireReader& r) {
+  GenerateResponse out;
+  out.errorCode = r.str();
+  out.errorMessage = r.str();
+  out.cacheHits = r.u64();
+  out.prefixRestoredSteps = r.u64();
+  out.wallMs = r.f64();
+  const std::uint32_t n = r.u32();
+  out.results.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    WireResult res;
+    res.name = r.str();
+    const std::uint8_t flags = r.u8();
+    res.ok = (flags & 1u) != 0;
+    res.cacheHit = (flags & 2u) != 0;
+    res.rejected = (flags & 4u) != 0;
+    res.key = r.u64();
+    res.layoutHash = r.u64();
+    res.shapeCount = r.u64();
+    res.prefixRestored = r.u64();
+    res.wallMs = r.f64();
+    res.diagCode = r.str();
+    res.diagMessage = r.str();
+    res.diagHint = r.str();
+    res.diagFile = r.str();
+    res.diagLine = r.u32();
+    res.diagCol = r.u32();
+    res.layout = readBytes(r);
+    out.results.push_back(std::move(res));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encodePing() {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Ping));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encodeStatsRequest() {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Stats));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encodeStatsResponse(const StatsResponse& r) {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Stats));
+  w.str(r.version);
+  w.u64(r.requestsServed);
+  w.u64(r.jobsServed);
+  w.u64(r.busyRejected);
+  w.u64(r.timedOut);
+  w.u64(r.cacheHits);
+  w.u64(r.cacheEntries);
+  w.u64(r.cacheBytes);
+  w.u64(r.prefixEntries);
+  w.u64(r.prefixBytes);
+  w.u8(r.draining ? 1 : 0);
+  return w.take();
+}
+
+StatsResponse decodeStatsResponse(util::WireReader& r) {
+  StatsResponse out;
+  out.version = r.str();
+  out.requestsServed = r.u64();
+  out.jobsServed = r.u64();
+  out.busyRejected = r.u64();
+  out.timedOut = r.u64();
+  out.cacheHits = r.u64();
+  out.cacheEntries = r.u64();
+  out.cacheBytes = r.u64();
+  out.prefixEntries = r.u64();
+  out.prefixBytes = r.u64();
+  out.draining = r.u8() != 0;
+  return out;
+}
+
+std::vector<std::uint8_t> encodeShutdown() {
+  util::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Shutdown));
+  return w.take();
+}
+
+void sendFrame(int fd, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t prefix[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    prefix[i] = static_cast<std::uint8_t>((n >> (8 * i)) & 0xFF);
+  struct Span {
+    const std::uint8_t* p;
+    std::size_t n;
+  };
+  const Span spans[2] = {{prefix, 4}, {payload.data(), payload.size()}};
+  for (const Span& s : spans) {
+    std::size_t off = 0;
+    while (off < s.n) {
+      const ssize_t w = ::send(fd, s.p + off, s.n - off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        throw util::DiagError(
+            frameDiag(std::string("send failed: ") + std::strerror(errno)));
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> recvFrame(int fd) {
+  auto readAll = [fd](std::uint8_t* p, std::size_t n, bool eofOk)
+      -> std::optional<std::size_t> {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t r = ::recv(fd, p + off, n - off, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        throw util::DiagError(
+            frameDiag(std::string("recv failed: ") + std::strerror(errno)));
+      }
+      if (r == 0) {
+        if (off == 0 && eofOk) return std::nullopt;  // clean boundary EOF
+        throw util::DiagError(frameDiag("connection closed mid-frame"));
+      }
+      off += static_cast<std::size_t>(r);
+    }
+    return off;
+  };
+  std::uint8_t prefix[4];
+  if (!readAll(prefix, 4, /*eofOk=*/true)) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i)
+    n |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  if (n > kMaxFrameBytes)
+    throw util::DiagError(frameDiag("frame length " + std::to_string(n) +
+                                    " exceeds the " +
+                                    std::to_string(kMaxFrameBytes) +
+                                    "-byte ceiling"));
+  std::vector<std::uint8_t> payload(n);
+  if (n > 0) readAll(payload.data(), n, /*eofOk=*/false);
+  return payload;
+}
+
+}  // namespace amg::serve

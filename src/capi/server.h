@@ -1,0 +1,111 @@
+// amg_serve's engine room: a resident generation server over a unix
+// domain socket, built as a library so the integration test and
+// bench_serve can run it in-process (examples/amg_serve.cpp is a thin
+// flag-parsing shell around this class).
+//
+// Threading model.  One acceptor thread owns the listening socket and
+// spawns a thread per connection; connection threads decode frames and
+// *enqueue* generation work.  A single dispatcher thread drains the
+// queue, coalescing everything pending into one amg_generate_batch call —
+// the batch engine's worker pool (util/thread_pool.h is a one-controller
+// design) provides the parallelism, the dispatcher provides the single
+// controller.  Caches stay resident in the engine handle across requests;
+// that residency is the entire point of the daemon (docs/SERVER.md).
+//
+// Admission control.  A request is rejected up front with AMG-SRV-002
+// when the queue already holds maxQueuedJobs jobs, with AMG-SRV-003 when
+// it waited longer than its queue deadline, and with AMG-SRV-004 once
+// drain() began.  Running batches are never interrupted.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capi/protocol.h"
+
+struct amg_engine;  // include/amgen.h opaque handle
+
+namespace amg::serve {
+
+struct ServerConfig {
+  std::string socketPath;
+  std::string tech;           ///< builtin name or tech-file path ("" = default)
+  std::size_t threads = 0;    ///< engine worker count; 0 = hardware
+  int interp = -1;            ///< -1 default, 0 tree, 1 VM
+  bool cache = true;
+  bool prefixCache = true;
+  std::string cacheDir;       ///< optional disk tier for the layout cache
+  /// Admission: max jobs queued (not yet dispatched) before AMG-SRV-002.
+  std::size_t maxQueuedJobs = 1024;
+  /// Default queue deadline applied when a request does not set its own.
+  std::uint32_t defaultQueueTimeoutMs = 30000;
+  /// Record every served job to this AMGT trace (--record); "" = off.
+  std::string recordPath;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and start the acceptor + dispatcher threads.
+  /// Throws util::DiagError (AMG-SRV-005 on bind failure, engine codes on
+  /// engine construction failure).
+  void start();
+
+  /// Begin graceful drain: stop accepting connections, reject newly
+  /// queued work with AMG-SRV-004, finish everything already queued,
+  /// then return.  Idempotent; also invoked by a SHUTDOWN frame.
+  void drain();
+
+  /// Block until drain() completes (amg_serve's main thread parks here).
+  void wait();
+
+  bool draining() const { return draining_.load(); }
+  const ServerConfig& config() const { return cfg_; }
+  StatsResponse statsSnapshot();
+
+ private:
+  struct Pending;
+
+  void acceptLoop();
+  void dispatchLoop();
+  void serveConnection(int fd);
+  GenerateResponse handleGenerate(GenerateRequest req);
+
+  ServerConfig cfg_;
+  amg_engine* engine_ = nullptr;
+  int listenFd_ = -1;
+  /// Wakes the acceptor's poll() from drain() without a race (self-pipe).
+  int wakePipe_[2] = {-1, -1};
+
+  std::mutex mu_;
+  std::condition_variable queueCv_;
+  std::vector<std::shared_ptr<Pending>> queue_;
+  std::size_t queuedJobs_ = 0;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread acceptor_;
+  std::thread dispatcher_;
+  std::mutex connMu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connFds_;  ///< open connection fds, for drain shutdown()
+
+  std::mutex statsMu_;
+  std::uint64_t requestsServed_ = 0;
+  std::uint64_t jobsServed_ = 0;
+  std::uint64_t busyRejected_ = 0;
+  std::uint64_t timedOut_ = 0;
+};
+
+}  // namespace amg::serve

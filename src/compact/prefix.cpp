@@ -8,14 +8,14 @@
 #include "io/layout.h"
 #include "obs/obs.h"
 #include "util/hash.h"
+#include "util/version.h"
 
 namespace amg::compact {
 namespace {
 
-/// Bumped whenever the chain construction or the session-state record
-/// changes incompatibly; keyed into every chain seed so stale disk tiers
-/// can never resurrect.
-constexpr std::uint64_t kPrefixFormatVersion = 1;
+/// Keyed into every chain seed so stale disk tiers can never resurrect;
+/// bump rules live with the constant (util/version.h).
+constexpr std::uint64_t kPrefixFormatVersion = util::kPrefixFormatVersion;
 
 std::string_view view(const std::vector<std::uint8_t>& bytes) {
   return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};

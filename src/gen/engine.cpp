@@ -13,13 +13,14 @@
 #include "lang/interp.h"
 #include "obs/obs.h"
 #include "obs/recorder.h"
+#include "util/version.h"
 
 namespace amg::gen {
 namespace {
 
 /// Bumped when the generation semantics change in a way serialized results
-/// do not capture (e.g. the layout format version).
-constexpr std::uint64_t kEngineVersion = 1;
+/// do not capture; bump rules live with the constant (util/version.h).
+constexpr std::uint64_t kEngineVersion = util::kEngineVersion;
 
 util::Diag diagOf(const std::exception& e, const Job& job) {
   if (const auto* de = dynamic_cast<const util::DiagError*>(&e)) return de->diag();

@@ -5,16 +5,17 @@
 #include <map>
 
 #include "util/diag.h"
+#include "util/version.h"
 #include "util/wire.h"
 
 namespace amg::io {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4C474D41u;  // "AMGL" little-endian
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = util::kLayoutFormatVersion;
 
 constexpr std::uint32_t kSessionMagic = 0x53474D41u;  // "AMGS" little-endian
-constexpr std::uint32_t kSessionVersion = 1;
+constexpr std::uint32_t kSessionVersion = util::kSessionFormatVersion;
 
 [[noreturn]] void fail(const char* code, std::string msg, std::string hint,
                        std::string file = "") {

@@ -9,6 +9,7 @@
 
 #include "lang/builtins.h"
 #include "obs/obs.h"
+#include "util/version.h"
 
 namespace amg::lang {
 
@@ -440,8 +441,9 @@ std::shared_ptr<const CompiledProgram> compile(const Program& prog) {
 
 namespace {
 
-/// Bumped whenever compiled form or execution semantics change.
-constexpr std::uint64_t kBytecodeVersion = 2;
+/// Bumped whenever compiled form or execution semantics change; bump
+/// rules live with the constant (util/version.h).
+constexpr std::uint64_t kBytecodeVersion = util::kBytecodeVersion;
 
 /// Local FNV-1a (lang must not depend on gen/fingerprint.h — gen sits
 /// above lang in the layering).

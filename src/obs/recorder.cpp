@@ -6,13 +6,14 @@
 #include "obs/obs.h"
 #include "util/diag.h"
 #include "util/hash.h"
+#include "util/version.h"
 #include "util/wire.h"
 
 namespace amg::obs {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x54474D41u;  // "AMGT" little-endian
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = util::kTraceFormatVersion;
 
 [[noreturn]] void fail(const char* code, std::string msg, std::string hint,
                        std::string file = "") {

@@ -1,0 +1,250 @@
+// amg_serve integration tests, run in-process against serve::Server (the
+// library the daemon CLI wraps): protocol round-trips, concurrent
+// clients, warm-cache hits across requests, admission control, AMGT
+// recording of served traffic, and graceful drain semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capi/client.h"
+#include "capi/server.h"
+#include "gen/replay.h"
+#include "obs/recorder.h"
+#include "tech/builtin.h"
+#include "util/version.h"
+
+namespace {
+
+using namespace amg;
+
+const char* kContactRow =
+    "ENT ContactRow(layer, <W>, <L>)\n"
+    "  INBOX(layer, W, L)\n"
+    "  INBOX(\"metal1\")\n"
+    "  ARRAY(\"contact\")\n";
+
+/// Short unique socket path (unix sockets cap at ~107 bytes, so no deep
+/// test-runner temp dirs).
+std::string sockPath(const char* tag) {
+  return "/tmp/amg-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+serve::WireJob crowJob(const std::string& name, int w) {
+  serve::WireJob j;
+  j.name = name;
+  j.script = kContactRow;
+  j.scriptPath = "<test>";
+  j.entity = "ContactRow";
+  j.params = {{"layer", "poly"}, {"W", std::to_string(w)}};
+  return j;
+}
+
+serve::ServerConfig baseConfig(const std::string& sock) {
+  serve::ServerConfig cfg;
+  cfg.socketPath = sock;
+  cfg.tech = "bicmos1u";
+  return cfg;
+}
+
+TEST(ServeTest, PingStatsAndGenerate) {
+  const std::string sock = sockPath("basic");
+  serve::Server server(baseConfig(sock));
+  server.start();
+  {
+    serve::Client client(sock);
+    client.ping();
+
+    serve::StatsResponse s = client.stats();
+    EXPECT_EQ(s.version, util::kVersionString);
+    EXPECT_EQ(s.requestsServed, 0u);
+    EXPECT_FALSE(s.draining);
+
+    serve::GenerateRequest req;
+    for (int w = 1; w <= 4; ++w)
+      req.jobs.push_back(crowJob("crow_W" + std::to_string(w), w));
+    const serve::GenerateResponse resp = client.generate(req);
+    ASSERT_TRUE(resp.errorCode.empty()) << resp.errorMessage;
+    ASSERT_EQ(resp.results.size(), 4u);
+    for (const serve::WireResult& r : resp.results) {
+      EXPECT_TRUE(r.ok) << r.diagMessage;
+      EXPECT_FALSE(r.layout.empty());
+      EXPECT_NE(r.layoutHash, 0u);
+      EXPECT_GT(r.shapeCount, 0u);
+    }
+
+    s = client.stats();
+    EXPECT_EQ(s.requestsServed, 1u);
+    EXPECT_EQ(s.jobsServed, 4u);
+    EXPECT_GT(s.cacheEntries, 0u);
+  }
+  server.drain();
+  EXPECT_FALSE(std::filesystem::exists(sock));  // socket unlinked on drain
+}
+
+TEST(ServeTest, WarmCacheAcrossRequestsAndClients) {
+  const std::string sock = sockPath("warm");
+  serve::Server server(baseConfig(sock));
+  server.start();
+  serve::GenerateRequest req;
+  for (int w = 1; w <= 4; ++w)
+    req.jobs.push_back(crowJob("crow_W" + std::to_string(w), w));
+
+  serve::GenerateResponse cold;
+  {
+    serve::Client c1(sock);
+    cold = c1.generate(req);
+  }
+  // A *different* connection hits the same resident engine warm.
+  serve::Client c2(sock);
+  const serve::GenerateResponse warm = c2.generate(req);
+  ASSERT_TRUE(cold.errorCode.empty());
+  ASSERT_TRUE(warm.errorCode.empty());
+  EXPECT_EQ(cold.cacheHits, 0u);
+  EXPECT_EQ(warm.cacheHits, 4u);
+  ASSERT_EQ(warm.results.size(), cold.results.size());
+  for (std::size_t i = 0; i < warm.results.size(); ++i) {
+    EXPECT_TRUE(warm.results[i].cacheHit);
+    // Byte-identity across cold and warm serving paths.
+    EXPECT_EQ(warm.results[i].layout, cold.results[i].layout);
+    EXPECT_EQ(warm.results[i].layoutHash, cold.results[i].layoutHash);
+  }
+  server.drain();
+}
+
+TEST(ServeTest, ConcurrentClientsMultiplex) {
+  const std::string sock = sockPath("conc");
+  serve::Server server(baseConfig(sock));
+  server.start();
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        serve::Client client(sock);
+        serve::GenerateRequest req;
+        for (int w = 1; w <= 3; ++w)
+          req.jobs.push_back(
+              crowJob("c" + std::to_string(t) + "_W" + std::to_string(w), w));
+        const serve::GenerateResponse resp = client.generate(req);
+        if (!resp.errorCode.empty() || resp.results.size() != 3) {
+          ++failures;
+          return;
+        }
+        for (const serve::WireResult& r : resp.results)
+          if (!r.ok) ++failures;
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  serve::Client client(sock);
+  const serve::StatsResponse s = client.stats();
+  EXPECT_EQ(s.requestsServed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.jobsServed, static_cast<std::uint64_t>(kClients * 3));
+  server.drain();
+}
+
+TEST(ServeTest, MalformedJobIsPerJobDataNotConnectionDeath) {
+  const std::string sock = sockPath("diag");
+  serve::Server server(baseConfig(sock));
+  server.start();
+  serve::Client client(sock);
+
+  serve::GenerateRequest req;
+  serve::WireJob bad;
+  bad.name = "bad";
+  bad.script = "row = Undefined(W = 1)\n";
+  bad.scriptPath = "<test>";
+  req.jobs.push_back(bad);
+  req.jobs.push_back(crowJob("good", 2));
+
+  const serve::GenerateResponse resp = client.generate(req);
+  ASSERT_TRUE(resp.errorCode.empty());
+  ASSERT_EQ(resp.results.size(), 2u);
+  EXPECT_FALSE(resp.results[0].ok);
+  EXPECT_FALSE(resp.results[0].diagCode.empty());
+  EXPECT_FALSE(resp.results[0].diagMessage.empty());
+  EXPECT_TRUE(resp.results[1].ok);
+
+  client.ping();  // the connection survived the failed job
+  server.drain();
+}
+
+TEST(ServeTest, AdmissionRejectsWhenQueueFull) {
+  const std::string sock = sockPath("busy");
+  serve::ServerConfig cfg = baseConfig(sock);
+  cfg.maxQueuedJobs = 2;  // tiny queue
+  serve::Server server(cfg);
+  server.start();
+  serve::Client client(sock);
+
+  // One frame whose job count alone exceeds the admission limit.
+  serve::GenerateRequest req;
+  for (int w = 1; w <= 5; ++w)
+    req.jobs.push_back(crowJob("crow_W" + std::to_string(w), w));
+  const serve::GenerateResponse resp = client.generate(req);
+  EXPECT_EQ(resp.errorCode, "AMG-SRV-002");
+  EXPECT_TRUE(resp.results.empty());
+
+  const serve::StatsResponse s = client.stats();
+  EXPECT_EQ(s.busyRejected, 1u);
+  server.drain();
+}
+
+TEST(ServeTest, RecordedTrafficReplaysAndMatchesLocalTrace) {
+  const std::string sock = sockPath("rec");
+  const std::string trace =
+      "/tmp/amg-test-rec-" + std::to_string(::getpid()) + ".amgt";
+  serve::ServerConfig cfg = baseConfig(sock);
+  cfg.recordPath = trace;
+  serve::Server server(cfg);
+  server.start();
+  {
+    serve::Client client(sock);
+    serve::GenerateRequest req;
+    for (int w = 1; w <= 3; ++w)
+      req.jobs.push_back(crowJob("crow_W" + std::to_string(w), w));
+    const serve::GenerateResponse resp = client.generate(req);
+    ASSERT_TRUE(resp.errorCode.empty());
+  }
+  server.drain();  // closes the recording
+
+  const obs::TraceFile t = obs::readTraceFile(trace);
+  EXPECT_EQ(t.header.tool, "amg_serve");
+  ASSERT_EQ(t.requests.size(), 3u);
+  const gen::ReplayReport rep = gen::replayTrace(t, tech::bicmos1u(), {});
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.matched, 3u);
+  std::filesystem::remove(trace);
+}
+
+TEST(ServeTest, DrainRejectsNewWorkAndShutdownFrameDrains) {
+  const std::string sock = sockPath("drain");
+  serve::Server server(baseConfig(sock));
+  server.start();
+
+  serve::Client client(sock);
+  client.shutdown();  // SHUTDOWN frame: ack now, drain in the background
+  // The server finishes its drain; the socket disappears.
+  for (int i = 0; i < 200 && std::filesystem::exists(sock); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(std::filesystem::exists(sock));
+  server.wait();
+  EXPECT_TRUE(server.draining());
+
+  // New connections are refused once the listener is gone.
+  EXPECT_THROW(serve::Client{sock}, util::DiagError);
+}
+
+}  // namespace
