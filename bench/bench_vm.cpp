@@ -20,11 +20,14 @@
 // BENCH_vm.json for the CI trend.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/bcverify.h"
 #include "gen/engine.h"
 #include "io/layout.h"
 #include "lang/compiler.h"
@@ -285,6 +288,54 @@ bool reportE13() {
   std::printf("%-22s %10.1f %10.1f %8.1fx  (compaction-bound; no gate)\n\n",
               "diffpair sweep (60)", treeSweepMs, vmSweepMs, sweepSpeedup);
 
+  // Bytecode-verifier cost: time verifyProgram directly (the work the
+  // compileCached post-pass adds on a cache miss) and express one
+  // verification as a fraction of the cold vm library pass, which pays it
+  // exactly once through the chunk cache.  Gate: <= 2%.
+  double verifyMs = 0;
+  {
+    const lang::VerifyMode prev = lang::setVerifyMode(lang::VerifyMode::Off);
+    lang::clearChunkCache();
+    const auto prog = lang::compileCached(kLibraryScript);
+    lang::setVerifyMode(prev);
+    lang::clearChunkCache();
+    constexpr int kVerifyReps = 200;
+    double best = 1e300;  // min-of-3 damps scheduler noise
+    for (int round = 0; round < 3; ++round) {
+      const double t0 = nowMs();
+      for (int i = 0; i < kVerifyReps; ++i) {
+        analysis::ProgramVerification v = analysis::verifyProgram(*prog);
+        benchmark::DoNotOptimize(&v);
+      }
+      best = std::min(best, nowMs() - t0);
+    }
+    verifyMs = best / kVerifyReps;
+  }
+  const double verifyPct = vmLibMs > 0 ? 100.0 * verifyMs / vmLibMs : 0;
+  std::printf(
+      "bytecode verify: %.4f ms per program (%.2f%% of the %.1f ms cold "
+      "library pass, paid once per chunk-cache miss)\n",
+      verifyMs, verifyPct, vmLibMs);
+
+  // Checked vs unchecked dispatch: under VerifyMode::Off chunks carry no
+  // verified bit, so the VM takes the guarded path (per-dispatch
+  // structural checks) — the price of running unverified bytecode.
+  std::pair<double, std::vector<std::uint8_t>> checkedLib;
+  {
+    const lang::VerifyMode prev = lang::setVerifyMode(lang::VerifyMode::Off);
+    lang::clearChunkCache();
+    checkedLib = libraryPass(lang::Engine::Vm, kLibraryRuns);
+    lang::setVerifyMode(prev);
+    lang::clearChunkCache();
+  }
+  const double checkedMs = checkedLib.first;
+  const double dispatchSpeedup = checkedMs > 0 ? checkedMs / vmLibMs : 0;
+  const bool checkedIdentical = checkedLib.second == vmLibBytes;
+  std::printf(
+      "checked dispatch (unverified chunks): %.1f ms vs %.1f ms verified "
+      "-> verified is %.2fx faster; layouts byte-identical: %s\n",
+      checkedMs, vmLibMs, dispatchSpeedup, checkedIdentical ? "ok" : "FAILED");
+
   std::printf("chunk cache over the vm library pass: %zu miss, %zu hits\n",
               cs.misses, cs.hits);
   std::printf("library layouts byte-identical: %s\n",
@@ -293,19 +344,26 @@ bool reportE13() {
               sweepIdentical ? "ok" : "FAILED");
   std::printf("library speedup: %.1fx  (>=5x requirement: %s)\n", libSpeedup,
               libSpeedup >= 5.0 ? "PASS" : "FAIL");
+  std::printf("verify overhead: %.2f%%  (<=2%% requirement: %s)\n", verifyPct,
+              verifyPct <= 2.0 ? "PASS" : "FAIL");
 
   obs::StatsWriter w("vm");
   w.sample("library", kLibraryRuns, "tree", treeLibMs);
   w.sample("library", kLibraryRuns, "vm", vmLibMs);
+  w.sample("library", kLibraryRuns, "vm_checked", checkedMs);
   w.sample("diffpair_sweep", kSweep, "tree", treeSweepMs);
   w.sample("diffpair_sweep", kSweep, "vm", vmSweepMs);
   w.metric("speedup_library", libSpeedup);
   w.metric("speedup_sweep", sweepSpeedup);
+  w.metric("speedup_verified_dispatch", dispatchSpeedup);
+  w.metric("verify_overhead_pct", verifyPct);
   w.metric("chunk_cache_hits", static_cast<double>(cs.hits));
-  w.flag("byte_identical", libIdentical && sweepIdentical);
+  w.flag("byte_identical", libIdentical && sweepIdentical && checkedIdentical);
   w.flag("speedup_5x", libSpeedup >= 5.0);
+  w.flag("verify_overhead_2pct", verifyPct <= 2.0);
   if (w.write("BENCH_vm.json")) std::printf("\nwrote BENCH_vm.json\n");
-  return libIdentical && sweepIdentical && libSpeedup >= 5.0;
+  return libIdentical && sweepIdentical && checkedIdentical &&
+         libSpeedup >= 5.0 && verifyPct <= 2.0;
 }
 
 void BM_LibraryTree(benchmark::State& state) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/bcverify.h"
 #include "cli_common.h"
 #include "lang/compiler.h"
 #include "modules/dsl_sources.h"
@@ -39,8 +40,12 @@ void usage(const char* argv0, std::FILE* out) {
       "  --json FILE     write the findings as a JSON report to FILE\n"
       "  --quiet         suppress per-finding output; summary line only\n"
       "  --dump-bc       after a clean lint, disassemble each file's compiled\n"
-      "                  bytecode with source lines interleaved"
+      "                  bytecode with source lines interleaved and each\n"
+      "                  instruction's abstract stack depth in a [n] column"
       " (docs/BYTECODE.md)\n"
+      "  --verify-bc     after a clean lint, run the bytecode verifier on each\n"
+      "                  file's compiled chunks and report AMG-B* findings"
+      " (docs/LINT.md)\n"
       "  --help          show this help and exit\n%s",
       argv0, cli::obsUsage());
 }
@@ -55,7 +60,8 @@ struct Source {
 int main(int argc, char** argv) {
   cli::installFlight();
   std::string techSpec = "bicmos1u", jsonPath;
-  bool werror = false, builtin = false, quiet = false, dumpBc = false;
+  bool werror = false, builtin = false, quiet = false, dumpBc = false,
+       verifyBc = false;
   obs::CliOptions obsOpts;
   std::vector<const char*> positional;
 
@@ -77,6 +83,8 @@ int main(int argc, char** argv) {
       quiet = true;
     else if (std::strcmp(argv[i], "--dump-bc") == 0)
       dumpBc = true;
+    else if (std::strcmp(argv[i], "--verify-bc") == 0)
+      verifyBc = true;
     else if (std::strcmp(argv[i], "--help") == 0) {
       usage(argv[0], stdout);
       return 0;
@@ -172,22 +180,49 @@ int main(int argc, char** argv) {
     std::fclose(jf);
   }
 
-  if (dumpBc && rep.clean(werror)) {
-    // Disassembly is a listing of what would run, so only lint-clean files
-    // are dumped (a broken script has no meaningful bytecode).
+  std::size_t bcFindings = 0;
+  if ((dumpBc || verifyBc) && rep.clean(werror)) {
+    // Disassembly/verification describe what would run, so only lint-clean
+    // files are processed (a broken script has no meaningful bytecode).
     for (const Source& s : sources) {
-      std::printf(";; %s\n", s.file.c_str());
+      std::shared_ptr<const lang::CompiledProgram> prog;
       try {
-        const auto prog = lang::compileCached(s.text);
-        std::fputs(lang::disassemble(*prog, s.text).c_str(), stdout);
+        prog = lang::compileCached(s.text);
       } catch (const util::DiagError& e) {
         cli::printDiag(e.diag(), s.text);
         cli::finishObs(obsOpts);
         return 1;
       }
+      // compileCached already gates on the verifier under the default mode;
+      // running it again here is deliberate: --verify-bc reports findings
+      // even under AMG_VERIFY=off, and --dump-bc wants the depth table.
+      const analysis::ProgramVerification v = analysis::verifyProgram(*prog);
+      if (verifyBc) {
+        for (const util::Diag& d : v.diags)
+          cli::printDiag(d, s.text, "error", stdout);
+        bcFindings += v.diags.size();
+        if (!quiet)
+          std::printf("amg_lint: %s: bytecode %s (%zu chunk(s))\n",
+                      s.file.c_str(), v.ok() ? "verified" : "REJECTED",
+                      1 + prog->entities.size());
+      }
+      if (dumpBc) {
+        std::printf(";; %s\n", s.file.c_str());
+        // The [n] column is the verifier's abstract stack depth on entry
+        // to each instruction; '-' marks unreachable code.
+        const lang::DisasmAnnotator depth = [&v](const lang::Chunk& c,
+                                                 std::uint32_t off) {
+          const auto it = v.depths.find(&c);
+          if (it == v.depths.end() || off >= it->second.size() ||
+              it->second[off] < 0)
+            return std::string("-");
+          return std::to_string(it->second[off]);
+        };
+        std::fputs(lang::disassemble(*prog, s.text, depth).c_str(), stdout);
+      }
     }
   }
 
   cli::finishObs(obsOpts);
-  return rep.clean(werror) ? 0 : 1;
+  return rep.clean(werror) && !bcFindings ? 0 : 1;
 }

@@ -13,6 +13,9 @@ Three checks, all run by CI (.github/workflows/ci.yml):
 3. Lint-code registry: every AMG-L* finding code emitted by
    src/analysis must have a row in docs/LINT.md, and every code row in
    docs/LINT.md must still exist in the analyzer (no stale docs).
+   Likewise every AMG-B* code emitted by the bytecode verifier
+   (src/analysis) or the VM's checked dispatch path (src/lang) must
+   have a row in docs/LINT.md and vice versa.
 
 4. Opcode registry: every opcode in the AMG_OPCODE_LIST X-macro table
    (src/lang/bytecode.h) must have a registry row in docs/BYTECODE.md
@@ -166,6 +169,45 @@ def check_lint_registry():
     return errors
 
 
+VERIFY_CODE_RE = re.compile(r'"(AMG-B\d{3})"')
+VERIFY_DOC_ROW_RE = re.compile(r"^\|\s*`(AMG-B\d{3})`", re.M)
+
+
+def check_verifier_registry():
+    """AMG-B codes <-> docs/LINT.md registry rows, both directions.
+
+    The bytecode verifier emits under src/analysis; the checked-dispatch
+    runtime traps (AMG-B040/B041) live in src/lang/vm.cpp — scan both.
+    """
+    errors = []
+    emitted = set()
+    for sub in ("analysis", "lang"):
+        directory = os.path.join(REPO, "src", sub)
+        for entry in sorted(os.listdir(directory)):
+            if not entry.endswith((".cpp", ".h")):
+                continue
+            with open(os.path.join(directory, entry), encoding="utf-8") as f:
+                emitted.update(VERIFY_CODE_RE.findall(f.read()))
+    if not emitted:
+        return ["no AMG-B* codes found under src/analysis or src/lang; "
+                "verifier registry check would be vacuous"]
+
+    lint_md = os.path.join(REPO, "docs", "LINT.md")
+    try:
+        with open(lint_md, encoding="utf-8") as f:
+            documented = set(VERIFY_DOC_ROW_RE.findall(f.read()))
+    except OSError as e:
+        return [f"cannot read docs/LINT.md: {e}"]
+
+    for code in sorted(emitted - documented):
+        errors.append(f"verifier code {code} is emitted by the sources but "
+                      "has no registry row in docs/LINT.md")
+    for code in sorted(documented - emitted):
+        errors.append(f"docs/LINT.md documents {code} but the sources never "
+                      "emit it (stale registry row?)")
+    return errors
+
+
 # An X-macro entry's name, operand count and stack effect always sit on
 # the entry's first line: X(NAME, <operands>, "<stack>", "summary..."
 OPCODE_XMACRO_RE = re.compile(r'X\(\s*(\w+),\s*(\d+),\s*"([^"]*)"')
@@ -315,14 +357,15 @@ def main():
     errors = [] if args.skip_cli else check_cli_drift(bin_dir)
     errors += check_links()
     errors += check_lint_registry()
+    errors += check_verifier_registry()
     errors += check_opcode_registry()
     errors += check_obs_registry()
     errors += check_embedding_registry()
     if errors:
         return fail(errors)
     print("check_docs: OK (CLI flags documented, markdown links resolve, "
-          "lint-code, opcode, observability and embedding registries in "
-          "sync)")
+          "lint-code, verifier-code, opcode, observability and embedding "
+          "registries in sync)")
     return 0
 
 

@@ -1,0 +1,325 @@
+// Structural half of the bytecode verifier (see bcverify.h): decode the
+// code stream against the X-macro operand counts, bounds-check every
+// side-table index, and validate VARIANT site geometry.  The dataflow half
+// lives in absint.cpp and only runs when the structure is sound.
+#include "analysis/bcverify.h"
+
+#include <algorithm>
+#include <string>
+
+#include "lang/builtins.h"
+
+namespace amg::analysis {
+
+namespace {
+
+using lang::Chunk;
+using lang::Op;
+using lang::VariantSite;
+
+/// Cap per chunk: a badly corrupted stream decodes into garbage at every
+/// offset; the first few findings carry all the signal.
+constexpr std::size_t kMaxDiags = 16;
+
+class StructuralPass {
+ public:
+  StructuralPass(const Chunk& c, const ChunkContext& ctx,
+                 ChunkVerification& out)
+      : c_(c), ctx_(ctx), out_(out) {
+    b_.isStart.assign(c.code.size() + 1, 0);
+    b_.isStart[c.code.size()] = 1;  // the virtual end boundary
+  }
+
+  /// Returns the boundary map when the stream decoded cleanly enough for
+  /// the dataflow pass to trust it.
+  bool run(detail::Boundaries* boundaries) {
+    metadata();
+    const bool decoded = decode();
+    if (decoded) {
+      for (std::uint32_t at : starts_) instruction(at);
+      variantNesting();
+    }
+    *boundaries = b_;
+    return decoded && out_.diags.empty();
+  }
+
+ private:
+  void diag(std::uint32_t offset, const char* code, std::string msg,
+            std::string hint = "") {
+    if (out_.diags.size() >= kMaxDiags) return;
+    const lang::LineInfo li = c_.lineAt(offset);
+    out_.diags.push_back(util::Diag{
+        code,
+        "bytecode verify: " + ctx_.name + "+" + std::to_string(offset) + ": " +
+            std::move(msg),
+        {"", li.line, li.col},
+        std::move(hint)});
+  }
+
+  // --- chunk metadata ------------------------------------------------------
+
+  void metadata() {
+    if (c_.slotNames.size() > c_.slotCount)
+      diag(0, "AMG-B014",
+           "chunk metadata inconsistent: " + std::to_string(c_.slotNames.size()) +
+               " named slots but slotCount " + std::to_string(c_.slotCount));
+    if (ctx_.isEntity && ctx_.paramCount > c_.slotNames.size())
+      diag(0, "AMG-B014",
+           "chunk metadata inconsistent: " + std::to_string(ctx_.paramCount) +
+               " parameters but only " + std::to_string(c_.slotNames.size()) +
+               " named slots");
+  }
+
+  // --- instruction stream decode -------------------------------------------
+
+  bool decode() {
+    const std::size_t n = c_.code.size();
+    if (n == 0) {
+      diag(0, "AMG-B012", "empty chunk (compiled chunks always end with RET)");
+      return false;
+    }
+    std::uint32_t at = 0;
+    Op last = Op::RET;
+    while (at < n) {
+      const std::uint32_t w = c_.code[at];
+      if (w >= lang::kOpCount) {
+        diag(at, "AMG-B001",
+             "invalid opcode word " + std::to_string(w) + " (opcodes are 0.." +
+                 std::to_string(lang::kOpCount - 1) + ")");
+        return false;
+      }
+      const Op o = static_cast<Op>(w);
+      const auto operands = static_cast<std::uint32_t>(lang::opOperands(o));
+      if (at + 1 + operands > n) {
+        diag(at, "AMG-B002",
+             std::string("truncated instruction: ") + lang::opName(o) +
+                 " needs " + std::to_string(operands) +
+                 " operand word(s) past offset " + std::to_string(at) +
+                 " but the chunk ends at " + std::to_string(n));
+        return false;
+      }
+      b_.isStart[at] = 1;
+      starts_.push_back(at);
+      if (o == Op::VARIANT) variantAt_.emplace_back(at, c_.code[at + 1]);
+      last = o;
+      at += 1 + operands;
+    }
+    if (last != Op::RET) {
+      diag(static_cast<std::uint32_t>(n), "AMG-B012",
+           "chunk does not end with RET");
+      return false;
+    }
+    return true;
+  }
+
+  // --- per-instruction operand validation ----------------------------------
+
+  bool boundary(std::uint32_t t) const {
+    return t <= c_.code.size() && b_.isStart[t];
+  }
+
+  void jumpTarget(std::uint32_t at, std::uint32_t t) {
+    if (t >= c_.code.size()) {
+      // Jumping exactly to the end is representable but the compiler never
+      // emits it (RET terminates every path), so >= is the strict bound.
+      diag(at, "AMG-B003",
+           "jump target " + std::to_string(t) + " out of bounds (code size " +
+               std::to_string(c_.code.size()) + ")");
+    } else if (!b_.isStart[t]) {
+      diag(at, "AMG-B004",
+           "jump target " + std::to_string(t) +
+               " is not on an instruction boundary");
+    }
+  }
+
+  void constIndex(std::uint32_t at, std::uint32_t k, bool wantString) {
+    if (k >= c_.constants.size()) {
+      diag(at, "AMG-B005",
+           "constant index " + std::to_string(k) + " out of bounds (pool size " +
+               std::to_string(c_.constants.size()) + ")");
+      return;
+    }
+    if (wantString && c_.constants[k].kind() != lang::Value::Kind::String)
+      diag(at, "AMG-B006",
+           "name operand (constant " + std::to_string(k) +
+               ") is not a string constant");
+  }
+
+  void slotIndex(std::uint32_t at, std::uint32_t s, std::uint32_t span = 1) {
+    if (s + span > c_.slotCount)
+      diag(at, "AMG-B010",
+           "slot index " + std::to_string(s + span - 1) +
+               " out of bounds (slotCount " + std::to_string(c_.slotCount) +
+               ")");
+  }
+
+  void instruction(std::uint32_t at) {
+    const Op o = static_cast<Op>(c_.code[at]);
+    const std::uint32_t* a = c_.code.data() + at + 1;
+    switch (o) {
+      case Op::CONST: constIndex(at, a[0], false); break;
+      case Op::LOAD_DYN:
+      case Op::LOAD_GLOBAL:
+      case Op::STORE_GLOBAL: constIndex(at, a[0], true); break;
+      case Op::LOAD_SLOT:
+      case Op::STORE_SLOT: slotIndex(at, a[0]); break;
+      case Op::LOAD_LOCAL:
+      case Op::STORE_LOCAL:
+        // The unbound-slot fallback resolves by name (dynamic scoping), so
+        // these must address a *named* slot, not a hidden temporary.
+        slotIndex(at, a[0]);
+        if (a[0] < c_.slotCount && a[0] >= c_.slotNames.size())
+          diag(at, "AMG-B010",
+               "slot index " + std::to_string(a[0]) +
+                   " addresses a hidden temporary (named slots are 0.." +
+                   std::to_string(c_.slotNames.size()) + ")");
+        break;
+      case Op::JUMP:
+      case Op::JF: jumpTarget(at, a[0]); break;
+      case Op::JSET:
+        slotIndex(at, a[0]);
+        jumpTarget(at, a[1]);
+        break;
+      case Op::FOR_TEST:
+      case Op::FOR_INC:
+        slotIndex(at, a[0], 2);  // counter + adjacent bound
+        jumpTarget(at, a[1]);
+        break;
+      case Op::REQUIRE:
+        slotIndex(at, a[0]);
+        if (!ctx_.isEntity || a[0] >= ctx_.paramCount)
+          diag(at, "AMG-B013",
+               ctx_.isEntity
+                   ? "REQUIRE slot " + std::to_string(a[0]) +
+                         " is not a parameter (entity takes " +
+                         std::to_string(ctx_.paramCount) + ")"
+                   : "REQUIRE outside an entity body");
+        break;
+      case Op::CALL: callSite(at, a[0]); break;
+      case Op::VARIANT: variantSite(at, a[0]); break;
+      case Op::RAISE:
+        if (a[0] >= c_.diags.size())
+          diag(at, "AMG-B009",
+               "diagnostic index " + std::to_string(a[0]) +
+                   " out of bounds (table size " +
+                   std::to_string(c_.diags.size()) + ")");
+        break;
+      default: break;  // no operands, nothing structural to check
+    }
+  }
+
+  void callSite(std::uint32_t at, std::uint32_t idx) {
+    if (idx >= c_.calls.size()) {
+      diag(at, "AMG-B007",
+           "call-site index " + std::to_string(idx) +
+               " out of bounds (table size " + std::to_string(c_.calls.size()) +
+               ")");
+      return;
+    }
+    const lang::CallSite& cs = c_.calls[idx];
+    if (cs.argNames.size() != cs.argc)
+      diag(at, "AMG-B007",
+           "call site " + std::to_string(idx) + " ('" + cs.name + "') has " +
+               std::to_string(cs.argNames.size()) + " argument names for argc " +
+               std::to_string(cs.argc));
+    if (cs.builtin >= 0 &&
+        static_cast<std::size_t>(cs.builtin) >= lang::builtinSignatures().size())
+      diag(at, "AMG-B007",
+           "call site " + std::to_string(idx) + " ('" + cs.name +
+               "') names builtin ordinal " + std::to_string(cs.builtin) +
+               " past the signature table (" +
+               std::to_string(lang::builtinSignatures().size()) + ")");
+  }
+
+  void variantSite(std::uint32_t at, std::uint32_t idx) {
+    if (idx >= c_.variants.size()) {
+      diag(at, "AMG-B008",
+           "variant index " + std::to_string(idx) + " out of bounds (table size " +
+               std::to_string(c_.variants.size()) + ")");
+      return;
+    }
+    const VariantSite& vs = c_.variants[idx];
+    const auto bad = [&](std::string why) {
+      diag(at, "AMG-B011",
+           "malformed VARIANT site " + std::to_string(idx) + ": " +
+               std::move(why));
+    };
+    if (vs.branches.empty()) return bad("no branches");
+    if (!boundary(vs.end) || vs.end < at + 2)
+      return bad("end " + std::to_string(vs.end) +
+                 " is not a boundary after the instruction");
+    std::uint32_t prev = at + 2;  // branches start right after the operand
+    for (const auto& [start, end] : vs.branches) {
+      if (start < prev || end < start || end > vs.end)
+        return bad("branch [" + std::to_string(start) + "," +
+                   std::to_string(end) + ") out of order or outside [" +
+                   std::to_string(at + 2) + "," + std::to_string(vs.end) + ")");
+      if (!boundary(start) || !boundary(end))
+        return bad("branch [" + std::to_string(start) + "," +
+                   std::to_string(end) + ") not on instruction boundaries");
+      prev = end;
+    }
+  }
+
+  // --- VARIANT nesting -----------------------------------------------------
+
+  /// A nested VARIANT (instruction *and* its whole site range) must sit
+  /// inside exactly one branch of the enclosing site; a site straddling a
+  /// branch edge would re-run code the enclosing rollback also re-runs.
+  void variantNesting() {
+    for (const auto& [outerAt, outerIdx] : variantAt_) {
+      if (outerIdx >= c_.variants.size()) continue;  // already diagnosed
+      const VariantSite& outer = c_.variants[outerIdx];
+      for (const auto& [innerAt, innerIdx] : variantAt_) {
+        if (innerAt <= outerAt || innerAt >= outer.end) continue;
+        if (innerIdx >= c_.variants.size()) continue;
+        const VariantSite& inner = c_.variants[innerIdx];
+        const bool contained = std::any_of(
+            outer.branches.begin(), outer.branches.end(),
+            [&](const std::pair<std::uint32_t, std::uint32_t>& br) {
+              return innerAt >= br.first && innerAt < br.second &&
+                     inner.end <= br.second;
+            });
+        if (!contained)
+          diag(innerAt, "AMG-B011",
+               "VARIANT site " + std::to_string(innerIdx) +
+                   " is not balanced inside one branch of enclosing site " +
+                   std::to_string(outerIdx));
+      }
+    }
+  }
+
+  const Chunk& c_;
+  const ChunkContext& ctx_;
+  ChunkVerification& out_;
+  detail::Boundaries b_;
+  std::vector<std::uint32_t> starts_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> variantAt_;  ///< (offset, site idx)
+};
+
+}  // namespace
+
+ChunkVerification verifyChunk(const Chunk& c, const ChunkContext& ctx) {
+  ChunkVerification out;
+  detail::Boundaries b;
+  const bool sound = StructuralPass(c, ctx, out).run(&b);
+  // The dataflow pass indexes by the decoded boundaries, so it only runs
+  // on a structurally sound stream.
+  if (sound) detail::analyzeFlow(c, ctx, b, out);
+  return out;
+}
+
+ProgramVerification verifyProgram(const lang::CompiledProgram& p) {
+  ProgramVerification out;
+  const auto one = [&](const Chunk& c, const ChunkContext& ctx) {
+    ChunkVerification v = verifyChunk(c, ctx);
+    out.depths.emplace(&c, std::move(v.depthIn));
+    for (util::Diag& d : v.diags) out.diags.push_back(std::move(d));
+  };
+  one(p.top, {false, 0, "top-level"});
+  for (const auto& e : p.entities)
+    one(e->chunk, {true, e->params.size(), "ENT " + e->name});
+  return out;
+}
+
+}  // namespace amg::analysis

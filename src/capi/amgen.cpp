@@ -42,6 +42,7 @@
 #include "tech/builtin.h"
 #include "tech/techfile.h"
 #include "util/diag.h"
+#include "util/thread_annotations.h"
 #include "util/version.h"
 
 namespace {
@@ -159,13 +160,17 @@ struct amg_batch {
 };
 
 struct amg_engine {
-  std::mutex mu;  ///< serializes run()s — one controller for the pool
+  /// Serializes run()s — one controller for the pool.  mutable so the
+  /// const stats readers can lock too (clang -Wthread-safety enforces
+  /// every `engine`/`recorder` access below).
+  mutable amg::util::Mutex mu;
   std::string techSpec;
   std::optional<amg::tech::Technology> ownedTech;  ///< file-loaded decks
   const amg::tech::Technology* tech = nullptr;
   amg::gen::EngineConfig cfg;  ///< recorder deliberately never set
-  std::unique_ptr<amg::gen::BatchEngine> engine;
-  std::unique_ptr<amg::obs::Recorder> recorder;  ///< AMGT; see file comment
+  std::unique_ptr<amg::gen::BatchEngine> engine AMG_GUARDED_BY(mu);
+  std::unique_ptr<amg::obs::Recorder> recorder
+      AMG_GUARDED_BY(mu);  ///< AMGT; see file comment
 };
 
 namespace {
@@ -173,7 +178,7 @@ namespace {
 /// Shared by amg_generate / amg_generate_batch: run under the engine lock,
 /// append to the AMGT recorder when active.
 gen::BatchReport runLocked(amg_engine* e, const std::vector<gen::Job>& jobs) {
-  std::lock_guard<std::mutex> lock(e->mu);
+  util::MutexLock lock(e->mu);
   gen::BatchReport report = e->engine->run(jobs);
   if (e->recorder)
     for (std::size_t i = 0; i < jobs.size(); ++i)
@@ -260,7 +265,11 @@ amg_engine* amg_engine_create(const char* tech_spec, const amg_config* cfg) {
     if (cfg) {
       e->cfg = configOf(*cfg);
     }
-    e->engine = std::make_unique<gen::BatchEngine>(*e->tech, e->cfg);
+    {
+      // Not yet shared, but the annotated lock keeps the analysis exact.
+      util::MutexLock lock(e->mu);
+      e->engine = std::make_unique<gen::BatchEngine>(*e->tech, e->cfg);
+    }
     return e.release();
   } catch (const std::exception& ex) {
     errorFrom(ex, AMG_E_TECH);
@@ -437,6 +446,7 @@ void amg_result_destroy(amg_result* r) { delete r; }
 
 amg_status amg_engine_cache_stats(const amg_engine* e, amg_cache_stats* out) {
   if (!e || !out) return invalid("amg_engine_cache_stats(engine, out)");
+  util::MutexLock lock(e->mu);  // amg_engine_clear_caches swaps `engine`
   const gen::LayoutCache& c = e->engine->cache();
   const gen::LayoutCache::Stats s = c.stats();
   out->hits = s.hits;
@@ -452,6 +462,7 @@ amg_status amg_engine_cache_stats(const amg_engine* e, amg_cache_stats* out) {
 int amg_engine_prefix_cache_stats(const amg_engine* e, amg_cache_stats* out) {
   if (out) std::memset(out, 0, sizeof *out);
   if (!e || !out) return 0;
+  util::MutexLock lock(e->mu);  // amg_engine_clear_caches swaps `engine`
   const compact::PrefixCache* pc = e->engine->prefixCache();
   if (!pc) return 0;
   const compact::PrefixCache::Stats s = pc->stats();
@@ -472,7 +483,7 @@ amg_status amg_engine_clear_caches(amg_engine* e) {
     // while keeping technology, configuration and the AMGT recorder.  The
     // process-wide compiled-chunk cache survives by design
     // (docs/CACHING.md: chunks key on source text alone).
-    std::lock_guard<std::mutex> lock(e->mu);
+    util::MutexLock lock(e->mu);
     e->engine = std::make_unique<gen::BatchEngine>(*e->tech, e->cfg);
     return AMG_OK;
   } catch (const std::exception& ex) {
@@ -505,7 +516,7 @@ amg_status amg_trace_write(const char* path) {
 amg_status amg_record_start(amg_engine* e, const char* path, const char* tool) {
   if (!e || !path) return invalid("amg_record_start(engine, path, tool)");
   try {
-    std::lock_guard<std::mutex> lock(e->mu);
+    util::MutexLock lock(e->mu);
     if (e->recorder) {
       setError("AMG-CAPI-003", "an AMGT recording is already active",
                "amg_record_stop() it first");
@@ -535,7 +546,7 @@ amg_status amg_record_start(amg_engine* e, const char* path, const char* tool) {
 amg_status amg_record_stop(amg_engine* e, uint64_t* out_count) {
   if (out_count) *out_count = 0;
   if (!e) return invalid("amg_record_stop(engine)");
-  std::lock_guard<std::mutex> lock(e->mu);
+  util::MutexLock lock(e->mu);
   if (!e->recorder) {
     setError("AMG-CAPI-003", "no AMGT recording is active",
              "amg_record_start() one first");
@@ -547,7 +558,9 @@ amg_status amg_record_stop(amg_engine* e, uint64_t* out_count) {
 }
 
 int amg_record_active(const amg_engine* e) {
-  return e && e->recorder ? 1 : 0;
+  if (!e) return 0;
+  util::MutexLock lock(e->mu);
+  return e->recorder ? 1 : 0;
 }
 
 }  // extern "C"

@@ -87,7 +87,7 @@ std::string PrefixCache::diskPath(std::uint64_t key) const {
 }
 
 PrefixCache::Blob PrefixCache::get(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (const auto it = index_.find(key); it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
     ++stats_.hits;
@@ -117,7 +117,7 @@ PrefixCache::Blob PrefixCache::get(std::uint64_t key) {
 }
 
 void PrefixCache::put(std::uint64_t key, std::vector<std::uint8_t> bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.puts;
   OBS_COUNT("gen.prefix.puts");
   OBS_COUNT_N("gen.prefix.bytes_put", bytes.size());
@@ -158,34 +158,34 @@ void PrefixCache::evictToFit() {
 }
 
 PrefixCache::Stats PrefixCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t PrefixCache::entryCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return lru_.size();
 }
 
 std::size_t PrefixCache::byteCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return bytes_;
 }
 
 void PrefixCache::noteRestoredStep() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.restoredSteps;
   OBS_COUNT("gen.prefix.restored_steps");
 }
 
 void PrefixCache::noteMaterialization() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.materializations;
   OBS_COUNT("gen.prefix.materializations");
 }
 
 void PrefixCache::noteReseed() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.reseeds;
   OBS_COUNT("gen.prefix.reseeds");
 }

@@ -42,12 +42,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "compact/compactor.h"
+#include "util/thread_annotations.h"
 
 namespace amg::compact {
 
@@ -98,17 +98,18 @@ class PrefixCache {
   void noteReseed();
 
  private:
-  void evictToFit();  // caller holds mu_
+  void evictToFit() AMG_REQUIRES(mu_);
   std::string diskPath(std::uint64_t key) const;
 
   PrefixCacheConfig cfg_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   /// MRU at front.  The map points into the list for O(1) touch.
-  std::list<std::pair<std::uint64_t, Blob>> lru_;
-  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
-  std::size_t bytes_ = 0;
-  Stats stats_;
-  bool diskDirReady_ = false;
+  std::list<std::pair<std::uint64_t, Blob>> lru_ AMG_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_
+      AMG_GUARDED_BY(mu_);
+  std::size_t bytes_ AMG_GUARDED_BY(mu_) = 0;
+  Stats stats_ AMG_GUARDED_BY(mu_);
+  bool diskDirReady_ AMG_GUARDED_BY(mu_) = false;
 };
 
 /// True unless the environment kill switch AMG_PREFIX_CACHE=0 is set

@@ -15,7 +15,7 @@ std::string LayoutCache::diskPath(std::uint64_t key) const {
 }
 
 std::optional<std::vector<std::uint8_t>> LayoutCache::get(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (const auto it = index_.find(key); it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // touch
     ++stats_.hits;
@@ -46,7 +46,7 @@ std::optional<std::vector<std::uint8_t>> LayoutCache::get(std::uint64_t key) {
 }
 
 void LayoutCache::put(std::uint64_t key, std::vector<std::uint8_t> bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.puts;
   OBS_COUNT("gen.cache.puts");
   if (!cfg_.diskDir.empty()) {
@@ -84,17 +84,17 @@ void LayoutCache::evictToFit() {
 }
 
 LayoutCache::Stats LayoutCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t LayoutCache::entryCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return lru_.size();
 }
 
 std::size_t LayoutCache::byteCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return bytes_;
 }
 

@@ -14,11 +14,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace amg::gen {
 
@@ -56,17 +57,19 @@ class LayoutCache {
   const CacheConfig& config() const { return cfg_; }
 
  private:
-  void evictToFit();  // caller holds mu_
+  void evictToFit() AMG_REQUIRES(mu_);
   std::string diskPath(std::uint64_t key) const;
 
   CacheConfig cfg_;
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   /// MRU at front.  The map points into the list for O(1) touch.
-  std::list<std::pair<std::uint64_t, std::vector<std::uint8_t>>> lru_;
-  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_;
-  std::size_t bytes_ = 0;
-  Stats stats_;
-  bool diskDirReady_ = false;
+  std::list<std::pair<std::uint64_t, std::vector<std::uint8_t>>> lru_
+      AMG_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> index_
+      AMG_GUARDED_BY(mu_);
+  std::size_t bytes_ AMG_GUARDED_BY(mu_) = 0;
+  Stats stats_ AMG_GUARDED_BY(mu_);
+  bool diskDirReady_ AMG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace amg::gen

@@ -10,6 +10,7 @@
 #include "gen/fingerprint.h"
 #include "gen/replay.h"
 #include "io/layout.h"
+#include "lang/compiler.h"
 #include "lang/interp.h"
 #include "obs/obs.h"
 #include "obs/recorder.h"
@@ -183,6 +184,17 @@ std::optional<util::Diag> BatchEngine::preflightOne(
 
   if (const analysis::Finding* f = rep->firstError(cfg_.preflightWerror))
     return f->diag;
+
+  // Compile through the shared chunk cache so the bytecode verifier
+  // (analysis/bcverify.h) gates admission too: a job whose chunks fail
+  // verification is rejected here with its AMG-B diagnostic instead of
+  // reaching a worker.  Side benefit: every admitted job hits a warm
+  // chunk cache when it runs.
+  try {
+    lang::compileCached(job.script);
+  } catch (const util::DiagError& e) {
+    return e.diag();
+  }
 
   const auto diag = [](const char* code, std::string msg, int line,
                        std::string hint) {

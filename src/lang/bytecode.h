@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -131,6 +132,12 @@ struct Chunk {
   std::vector<std::string> slotNames;  ///< named slots (params + locals)
   std::uint16_t slotCount = 0;         ///< total slots incl. hidden temporaries
 
+  /// Set by the compiler post-pass when the chunk passed the bytecode
+  /// verifier (analysis/bcverify.h) — the VM's license for the unchecked
+  /// dispatch path.  A chunk without it runs with per-dispatch structural
+  /// checks (AMG-B040 traps) instead of raw indexing.
+  bool verified = false;
+
   /// Source position of the word at `offset` (best effort; 0/0 if unknown).
   LineInfo lineAt(std::uint32_t offset) const;
   /// Slot index for `name`, or -1 (named slots only).
@@ -155,7 +162,10 @@ struct CompiledEntity {
 /// lex+parse+compile entirely on warm batch jobs.
 struct CompiledProgram {
   Chunk top;
-  std::vector<std::shared_ptr<const CompiledEntity>> entities;  ///< source order
+  // Non-const elements so the compiler post-pass can stamp the verified
+  // bit before the program is published as shared_ptr<const ...>;
+  // consumers (Interpreter::VmEntity) hold them as const.
+  std::vector<std::shared_ptr<CompiledEntity>> entities;  ///< source order
   bool hasTop = false;  ///< the calling sequence is non-empty
   int topLine = 0, topCol = 0;  ///< first top-level statement (load() rejection)
 };
@@ -166,5 +176,13 @@ std::string disassemble(const CompiledProgram& p);
 /// Same, with the source line each group of ops came from interleaved
 /// caret-style above its code.
 std::string disassemble(const CompiledProgram& p, std::string_view source);
+
+/// Per-instruction annotation hook for listings: return a short column
+/// (amg_lint renders the verifier's abstract stack depth) for the
+/// instruction starting at `offset` of chunk `c`.
+using DisasmAnnotator =
+    std::function<std::string(const Chunk& c, std::uint32_t offset)>;
+std::string disassemble(const CompiledProgram& p, std::string_view source,
+                        const DisasmAnnotator& annotate);
 
 }  // namespace amg::lang

@@ -1,14 +1,20 @@
 #include "lang/compiler.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <iomanip>
-#include <mutex>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
+#include "analysis/bcverify.h"
 #include "lang/builtins.h"
+#include "lang/token.h"
 #include "obs/obs.h"
+#include "util/thread_annotations.h"
 #include "util/version.h"
 
 namespace amg::lang {
@@ -414,7 +420,7 @@ class BodyCompiler {
 
 }  // namespace
 
-std::shared_ptr<const CompiledProgram> compile(const Program& prog) {
+std::shared_ptr<CompiledProgram> compile(const Program& prog) {
   auto out = std::make_shared<CompiledProgram>();
   out->top = BodyCompiler(true).finish(nullptr, prog.top);
   out->hasTop = !prog.top.empty();
@@ -456,10 +462,11 @@ std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
 }
 
 struct ChunkCache {
-  std::mutex mu;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledProgram>> map;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  util::Mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CompiledProgram>> map
+      AMG_GUARDED_BY(mu);
+  std::size_t hits AMG_GUARDED_BY(mu) = 0;
+  std::size_t misses AMG_GUARDED_BY(mu) = 0;
 };
 
 ChunkCache& chunkCache() {
@@ -467,24 +474,67 @@ ChunkCache& chunkCache() {
   return c;
 }
 
+std::atomic<VerifyMode> gVerifyMode{[] {
+  const char* v = std::getenv("AMG_VERIFY");
+  if (!v) return VerifyMode::On;
+  const std::string_view s(v);
+  if (s == "off" || s == "0") return VerifyMode::Off;
+  if (s == "strict") return VerifyMode::Strict;
+  return VerifyMode::On;
+}()};
+
+/// Run the bytecode verifier over every chunk of `prog` and throw the
+/// first finding as a LangError.  A freshly compiled chunk failing here is
+/// a compiler bug (assert in debug builds); a *cached* program failing
+/// under Strict is the admission gate doing its job — a key collision,
+/// version skew, or in-memory corruption must never reach the VM's
+/// unchecked dispatch path.
+void verifyOrThrow(const CompiledProgram& prog) {
+  const analysis::ProgramVerification v = analysis::verifyProgram(prog);
+  OBS_COUNT_N("vm.verify.chunks", 1 + prog.entities.size());
+  if (v.ok()) return;
+  OBS_COUNT("vm.verify.failures");
+  assert(false && "freshly compiled chunk failed bytecode verification");
+  throw LangError(v.diags.front());
+}
+
 }  // namespace
+
+VerifyMode verifyMode() { return gVerifyMode.load(std::memory_order_relaxed); }
+
+VerifyMode setVerifyMode(VerifyMode m) {
+  return gVerifyMode.exchange(m, std::memory_order_relaxed);
+}
 
 std::shared_ptr<const CompiledProgram> compileCached(const std::string& source) {
   // Keyed on the *raw* text: diagnostics and the line table depend on
   // comments/whitespace, so canonicalized sharing would corrupt locations.
   const std::uint64_t key = fnv1a(source, 14695981039346656037ull ^ kBytecodeVersion);
+  const VerifyMode mode = verifyMode();
   ChunkCache& cc = chunkCache();
   {
-    std::lock_guard<std::mutex> lock(cc.mu);
-    const auto it = cc.map.find(key);
-    if (it != cc.map.end()) {
-      ++cc.hits;
+    std::shared_ptr<const CompiledProgram> hit;
+    {
+      util::MutexLock lock(cc.mu);
+      const auto it = cc.map.find(key);
+      if (it != cc.map.end()) {
+        ++cc.hits;
+        hit = it->second;
+      }
+    }
+    if (hit) {
       OBS_COUNT("vm.chunk_cache.hits");
-      return it->second;
+      // Admission gate, reuse side: Strict re-proves every hit; On only
+      // re-checks entries admitted while verification was Off (their
+      // verified bit is clear, so the VM would run them checked anyway).
+      if (mode == VerifyMode::Strict ||
+          (mode == VerifyMode::On && !hit->top.verified))
+        verifyOrThrow(*hit);
+      return hit;
     }
   }
   OBS_COUNT("vm.chunk_cache.misses");
-  std::shared_ptr<const CompiledProgram> prog;
+  std::shared_ptr<CompiledProgram> prog;
   {
     obs::Span span("vm.compile");
     span.arg("bytes", static_cast<std::uint64_t>(source.size()));
@@ -492,7 +542,15 @@ std::shared_ptr<const CompiledProgram> compileCached(const std::string& source) 
     span.arg("entities", static_cast<std::uint64_t>(prog->entities.size()));
     OBS_COUNT("vm.compile.programs");
   }
-  std::lock_guard<std::mutex> lock(cc.mu);
+  if (mode != VerifyMode::Off) {
+    // Compiler post-pass: verify before publication, then stamp the bits
+    // that let the VM drop per-dispatch checks.  The program is still
+    // thread-private here, so the writes need no synchronization.
+    verifyOrThrow(*prog);
+    prog->top.verified = true;
+    for (auto& ce : prog->entities) ce->chunk.verified = true;
+  }
+  util::MutexLock lock(cc.mu);
   ++cc.misses;
   cc.map.emplace(key, prog);
   return prog;
@@ -500,13 +558,13 @@ std::shared_ptr<const CompiledProgram> compileCached(const std::string& source) 
 
 ChunkCacheStats chunkCacheStats() {
   ChunkCache& cc = chunkCache();
-  std::lock_guard<std::mutex> lock(cc.mu);
+  util::MutexLock lock(cc.mu);
   return {cc.hits, cc.misses, cc.map.size()};
 }
 
 void clearChunkCache() {
   ChunkCache& cc = chunkCache();
-  std::lock_guard<std::mutex> lock(cc.mu);
+  util::MutexLock lock(cc.mu);
   cc.map.clear();
   cc.hits = cc.misses = 0;
 }
@@ -517,10 +575,12 @@ void clearChunkCache() {
 
 namespace {
 
-void disasmOp(std::ostringstream& os, const Chunk& c, std::uint32_t& at) {
+void disasmOp(std::ostringstream& os, const Chunk& c, std::uint32_t& at,
+              const DisasmAnnotator* annotate) {
   const Op o = static_cast<Op>(c.code[at]);
-  os << "  " << std::setw(4) << std::setfill('0') << at << std::setfill(' ')
-     << "  " << std::left << std::setw(13) << opName(o) << std::right;
+  os << "  " << std::setw(4) << std::setfill('0') << at << std::setfill(' ');
+  if (annotate) os << " [" << std::setw(2) << (*annotate)(c, at) << "]";
+  os << "  " << std::left << std::setw(13) << opName(o) << std::right;
   const int n = opOperands(o);
   std::uint32_t operands[2] = {0, 0};
   for (int i = 0; i < n; ++i) {
@@ -583,7 +643,8 @@ void disasmOp(std::ostringstream& os, const Chunk& c, std::uint32_t& at) {
 }
 
 void disasmChunk(std::ostringstream& os, const Chunk& c, std::string_view title,
-                 const std::vector<std::string_view>* sourceLines) {
+                 const std::vector<std::string_view>* sourceLines,
+                 const DisasmAnnotator* annotate = nullptr) {
   os << "== " << (title.empty() ? "chunk" : title) << " ("
      << c.code.size() << " words, " << c.constants.size() << " constants, "
      << c.slotCount << " slots) ==\n";
@@ -599,7 +660,7 @@ void disasmChunk(std::ostringstream& os, const Chunk& c, std::string_view title,
         os << '\n';
       }
     }
-    disasmOp(os, c, at);
+    disasmOp(os, c, at, annotate);
   }
 }
 
@@ -629,12 +690,13 @@ std::string entityTitle(const CompiledEntity& e) {
 }
 
 std::string disasmProgram(const CompiledProgram& p,
-                          const std::vector<std::string_view>* sourceLines) {
+                          const std::vector<std::string_view>* sourceLines,
+                          const DisasmAnnotator* annotate = nullptr) {
   std::ostringstream os;
-  if (p.hasTop) disasmChunk(os, p.top, "top-level", sourceLines);
+  if (p.hasTop) disasmChunk(os, p.top, "top-level", sourceLines, annotate);
   for (const auto& e : p.entities) {
     if (os.tellp() > 0) os << '\n';
-    disasmChunk(os, e->chunk, entityTitle(*e), sourceLines);
+    disasmChunk(os, e->chunk, entityTitle(*e), sourceLines, annotate);
   }
   return os.str();
 }
@@ -654,6 +716,12 @@ std::string disassemble(const CompiledProgram& p) {
 std::string disassemble(const CompiledProgram& p, std::string_view source) {
   const auto lines = splitLines(source);
   return disasmProgram(p, &lines);
+}
+
+std::string disassemble(const CompiledProgram& p, std::string_view source,
+                        const DisasmAnnotator& annotate) {
+  const auto lines = splitLines(source);
+  return disasmProgram(p, &lines, annotate ? &annotate : nullptr);
 }
 
 }  // namespace amg::lang

@@ -23,11 +23,27 @@
 
 namespace amg::lang {
 
-/// Compile a parsed program.  Never throws on valid AST.
-std::shared_ptr<const CompiledProgram> compile(const Program& prog);
+/// Compile a parsed program.  Never throws on valid AST.  Returns a
+/// mutable program so the caller (normally compileCached's verification
+/// post-pass) can stamp the verified bits before publishing it as const.
+std::shared_ptr<CompiledProgram> compile(const Program& prog);
+
+/// How aggressively compileCached verifies bytecode (analysis/bcverify.h).
+/// The process default comes from AMG_VERIFY: "off"/"0" disables the
+/// post-pass (chunks stay unverified and the VM falls back to checked
+/// dispatch), "strict" re-verifies even on cache hits so a key collision
+/// or a poisoned entry is caught at admission *and* at reuse; anything
+/// else is On.
+enum class VerifyMode { Off, On, Strict };
+VerifyMode verifyMode();
+/// Test/bench override of the process mode.  Returns the previous mode.
+VerifyMode setVerifyMode(VerifyMode m);
 
 /// Lex + parse + compile `source`, memoized process-wide on the raw text.
-/// Lex/parse errors (LangError) propagate and are never cached.  Thread-safe.
+/// Lex/parse errors (LangError) propagate and are never cached.  Under
+/// VerifyMode::On/Strict every freshly compiled chunk must pass the
+/// bytecode verifier (assert in debug, LangError with the AMG-B diag in
+/// release) before it is admitted to the cache.  Thread-safe.
 std::shared_ptr<const CompiledProgram> compileCached(const std::string& source);
 
 /// Chunk-cache telemetry (also exported as vm.chunk_cache.* obs counters).

@@ -38,6 +38,11 @@ class VM {
       const CompiledEntity& ent,
       const std::vector<std::pair<std::string, Value>>& namedArgs, int line);
 
+  /// Cap on instructions this VM may dispatch (0 = unlimited).  Enforced
+  /// only on the checked path: fuel for running unverified chunks whose
+  /// loops nothing proved terminating — exhaustion traps with AMG-B041.
+  void setDispatchBudget(std::uint64_t instructions) { budget_ = instructions; }
+
  private:
   struct Frame {
     const Chunk* chunk = nullptr;
@@ -48,7 +53,16 @@ class VM {
     int callLine = 0;                 ///< for AMG-INTERP-005/006 locations
   };
 
+  /// Dispatch on Chunk::verified: a verified chunk runs the raw-indexing
+  /// fast path, anything else the checked path where every dispatch first
+  /// proves the instruction structurally safe (AMG-B040 traps otherwise).
   void runRange(const Chunk& ch, Frame& f, std::uint32_t ip, std::uint32_t end);
+  template <bool Checked>
+  void runRangeImpl(const Chunk& ch, Frame& f, std::uint32_t ip,
+                    std::uint32_t end);
+  /// The checked path's per-dispatch precondition check; throws LangError
+  /// (AMG-B040/B041) instead of letting a handler index out of bounds.
+  void checkedGuard(const Chunk& ch, const Frame& f, std::uint32_t ip);
   void execVariant(const Chunk& ch, Frame& f, const VariantSite& vs);
   void binary(const Chunk& ch, std::uint32_t opOffset, Op o);
   void call(const Chunk& ch, Frame& f, const CallSite& cs);
@@ -64,6 +78,7 @@ class VM {
   std::vector<exec::RawArg> rawScratch_;  ///< reused builtin-call buffer
   int depth_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t budget_ = 0;  ///< see setDispatchBudget()
 };
 
 }  // namespace amg::lang

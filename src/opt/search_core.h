@@ -31,6 +31,10 @@ namespace amg::opt::detail {
 
 /// Cross-worker search state: the incumbent bound and the global counters.
 /// One instance per optimizeOrder*() call, shared by every subtree task.
+/// Deliberately lock-free — atomics only, so it carries no capability for
+/// clang's thread-safety analysis (util/thread_annotations.h) to track;
+/// maxOrders/branchAndBound are set once before the workers start and
+/// read-only thereafter.
 struct SharedSearch {
   explicit SharedSearch(const OptimizeOptions& o)
       : maxOrders(o.maxOrders), branchAndBound(o.branchAndBound) {}

@@ -1,0 +1,72 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), plus an
+// annotated mutex the analysis can actually see.
+//
+// libstdc++'s std::mutex carries no capability attribute, so GUARDED_BY on
+// members locked via std::lock_guard<std::mutex> is invisible to the
+// analysis.  util::Mutex wraps std::mutex with the capability attributes
+// and util::MutexLock is the annotated scoped lock; shared mutable state
+// (the chunk cache, the layout/prefix cache LRUs, the capi engine handle)
+// declares its guards with AMG_GUARDED_BY and private helpers with
+// AMG_REQUIRES.  Under GCC (or any compiler without the attributes) every
+// macro expands to nothing and Mutex degrades to a plain std::mutex
+// wrapper — zero cost, zero warnings.
+//
+// The clang CI job builds with -Wthread-safety -Werror=thread-safety, so a
+// new access to a guarded member without its lock is a build break, not a
+// review nit.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define AMG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AMG_THREAD_ANNOTATION(x)
+#endif
+
+#define AMG_CAPABILITY(x) AMG_THREAD_ANNOTATION(capability(x))
+#define AMG_SCOPED_CAPABILITY AMG_THREAD_ANNOTATION(scoped_lockable)
+#define AMG_GUARDED_BY(x) AMG_THREAD_ANNOTATION(guarded_by(x))
+#define AMG_PT_GUARDED_BY(x) AMG_THREAD_ANNOTATION(pt_guarded_by(x))
+#define AMG_REQUIRES(...) \
+  AMG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AMG_ACQUIRE(...) AMG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AMG_RELEASE(...) AMG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AMG_TRY_ACQUIRE(...) \
+  AMG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define AMG_EXCLUDES(...) AMG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define AMG_RETURN_CAPABILITY(x) AMG_THREAD_ANNOTATION(lock_returned(x))
+#define AMG_NO_THREAD_SAFETY_ANALYSIS \
+  AMG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace amg::util {
+
+/// std::mutex with the capability attribute the analysis needs.
+class AMG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AMG_ACQUIRE() { mu_.lock(); }
+  void unlock() AMG_RELEASE() { mu_.unlock(); }
+  bool try_lock() AMG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard equivalent: the analysis treats the guarded
+/// scope as holding the capability.
+class AMG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AMG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AMG_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace amg::util
